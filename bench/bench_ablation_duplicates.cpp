@@ -1,0 +1,73 @@
+// Ablation: the two duplicate-exploration controls.
+//
+//  * The clearing trick (§IV-A2): readers zero consumed slots so
+//    overlapping/stale segments abort early. Turning it off measures
+//    how much duplicate work raw optimism would pay.
+//  * §IV-D parent-claim suppression: an arbitrary-concurrent-write
+//    claim array lets exactly one queue's copy of a vertex be explored
+//    — still no locks or atomic RMW. The paper proposes this as future
+//    work for dense, duplicate-heavy graphs; here it is implemented and
+//    measured on exactly that regime (the dense RMAT stand-in).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/registry.hpp"
+#include "harness/source_sampler.hpp"
+
+int main() {
+  using namespace optibfs;
+  bench::print_banner("Duplicate-exploration controls",
+                      "§IV-A2 clearing trick + §IV-D parent claim");
+
+  const WorkloadConfig wconfig = workload_config_from_env();
+  const Workload dense = make_workload("rmat_dense", wconfig);
+  bench::print_workload_line(dense);
+  std::cout << '\n';
+
+  const auto sources = sample_sources(dense.graph, env_sources(4), 42);
+  const int threads = env_threads(8);
+
+  Table table({"Algorithm", "clearing", "dedup", "ms", "dup/src",
+               "claim-skips/src"});
+  // dedup modes: none; §IV-D parent claim (plain stores only); §IV-D
+  // atomic bitmap (Baseline2's fetch_or — the mechanism our engines
+  // otherwise avoid).
+  for (const char* algorithm : {"BFS_CL", "BFS_WL"}) {
+    for (const bool clearing : {true, false}) {
+      for (const int dedup : {0, 1, 2}) {
+        BFSOptions options;
+        options.num_threads = threads;
+        options.clear_slots = clearing;
+        options.parent_claim_dedup = dedup == 1;
+        options.visited_bitmap_dedup = dedup == 2;
+        auto engine = make_bfs(algorithm, dense.graph, options);
+        BFSResult result;
+        double total_ms = 0, total_dup = 0, total_skip = 0;
+        Timer timer;
+        for (const vid_t source : sources) {
+          timer.reset();
+          engine->run(source, result);
+          total_ms += timer.elapsed_ms();
+          total_dup += static_cast<double>(result.duplicate_explorations());
+          total_skip += static_cast<double>(result.claim_skips);
+        }
+        const double n = static_cast<double>(sources.size());
+        const std::size_t row = table.add_row();
+        table.set(row, 0, algorithm);
+        table.set(row, 1, clearing ? "on" : "off");
+        table.set(row, 2, dedup == 0 ? "none"
+                                     : dedup == 1 ? "claim" : "bitmap");
+        table.set(row, 3, total_ms / n, 2);
+        table.set(row, 4, total_dup / n, 1);
+        table.set(row, 5, total_skip / n, 1);
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: clearing off inflates duplicates "
+               "(dramatically for the work-stealing owner walk); the "
+               "claim array removes cross-queue duplicates at the cost "
+               "of one extra array access per pop — the win the paper "
+               "predicts for dense, low-diameter graphs.\n";
+  return 0;
+}

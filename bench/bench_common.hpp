@@ -1,0 +1,47 @@
+// Shared scaffolding for the table/figure reproduction binaries.
+//
+// Every bench reads the same environment knobs:
+//   OPTIBFS_SCALE    — workload size multiplier (default 1.0)
+//   OPTIBFS_SOURCES  — sources per measurement (default 4 here; the
+//                      paper used 1000 — raise it on a real machine)
+//   OPTIBFS_THREADS  — max thread count (default 8)
+//   OPTIBFS_VERIFY   — 1 = validate every run against the serial oracle
+//   OPTIBFS_GRAPH_DIR— directory of real .mtx graphs overriding the
+//                      synthetic stand-ins
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "graph/graph_props.hpp"
+#include "graph/workloads.hpp"
+#include "harness/experiment.hpp"
+#include "harness/machine_info.hpp"
+#include "harness/table.hpp"
+
+namespace optibfs::bench {
+
+inline void print_banner(const std::string& title,
+                         const std::string& paper_artifact) {
+  std::cout << "\n== " << title << " ==\n"
+            << "reproduces: " << paper_artifact << "\n"
+            << "(times are oversubscribed single-core container numbers;"
+            << " see EXPERIMENTS.md)\n\n";
+}
+
+inline void print_workload_line(const Workload& w) {
+  std::cout << "  " << w.name << ": n=" << w.graph.num_vertices()
+            << " m=" << w.graph.num_edges() << "  [" << w.description
+            << "]\n";
+}
+
+/// Default experiment settings shared by the reproduction benches.
+inline ExperimentConfig default_config() {
+  ExperimentConfig config;
+  config.sources = env_sources(4);
+  config.verify = env_verify();
+  config.thread_counts = {env_threads(8)};
+  return config;
+}
+
+}  // namespace optibfs::bench

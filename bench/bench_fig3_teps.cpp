@@ -1,0 +1,58 @@
+// Figure 3: performance in traversed edges per second (TEPS) on the
+// real-world graphs, per algorithm.
+//
+// Paper: Figure 3(a) on Lonestar, 3(b) on Trestles, bars grouped by
+// graph for Baseline1, Baseline2, and our locked/lock-free variants.
+// We print the same grouping: rows = algorithms, columns = the five
+// real-world-class graphs, values in MTEPS (Graph500 convention: edges
+// of the traversed component / time — duplicate scans don't count).
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "core/registry.hpp"
+
+int main() {
+  using namespace optibfs;
+  bench::print_banner("Traversed edges per second on real-world graphs",
+                      "Figure 3(a)/(b)");
+
+  const WorkloadConfig wconfig = workload_config_from_env();
+  std::vector<Workload> workloads;
+  for (const char* name :
+       {"cage15", "cage14", "freescale", "wikipedia", "kkt_power"}) {
+    workloads.push_back(make_workload(name, wconfig));
+    bench::print_workload_line(workloads.back());
+  }
+  std::cout << '\n';
+
+  ExperimentConfig config = bench::default_config();
+  config.algorithms = {"sbfs",   "BFS_C",  "BFS_CL", "BFS_DL",
+                       "BFS_W",  "BFS_WL", "BFS_WS", "BFS_WSL",
+                       "PBFS",   "HONG_LOCAL_BITMAP"};
+  const auto cells = run_experiment(workloads, config);
+
+  std::vector<std::string> header{"Algorithm (MTEPS)"};
+  for (const Workload& w : workloads) header.push_back(w.name);
+  Table table(header);
+  std::map<std::string, std::size_t> row_of;
+  for (const auto& cell : cells) {
+    if (row_of.find(cell.algorithm) == row_of.end()) {
+      const std::size_t row = table.add_row();
+      table.set(row, 0, cell.algorithm);
+      row_of[cell.algorithm] = row;
+    }
+    for (std::size_t c = 0; c < workloads.size(); ++c) {
+      if (workloads[c].name == cell.graph) {
+        table.set(row_of[cell.algorithm], c + 1,
+                  cell.measurement.mean_teps / 1e6, 2);
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper shape: our best lock-free variant posts the top "
+               "TEPS on every real-world graph, with the largest margin "
+               "on the scale-free wikipedia graph (hotspot splitting).\n";
+  return 0;
+}

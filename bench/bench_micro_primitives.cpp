@@ -1,0 +1,201 @@
+// Microbenchmarks (google-benchmark) for the data structures under the
+// BFS engines: the paper's argument is precisely about the relative
+// costs of locked, atomic-RMW, and plain-store index updates, so those
+// primitive costs are measured directly here, alongside the bag and
+// deque operations that Baseline1 pays instead.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "baselines/bag.hpp"
+#include "core/frontier_queues.hpp"
+#include "runtime/chase_lev_deque.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/spin_barrier.hpp"
+#include "runtime/spin_lock.hpp"
+
+namespace {
+
+using namespace optibfs;
+
+// --- the three index-update disciplines the paper compares ---
+
+void BM_IndexUpdate_PlainRelaxedStore(benchmark::State& state) {
+  std::atomic<std::int64_t> index{0};
+  std::int64_t next = 0;
+  for (auto _ : state) {
+    index.store(++next, std::memory_order_relaxed);  // optimistic update
+    benchmark::DoNotOptimize(index.load(std::memory_order_relaxed));
+  }
+}
+BENCHMARK(BM_IndexUpdate_PlainRelaxedStore);
+
+void BM_IndexUpdate_AtomicFetchAdd(benchmark::State& state) {
+  std::atomic<std::int64_t> index{0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.fetch_add(1, std::memory_order_relaxed));  // Baseline2 style
+  }
+}
+BENCHMARK(BM_IndexUpdate_AtomicFetchAdd);
+
+void BM_IndexUpdate_SpinLocked(benchmark::State& state) {
+  SpinLock lock;
+  std::int64_t index = 0;
+  for (auto _ : state) {
+    lock.lock();
+    ++index;  // BFS_C style
+    lock.unlock();
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_IndexUpdate_SpinLocked);
+
+void BM_IndexUpdate_StdMutex(benchmark::State& state) {
+  std::mutex mutex;
+  std::int64_t index = 0;
+  for (auto _ : state) {
+    std::lock_guard guard(mutex);
+    ++index;
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_IndexUpdate_StdMutex);
+
+// --- the same three disciplines under contention (all benchmark
+// threads hammer one shared cache line, the paper's §IV scenario) ---
+
+void BM_Contended_PlainRelaxedStore(benchmark::State& state) {
+  static std::atomic<std::int64_t> shared_index{0};
+  for (auto _ : state) {
+    shared_index.store(state.iterations(), std::memory_order_relaxed);
+    benchmark::DoNotOptimize(
+        shared_index.load(std::memory_order_relaxed));
+  }
+}
+BENCHMARK(BM_Contended_PlainRelaxedStore)->Threads(4)->UseRealTime();
+
+void BM_Contended_AtomicFetchAdd(benchmark::State& state) {
+  static std::atomic<std::int64_t> shared_index{0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        shared_index.fetch_add(1, std::memory_order_relaxed));
+  }
+}
+BENCHMARK(BM_Contended_AtomicFetchAdd)->Threads(4)->UseRealTime();
+
+void BM_Contended_SpinLocked(benchmark::State& state) {
+  static SpinLock shared_lock;
+  static std::int64_t shared_index = 0;
+  for (auto _ : state) {
+    shared_lock.lock();
+    ++shared_index;
+    shared_lock.unlock();
+  }
+  benchmark::DoNotOptimize(shared_index);
+}
+BENCHMARK(BM_Contended_SpinLocked)->Threads(4)->UseRealTime();
+
+// --- frontier queue slots ---
+
+void BM_FrontierQueue_PushConsume(benchmark::State& state) {
+  const vid_t n = 1 << 16;
+  FrontierQueues queues(1, n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    // (queues stay clean because consume clears)
+    state.ResumeTiming();
+    for (vid_t v = 0; v < 4096; ++v) queues.push_out(0, v, 1);
+    queues.swap_and_prepare();
+    for (std::int64_t i = 0; i < 4096; ++i) {
+      benchmark::DoNotOptimize(queues.consume_in(0, i, true));
+    }
+    queues.swap_and_prepare();
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_FrontierQueue_PushConsume);
+
+// --- bag vs. simple vector as the frontier container ---
+
+void BM_Bag_Insert(benchmark::State& state) {
+  for (auto _ : state) {
+    Bag bag;
+    for (vid_t v = 0; v < 4096; ++v) bag.insert(v);
+    benchmark::DoNotOptimize(bag.empty());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Bag_Insert);
+
+void BM_Bag_Merge(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Bag a, b;
+    for (vid_t v = 0; v < 4096; ++v) {
+      a.insert(v);
+      b.insert(v);
+    }
+    state.ResumeTiming();
+    a.merge(std::move(b));
+    benchmark::DoNotOptimize(a.empty());
+  }
+}
+BENCHMARK(BM_Bag_Merge);
+
+void BM_Vector_PushBack(benchmark::State& state) {
+  for (auto _ : state) {
+    std::vector<vid_t> v;
+    for (vid_t i = 0; i < 4096; ++i) v.push_back(i);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Vector_PushBack);
+
+// --- Chase-Lev deque (Baseline1's scheduler substrate) ---
+
+void BM_ChaseLev_PushPop(benchmark::State& state) {
+  ChaseLevDeque<int> deque;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) deque.push(i);
+    for (int i = 0; i < 1024; ++i) benchmark::DoNotOptimize(deque.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_ChaseLev_PushPop);
+
+void BM_ChaseLev_Steal(benchmark::State& state) {
+  ChaseLevDeque<int> deque;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 1024; ++i) deque.push(i);
+    state.ResumeTiming();
+    for (int i = 0; i < 1024; ++i) benchmark::DoNotOptimize(deque.steal());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ChaseLev_Steal);
+
+// --- barrier and rng ---
+
+void BM_SpinBarrier_SingleThread(benchmark::State& state) {
+  SpinBarrier barrier(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(barrier.arrive_and_wait());
+  }
+}
+BENCHMARK(BM_SpinBarrier_SingleThread);
+
+void BM_Xoshiro_NextBelow(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_below(12345));
+  }
+}
+BENCHMARK(BM_Xoshiro_NextBelow);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Table IV analog: the benchmark graph suite and its properties.
+//
+// Paper columns: graph, description, n, m, diameter (the maximum
+// diameter explored by the BFS, not the true graph diameter). We add
+// max degree and the estimated power-law exponent because the hotspot
+// structure is what the scale-free variants key on.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace optibfs;
+  bench::print_banner("Graph suite", "Table IV");
+
+  const WorkloadConfig config = workload_config_from_env();
+  std::cout << "scale=" << config.scale << " seed=" << config.seed << "\n\n";
+
+  Table table({"Graph", "n", "m", "BFS-diam", "max-deg", "gamma-est",
+               "stands in for"});
+  for (const Workload& w : make_all_workloads(config)) {
+    const DegreeStats stats = degree_stats(w.graph);
+    const level_t diameter = sampled_bfs_diameter(w.graph, 4, config.seed);
+    const std::size_t row = table.add_row();
+    table.set(row, 0, w.name);
+    table.set(row, 1, human_count(static_cast<double>(w.graph.num_vertices())));
+    table.set(row, 2, human_count(static_cast<double>(w.graph.num_edges())));
+    table.set(row, 3, static_cast<std::uint64_t>(diameter));
+    table.set(row, 4, static_cast<std::uint64_t>(stats.max));
+    table.set(row, 5, power_law_exponent_estimate(stats), 2);
+    table.set(row, 6, w.description);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper's suite for reference: cage15 (5.2M/99.2M/53), "
+               "cage14 (15.1M/27.1M/42), freescale (3.4M/18.9M/141), "
+               "wikipedia (3.6M/45M/14), kkt_power (2M/8.1M/11), "
+               "RMAT100M (10M/100M/12), RMAT1B (10M/1B/5).\n";
+  return 0;
+}

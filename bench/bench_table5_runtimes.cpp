@@ -1,0 +1,84 @@
+// Table V: mean running time per source (ms) for every algorithm on
+// every suite graph.
+//
+// The paper prints two sub-tables — V(a) on the 12-core Lonestar node
+// and V(b) on the 32-core Trestles node. The container has one CPU, so
+// the machine axis is emulated by two thread counts (default 4 and 8;
+// the contention *structure* scales with thread count even when the
+// cores are virtual). Rows are algorithms, columns are graphs, exactly
+// as in the paper; the per-row best is not colorized but is summarized
+// under each table.
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "core/registry.hpp"
+
+namespace {
+
+using namespace optibfs;
+
+void print_subtable(const std::vector<Workload>& workloads,
+                    const std::vector<ExperimentCell>& cells, int threads,
+                    char tag) {
+  std::cout << "Table V(" << tag << "): mean ms/source at p=" << threads
+            << "\n";
+  std::vector<std::string> header{"Algorithm"};
+  for (const Workload& w : workloads) header.push_back(w.name);
+  Table table(header);
+
+  std::map<std::string, std::size_t> row_of;
+  std::map<std::string, std::pair<std::string, double>> best_per_graph;
+  for (const ExperimentCell& cell : cells) {
+    if (cell.threads != threads) continue;
+    if (row_of.find(cell.algorithm) == row_of.end()) {
+      const std::size_t row = table.add_row();
+      table.set(row, 0, cell.algorithm);
+      row_of[cell.algorithm] = row;
+    }
+    for (std::size_t c = 0; c < workloads.size(); ++c) {
+      if (workloads[c].name == cell.graph) {
+        table.set(row_of[cell.algorithm], c + 1, cell.measurement.mean_ms, 2);
+        auto& best = best_per_graph[cell.graph];
+        if (best.first.empty() || cell.measurement.mean_ms < best.second) {
+          best = {cell.algorithm, cell.measurement.mean_ms};
+        }
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "best per graph:";
+  for (const Workload& w : workloads) {
+    const auto& best = best_per_graph[w.name];
+    std::cout << "  " << w.name << "=" << best.first;
+  }
+  std::cout << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Running times, all algorithms x all graphs",
+                      "Table V(a)/(b)");
+
+  const WorkloadConfig wconfig = workload_config_from_env();
+  const std::vector<Workload> workloads = make_all_workloads(wconfig);
+  for (const Workload& w : workloads) bench::print_workload_line(w);
+  std::cout << '\n';
+
+  ExperimentConfig config = bench::default_config();
+  config.algorithms = all_algorithms();
+  const int high = env_threads(8);
+  const int low = std::max(2, high / 2);
+  config.thread_counts = {low, high};
+
+  const auto cells = run_experiment(workloads, config);
+  print_subtable(workloads, cells, low, 'a');
+  print_subtable(workloads, cells, high, 'b');
+
+  std::cout << "Paper shape to compare against: every lock-free variant "
+               "beats its locked twin; our algorithms beat PBFS and Hong "
+               "on the real-world-class graphs; HONG_LOCAL_BITMAP wins "
+               "on rmat_dense (duplicate-heavy).\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Table VI: statistics of successful and failed steal attempts for the
+// scale-free work-stealing variants, locked (BFS_WS) vs lock-free
+// (BFS_WSL), on the wikipedia graph.
+//
+// Paper protocol: both programs run from 100 sources on the Wikipedia
+// graph; the table reports total attempts and the failure breakdown
+// (victim locked / victim idle / segment too small / stale / invalid),
+// with N/A for classes a variant cannot produce. We reproduce the same
+// breakdown with percentages.
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "core/registry.hpp"
+#include "harness/source_sampler.hpp"
+
+namespace {
+
+std::string with_pct(std::uint64_t value, std::uint64_t total) {
+  std::ostringstream out;
+  out << value;
+  if (total > 0) {
+    out << " (" << std::fixed << std::setprecision(2)
+        << 100.0 * static_cast<double>(value) / static_cast<double>(total)
+        << "%)";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+int main() {
+  using namespace optibfs;
+  bench::print_banner("Steal-attempt statistics, BFS_WS vs BFS_WSL",
+                      "Table VI");
+
+  const WorkloadConfig wconfig = workload_config_from_env();
+  const Workload wiki = make_workload("wikipedia", wconfig);
+  bench::print_workload_line(wiki);
+
+  const int sources_count = env_sources(16);
+  const int threads = env_threads(8);
+  const auto sources = sample_sources(wiki.graph, sources_count, 42);
+  std::cout << "  sources=" << sources_count << " threads=" << threads
+            << " (paper: 100 sources, 12 threads)\n\n";
+
+  Table table({"Program", "Time(s)", "Total Attempts", "Victim Locked",
+               "Victim Idle", "Too Small", "Stale", "Invalid",
+               "Total Failed", "Successful"});
+
+  for (const char* algorithm : {"BFS_WS", "BFS_WSL"}) {
+    BFSOptions options;
+    options.num_threads = threads;
+    auto engine = make_bfs(algorithm, wiki.graph, options);
+    const RunMeasurement m =
+        measure_bfs(*engine, wiki.graph, sources, env_verify());
+    const StealStats& s = m.steal_stats;
+    const std::uint64_t total = s.total_attempts();
+    const bool locked = std::string(algorithm) == "BFS_WS";
+    const std::size_t row = table.add_row();
+    table.set(row, 0, algorithm);
+    table.set(row, 1, m.mean_ms * m.sources / 1e3, 2);
+    table.set(row, 2, with_pct(total, total));
+    table.set(row, 3, locked ? with_pct(s.failed_victim_locked, total)
+                             : std::string("N/A"));
+    table.set(row, 4, with_pct(s.failed_victim_idle, total));
+    table.set(row, 5, with_pct(s.failed_segment_too_small, total));
+    table.set(row, 6, locked ? std::string("N/A")
+                             : with_pct(s.failed_stale_segment, total));
+    table.set(row, 7, locked ? std::string("N/A")
+                             : with_pct(s.failed_invalid_segment, total));
+    table.set(row, 8, with_pct(s.total_failed(), total));
+    table.set(row, 9, with_pct(s.successful, total));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper shape: BFS_WSL makes slightly more total attempts "
+               "but a higher fraction succeed; it reports no "
+               "victim-locked failures (no locks exist) and only a tiny "
+               "number of invalid segments (0.03% in the paper); most "
+               "failures in both variants are idle victims at level "
+               "ends, driven by the large MAX_STEAL.\n";
+  return 0;
+}

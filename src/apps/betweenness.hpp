@@ -1,0 +1,43 @@
+// Betweenness centrality via Brandes' algorithm on level-synchronous
+// parallel BFS — the paper cites BC as a flagship BFS consumer, and
+// §II's NUMA-aware prior work [17] is itself a BC system.
+//
+// For each selected source s:
+//   forward:  BFS levels (any engine), then per-level shortest-path
+//             counts sigma pulled over in-edges (transpose) — the pull
+//             direction means each sigma[v] has exactly one writer, so
+//             the pass needs no locks or atomic RMW, in the spirit of
+//             the underlying BFS;
+//   backward: dependencies delta accumulated level by level from the
+//             deepest frontier up, pulled over out-edges — again one
+//             writer per delta[v].
+// BC[v] sums delta over sources. Exact when sources = all vertices;
+// the usual K-source approximation otherwise (Brandes-Pich sampling).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/bfs_options.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace optibfs {
+
+struct BetweennessOptions {
+  BFSOptions bfs;
+  /// Sources to sample; 0 = all vertices (exact BC).
+  int num_sources = 0;
+  std::uint64_t seed = 1;
+  std::string_view algorithm = "BFS_CL";
+  /// Scale sampled scores by n/num_sources (unbiased estimate of the
+  /// exact value). Exact mode ignores this.
+  bool normalize_sampled = true;
+};
+
+/// Returns BC score per vertex. Requires graph.transpose() (built on
+/// demand at first call — do it beforehand when timing).
+std::vector<double> betweenness_centrality(const CsrGraph& graph,
+                                           const BetweennessOptions& options);
+
+}  // namespace optibfs

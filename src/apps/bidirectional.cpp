@@ -1,0 +1,117 @@
+#include "apps/bidirectional.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace optibfs {
+namespace {
+
+struct Side {
+  const CsrGraph* graph = nullptr;     ///< expansion direction's edges
+  std::vector<level_t> dist;
+  std::vector<vid_t> parent;
+  std::vector<vid_t> frontier;
+  std::vector<vid_t> next;
+  level_t depth = 0;
+  std::uint64_t frontier_edges = 0;
+};
+
+void init_side(Side& side, const CsrGraph& graph, vid_t root, vid_t n) {
+  side.graph = &graph;
+  side.dist.assign(n, kUnvisited);
+  side.parent.assign(n, kInvalidVertex);
+  side.dist[root] = 0;
+  side.parent[root] = root;
+  side.frontier = {root};
+  side.frontier_edges = graph.out_degree(root);
+}
+
+/// Expands one full level; returns the meeting vertex with the SMALLEST
+/// distance sum discovered in this level, or kInvalidVertex.
+///
+/// The whole level must complete and the minimum taken: two meets found
+/// in the same expansion carry the same self-distance but different
+/// other-distances, and the first one encountered need not be on a
+/// shortest path. With detection at later-labelling time and complete
+/// levels, the first level that yields any meet always contains an
+/// optimal one (see the test MatchesSerialOnManyPairs).
+vid_t expand(Side& self, const Side& other, std::uint64_t* edges_scanned) {
+  self.next.clear();
+  self.frontier_edges = 0;
+  vid_t meet = kInvalidVertex;
+  level_t best_sum = 0;
+  for (const vid_t v : self.frontier) {
+    const auto nbrs = self.graph->out_neighbors(v);
+    *edges_scanned += nbrs.size();
+    for (const vid_t w : nbrs) {
+      if (self.dist[w] != kUnvisited) continue;
+      self.dist[w] = self.depth + 1;
+      self.parent[w] = v;
+      if (other.dist[w] != kUnvisited) {
+        const level_t sum = self.dist[w] + other.dist[w];
+        if (meet == kInvalidVertex || sum < best_sum) {
+          meet = w;
+          best_sum = sum;
+        }
+      }
+      self.next.push_back(w);
+      self.frontier_edges += self.graph->out_degree(w);
+    }
+  }
+  self.frontier.swap(self.next);
+  ++self.depth;
+  return meet;
+}
+
+}  // namespace
+
+BidirResult bidirectional_shortest_path(const CsrGraph& graph, vid_t s,
+                                        vid_t t) {
+  const vid_t n = graph.num_vertices();
+  if (s >= n || t >= n) {
+    throw std::out_of_range("bidirectional_shortest_path: bad endpoint");
+  }
+  BidirResult result;
+  if (s == t) {
+    result.found = true;
+    result.path = {s};
+    return result;
+  }
+  const CsrGraph& transpose = graph.transpose();
+
+  Side forward, backward;
+  init_side(forward, graph, s, n);
+  init_side(backward, transpose, t, n);
+
+  vid_t meet = kInvalidVertex;
+  while (!forward.frontier.empty() && !backward.frontier.empty()) {
+    // Expand the side with the cheaper frontier (by outgoing edges).
+    Side& side = forward.frontier_edges <= backward.frontier_edges
+                     ? forward
+                     : backward;
+    const Side& other = (&side == &forward) ? backward : forward;
+    meet = expand(side, other, &result.edges_scanned);
+    if (meet != kInvalidVertex) break;
+  }
+  if (meet == kInvalidVertex) return result;
+
+  // The first meeting on alternating level-complete expansions yields a
+  // shortest path: both labels are exact BFS distances from their side.
+  result.found = true;
+  result.distance = forward.dist[meet] + backward.dist[meet];
+
+  std::vector<vid_t> head;  // s .. meet
+  for (vid_t v = meet;; v = forward.parent[v]) {
+    head.push_back(v);
+    if (forward.parent[v] == v) break;
+  }
+  std::reverse(head.begin(), head.end());
+  result.path = std::move(head);
+  for (vid_t v = meet; backward.parent[v] != v;) {
+    v = backward.parent[v];
+    result.path.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace optibfs

@@ -1,0 +1,34 @@
+// Bidirectional s-t shortest path — the classic query-time BFS
+// application (st-connectivity is one of the paper's §I motivating
+// uses).
+//
+// Two frontiers grow toward each other: forward over out-edges from s,
+// backward over in-edges (the transpose) from t, always expanding the
+// cheaper side. On low-diameter graphs this touches O(sqrt) of what a
+// full BFS scans, which is why point-to-point queries should not run a
+// full engine traversal. Implementation is sequential by design: the
+// whole point is that its frontiers stay tiny; batch workloads belong
+// on the parallel engines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace optibfs {
+
+struct BidirResult {
+  bool found = false;
+  level_t distance = 0;          ///< valid when found
+  std::vector<vid_t> path;       ///< s..t inclusive, valid when found
+  std::uint64_t edges_scanned = 0;  ///< work actually done
+};
+
+/// Shortest s -> t path in a directed graph. Materializes
+/// graph.transpose() on first use. Throws std::out_of_range on bad
+/// endpoints.
+BidirResult bidirectional_shortest_path(const CsrGraph& graph, vid_t s,
+                                        vid_t t);
+
+}  // namespace optibfs

@@ -1,0 +1,66 @@
+#include "apps/connected_components.hpp"
+
+#include <algorithm>
+
+#include "core/bfs_serial.hpp"
+#include "core/registry.hpp"
+
+namespace optibfs {
+
+vid_t ComponentsResult::largest() const {
+  if (size.empty()) return kInvalidVertex;
+  return static_cast<vid_t>(
+      std::max_element(size.begin(), size.end()) - size.begin());
+}
+
+ComponentsResult connected_components(const CsrGraph& graph,
+                                      const BFSOptions& options,
+                                      std::string_view algorithm) {
+  const vid_t n = graph.num_vertices();
+  ComponentsResult out;
+  out.component.assign(n, kInvalidVertex);
+  if (n == 0) return out;
+
+  auto engine = make_bfs(algorithm, graph, options);
+  BFSResult bfs;
+  // Heuristic: once this many vertices remain unassigned, the residual
+  // components are small and the serial BFS (no O(n) engine reset) wins.
+  const vid_t serial_cutoff = std::max<vid_t>(64, n / 64);
+  vid_t remaining = n;
+
+  auto assign_from_levels = [&](vid_t root) {
+    const vid_t comp = out.num_components;
+    vid_t count = 0;
+    for (vid_t v = 0; v < n; ++v) {
+      if (bfs.level[v] != kUnvisited && out.component[v] == kInvalidVertex) {
+        out.component[v] = comp;
+        ++count;
+      }
+    }
+    (void)root;
+    out.size.push_back(count);
+    ++out.num_components;
+    remaining -= count;
+  };
+
+  for (vid_t v = 0; v < n; ++v) {
+    if (out.component[v] != kInvalidVertex) continue;
+    if (graph.out_degree(v) == 0) {
+      // Isolated vertex (in the undirected view out-degree 0 implies
+      // degree 0): its own singleton component, no BFS needed.
+      out.component[v] = out.num_components++;
+      out.size.push_back(1);
+      --remaining;
+      continue;
+    }
+    if (remaining <= serial_cutoff) {
+      bfs_serial(graph, v, bfs);
+    } else {
+      engine->run(v, bfs);
+    }
+    assign_from_levels(v);
+  }
+  return out;
+}
+
+}  // namespace optibfs

@@ -1,0 +1,39 @@
+// Connected components by repeated parallel BFS — one of the paper's
+// headline BFS applications.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/bfs_options.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace optibfs {
+
+struct ComponentsResult {
+  /// component[v] in [0, num_components); components are numbered in
+  /// order of discovery (so component 0 contains the lowest-id vertex).
+  std::vector<vid_t> component;
+  vid_t num_components = 0;
+  /// size[c] = vertices in component c.
+  std::vector<vid_t> size;
+
+  vid_t largest() const;
+};
+
+/// Components of the *undirected* view of the graph: for a directed
+/// input the caller should pass a symmetrized graph (EdgeList::
+/// symmetrize), which is asserted structurally in debug builds.
+///
+/// Strategy: BFS-sweep. Non-trivial components are traversed with a
+/// parallel BFS engine (`algorithm` = any make_bfs name); isolated
+/// vertices are assigned directly; small leftovers fall back to the
+/// serial BFS to avoid paying the parallel engine's O(n) reset per tiny
+/// component. Overall O(n + m) plus one engine reset per large
+/// component.
+ComponentsResult connected_components(const CsrGraph& graph,
+                                      const BFSOptions& options,
+                                      std::string_view algorithm = "BFS_CL");
+
+}  // namespace optibfs

@@ -1,0 +1,226 @@
+#include "apps/goal_search.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <stdexcept>
+
+#include "core/frontier_queues.hpp"
+#include "runtime/cache_aligned.hpp"
+#include "runtime/spin_barrier.hpp"
+#include "runtime/thread_team.hpp"
+
+namespace optibfs {
+namespace {
+
+constexpr level_t kInfinity = std::numeric_limits<level_t>::max();
+
+/// One bounded, level-synchronous, optimistic lock-free traversal.
+/// Explores every vertex with g + h <= bound; records the smallest
+/// pruned f for the next deepening iteration. Returns true if the goal
+/// was labelled.
+class BoundedSearch {
+ public:
+  BoundedSearch(const CsrGraph& graph, const Heuristic& h, vid_t goal,
+                int threads)
+      : graph_(graph),
+        h_(h),
+        goal_(goal),
+        p_(std::max(1, threads)),
+        queues_(p_, graph.num_vertices()),
+        barrier_(p_),
+        team_(p_),
+        level_(graph.num_vertices()),
+        parent_(graph.num_vertices()),
+        next_bound_(static_cast<std::size_t>(p_)),
+        expansions_(static_cast<std::size_t>(p_)) {}
+
+  bool run(vid_t source, level_t bound, level_t* pruned_min,
+           std::uint64_t* expansions) {
+    bound_ = bound;
+    team_.run([&](int tid) { worker(tid, source); });
+
+    level_t merged_bound = kInfinity;
+    std::uint64_t merged_exp = 0;
+    for (int t = 0; t < p_; ++t) {
+      merged_bound = std::min(
+          merged_bound, next_bound_[static_cast<std::size_t>(t)].value);
+      merged_exp += expansions_[static_cast<std::size_t>(t)].value;
+    }
+    *pruned_min = merged_bound;
+    *expansions = merged_exp;
+    return level_[goal_].load(std::memory_order_relaxed) != kUnvisited;
+  }
+
+  level_t level_of(vid_t v) const {
+    return level_[v].load(std::memory_order_relaxed);
+  }
+  vid_t parent_of(vid_t v) const {
+    return parent_[v].load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker(int tid, vid_t source) {
+    // Per-iteration reset (sliced across threads).
+    const vid_t n = graph_.num_vertices();
+    const vid_t lo = static_cast<vid_t>(
+        static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(tid) /
+        static_cast<std::uint64_t>(p_));
+    const vid_t hi = static_cast<vid_t>(
+        static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(tid) + 1) /
+        static_cast<std::uint64_t>(p_));
+    for (vid_t v = lo; v < hi; ++v) {
+      level_[v].store(kUnvisited, std::memory_order_relaxed);
+      parent_[v].store(kInvalidVertex, std::memory_order_relaxed);
+    }
+    next_bound_[static_cast<std::size_t>(tid)].value = kInfinity;
+    expansions_[static_cast<std::size_t>(tid)].value = 0;
+    barrier_.arrive_and_wait();
+
+    if (tid == 0) {
+      level_[source].store(0, std::memory_order_relaxed);
+      parent_[source].store(source, std::memory_order_relaxed);
+      // The early exit on goal discovery can leave a non-empty frontier
+      // behind, so unlike plain BFS the queues need a real wipe between
+      // deepening iterations.
+      queues_.hard_reset();
+      queues_.seed(source, graph_.out_degree(source));
+      global_queue_.store(0, std::memory_order_relaxed);
+      more_.store(true, std::memory_order_release);
+    }
+    barrier_.arrive_and_wait();
+
+    level_t depth = 0;
+    while (more_.load(std::memory_order_acquire)) {
+      drain(tid, depth);
+      if (barrier_.arrive_and_wait()) {
+        queues_.swap_and_prepare();
+        global_queue_.store(0, std::memory_order_relaxed);
+        // Early exit once the goal is settled: deeper levels cannot
+        // shorten a unit-cost path.
+        const bool goal_found =
+            level_[goal_].load(std::memory_order_relaxed) != kUnvisited;
+        more_.store(queues_.total_in() > 0 && !goal_found,
+                    std::memory_order_release);
+      }
+      barrier_.arrive_and_wait();
+      ++depth;
+    }
+  }
+
+  /// BFS_CL fetch discipline: relaxed global queue pointer + fronts,
+  /// clearing trick, retry on empty — no locks, no atomic RMW.
+  void drain(int tid, level_t depth) {
+    level_t& my_bound = next_bound_[static_cast<std::size_t>(tid)].value;
+    std::uint64_t& my_exp = expansions_[static_cast<std::size_t>(tid)].value;
+    for (;;) {
+      int k = global_queue_.load(std::memory_order_relaxed);
+      if (k < 0) k = 0;
+      std::int64_t front = 0;
+      std::int64_t rear = 0;
+      while (k < p_) {
+        front = queues_.in_front(k).load(std::memory_order_relaxed);
+        rear = queues_.in_rear(k);
+        if (front < rear) break;
+        ++k;
+      }
+      if (k >= p_) return;
+      const std::int64_t len =
+          std::min<std::int64_t>(std::max<std::int64_t>(
+                                     (rear - front) / (2 * p_), 1),
+                                 rear - front);
+      global_queue_.store(k, std::memory_order_relaxed);
+      queues_.in_front(k).store(front + len, std::memory_order_relaxed);
+      for (std::int64_t i = front; i < front + len; ++i) {
+        const vid_t v = queues_.consume_in(k, i, /*clear=*/true);
+        if (v == kInvalidVertex) break;
+        ++my_exp;
+        for (const vid_t w : graph_.out_neighbors(v)) {
+          std::atomic<level_t>& lw = level_[w];
+          if (lw.load(std::memory_order_relaxed) != kUnvisited) continue;
+          const level_t g = depth + 1;
+          const level_t f = g + h_(w);
+          if (f > bound_) {
+            // Pruned: remember the smallest f beyond the bound — it
+            // becomes the next iteration's bound (classic IDA*).
+            my_bound = std::min(my_bound, f);
+            continue;
+          }
+          lw.store(g, std::memory_order_relaxed);
+          parent_[w].store(v, std::memory_order_relaxed);
+          queues_.push_out(tid, w, graph_.out_degree(w));
+        }
+      }
+    }
+  }
+
+  const CsrGraph& graph_;
+  const Heuristic& h_;
+  const vid_t goal_;
+  const int p_;
+  FrontierQueues queues_;
+  SpinBarrier barrier_;
+  ThreadTeam team_;
+  std::vector<std::atomic<level_t>> level_;
+  std::vector<std::atomic<vid_t>> parent_;
+  std::vector<CacheAligned<level_t>> next_bound_;
+  std::vector<CacheAligned<std::uint64_t>> expansions_;
+  std::atomic<std::int32_t> global_queue_{0};
+  std::atomic<bool> more_{false};
+  level_t bound_ = 0;
+};
+
+}  // namespace
+
+GoalSearchResult ida_star(const CsrGraph& graph, vid_t source, vid_t goal,
+                          const Heuristic& h, const BFSOptions& options) {
+  if (source >= graph.num_vertices() || goal >= graph.num_vertices()) {
+    throw std::out_of_range("ida_star: endpoint out of range");
+  }
+  GoalSearchResult result;
+  BoundedSearch search(graph, h, goal, options.num_threads);
+
+  level_t bound = h(source);
+  while (true) {
+    ++result.iterations;
+    level_t pruned_min = kInfinity;
+    std::uint64_t expansions = 0;
+    const bool found = search.run(source, bound, &pruned_min, &expansions);
+    result.expansions += expansions;
+    if (found) {
+      result.found = true;
+      result.cost = search.level_of(goal);
+      vid_t v = goal;
+      while (true) {
+        result.path.push_back(v);
+        const vid_t parent = search.parent_of(v);
+        if (parent == v) break;
+        v = parent;
+      }
+      std::reverse(result.path.begin(), result.path.end());
+      return result;
+    }
+    if (pruned_min == kInfinity) return result;  // goal unreachable
+    bound = pruned_min;
+  }
+}
+
+GoalSearchResult ida_star(const CsrGraph& graph, vid_t source, vid_t goal,
+                          const BFSOptions& options) {
+  return ida_star(
+      graph, source, goal, [](vid_t) -> level_t { return 0; }, options);
+}
+
+Heuristic manhattan_heuristic(vid_t rows, vid_t cols, vid_t goal) {
+  const auto goal_row = static_cast<std::int64_t>(goal / cols);
+  const auto goal_col = static_cast<std::int64_t>(goal % cols);
+  (void)rows;
+  return [cols, goal_row, goal_col](vid_t v) -> level_t {
+    const auto row = static_cast<std::int64_t>(v / cols);
+    const auto col = static_cast<std::int64_t>(v % cols);
+    return static_cast<level_t>(std::abs(row - goal_row) +
+                                std::abs(col - goal_col));
+  };
+}
+
+}  // namespace optibfs

@@ -1,0 +1,65 @@
+#include "apps/shortest_paths.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/registry.hpp"
+
+namespace optibfs {
+
+ShortestPaths::ShortestPaths(const CsrGraph& graph, BFSOptions options,
+                             std::string_view algorithm)
+    : graph_(&graph), engine_(make_bfs(algorithm, graph, options)) {}
+
+ShortestPaths::~ShortestPaths() = default;
+ShortestPaths::ShortestPaths(ShortestPaths&&) noexcept = default;
+ShortestPaths& ShortestPaths::operator=(ShortestPaths&&) noexcept = default;
+
+void ShortestPaths::set_source(vid_t source) {
+  engine_->run(source, result_);
+  source_ = source;
+}
+
+std::optional<level_t> ShortestPaths::distance(vid_t target) const {
+  if (source_ == kInvalidVertex) {
+    throw std::logic_error("ShortestPaths: set_source first");
+  }
+  if (target >= graph_->num_vertices()) return std::nullopt;
+  const level_t l = result_.level[target];
+  return l == kUnvisited ? std::nullopt : std::optional<level_t>(l);
+}
+
+std::vector<vid_t> ShortestPaths::path_to(vid_t target) const {
+  std::vector<vid_t> path;
+  if (!distance(target)) return path;
+  vid_t v = target;
+  while (true) {
+    path.push_back(v);
+    const vid_t parent = result_.parent[v];
+    if (parent == v) break;  // source reached
+    v = parent;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool ShortestPaths::reachable(vid_t target) const {
+  return distance(target).has_value();
+}
+
+std::vector<vid_t> ShortestPaths::ring(level_t hops) const {
+  std::vector<vid_t> out;
+  for (vid_t v = 0; v < graph_->num_vertices(); ++v) {
+    if (result_.level[v] == hops) out.push_back(v);
+  }
+  return out;
+}
+
+level_t ShortestPaths::eccentricity() const {
+  if (source_ == kInvalidVertex) {
+    throw std::logic_error("ShortestPaths: set_source first");
+  }
+  return result_.num_levels - 1;
+}
+
+}  // namespace optibfs

@@ -1,0 +1,57 @@
+// Unweighted single-source shortest paths on top of the BFS engines —
+// the first application the paper's introduction lists for BFS.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/bfs_engine.hpp"
+#include "core/bfs_options.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace optibfs {
+
+/// Thin stateful facade: owns a reusable BFS engine and exposes
+/// path-centric queries over its results.
+class ShortestPaths {
+ public:
+  /// `algorithm` is any make_bfs() name; BFS_WSL by default.
+  ShortestPaths(const CsrGraph& graph, BFSOptions options,
+                std::string_view algorithm = "BFS_WSL");
+  ~ShortestPaths();
+
+  ShortestPaths(ShortestPaths&&) noexcept;
+  ShortestPaths& operator=(ShortestPaths&&) noexcept;
+
+  /// Recomputes distances from a new source. O(BFS).
+  void set_source(vid_t source);
+  vid_t source() const { return source_; }
+
+  /// Hop distance to `target`; nullopt when unreachable.
+  std::optional<level_t> distance(vid_t target) const;
+
+  /// One shortest path source -> target (inclusive); empty when
+  /// unreachable. The path is extracted from the parent tree, so
+  /// different runs may return different (equally short) paths.
+  std::vector<vid_t> path_to(vid_t target) const;
+
+  /// True if target is reachable (st-connectivity).
+  bool reachable(vid_t target) const;
+
+  /// Vertices at exactly `hops` from the source.
+  std::vector<vid_t> ring(level_t hops) const;
+
+  /// Eccentricity of the source within its reachable set.
+  level_t eccentricity() const;
+
+  const BFSResult& result() const { return result_; }
+
+ private:
+  const CsrGraph* graph_;
+  std::unique_ptr<ParallelBFS> engine_;
+  BFSResult result_;
+  vid_t source_ = kInvalidVertex;
+};
+
+}  // namespace optibfs

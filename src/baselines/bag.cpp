@@ -1,0 +1,116 @@
+#include "baselines/bag.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace optibfs {
+namespace {
+
+void delete_tree(PennantNode* node) {
+  if (node == nullptr) return;
+  delete_tree(node->left);
+  delete_tree(node->right);
+  delete node;
+}
+
+std::uint64_t count_tree(const PennantNode* node) {
+  if (node == nullptr) return 0;
+  return node->used + count_tree(node->left) + count_tree(node->right);
+}
+
+}  // namespace
+
+Pennant& Pennant::operator=(Pennant&& other) noexcept {
+  if (this != &other) {
+    delete_tree(root_);
+    root_ = std::exchange(other.root_, nullptr);
+    rank_ = std::exchange(other.rank_, 0);
+  }
+  return *this;
+}
+
+Pennant::~Pennant() { delete_tree(root_); }
+
+Pennant Pennant::unite(Pennant x, Pennant y) {
+  assert(!x.empty() && !y.empty() && x.rank() == y.rank());
+  // The paper's PENNANT-UNION: y becomes x's child; y adopts x's old
+  // child as its right subtree, turning the two k-rank pennants into
+  // one (k+1)-rank pennant in O(1).
+  PennantNode* xr = x.root();
+  PennantNode* yr = y.root();
+  yr->right = xr->left;
+  xr->left = yr;
+  const int rank = x.rank() + 1;
+  x.release();
+  y.release();
+  return Pennant(xr, rank);
+}
+
+Pennant Pennant::split() {
+  assert(!empty() && rank_ >= 1);
+  // Exact inverse of unite.
+  PennantNode* y = root_->left;
+  root_->left = y->right;
+  y->right = nullptr;
+  --rank_;
+  return Pennant(y, rank_);
+}
+
+bool Bag::empty() const {
+  if (filling_ != nullptr && filling_->used > 0) return false;
+  for (const Pennant& p : spine_) {
+    if (!p.empty()) return false;
+  }
+  return true;
+}
+
+std::uint64_t Bag::size() const {
+  std::uint64_t total = filling_ != nullptr ? filling_->used : 0;
+  for (const Pennant& p : spine_) total += count_tree(p.root());
+  return total;
+}
+
+void Bag::insert(vid_t v) {
+  if (filling_ == nullptr) filling_ = std::make_unique<PennantNode>();
+  filling_->block[filling_->used++] = v;
+  if (filling_->used == kBagBlockSize) {
+    carry_in(Pennant(filling_.release(), 0));
+  }
+}
+
+void Bag::carry_in(Pennant p) {
+  // Binary-counter increment: carry while the slot is occupied.
+  std::size_t k = static_cast<std::size_t>(p.rank());
+  for (;;) {
+    if (k >= spine_.size()) spine_.resize(k + 1);
+    if (spine_[k].empty()) {
+      spine_[k] = std::move(p);
+      return;
+    }
+    p = Pennant::unite(std::move(spine_[k]), std::move(p));
+    spine_[k] = Pennant{};
+    ++k;
+  }
+}
+
+void Bag::merge(Bag&& other) {
+  // Binary addition: add the other bag's pennants rank by rank; the
+  // filling blocks concatenate (with a possible promotion).
+  for (Pennant& p : other.spine_) {
+    if (!p.empty()) carry_in(std::move(p));
+  }
+  other.spine_.clear();
+  if (other.filling_ != nullptr) {
+    for (std::size_t i = 0; i < other.filling_->used; ++i) {
+      insert(other.filling_->block[i]);
+    }
+    other.filling_.reset();
+  }
+}
+
+void Bag::clear() {
+  spine_.clear();
+  filling_.reset();
+}
+
+}  // namespace optibfs

@@ -1,0 +1,144 @@
+// Bag-of-pennants (Leiserson & Schardl, SPAA 2010) — the data structure
+// behind Baseline1 (PBFS).
+//
+// A *pennant* of size 2^k·B is a tree whose every node carries a block
+// of up to B vertices; the root has one child, which is a complete
+// binary tree. Two same-size pennants merge in O(1) (the paper's
+// PENNANT-UNION: y.right = x.left; x.left = y), so a *bag* — an array of
+// pennants indexed by k, mirroring a binary counter — supports insert
+// and bag-union in amortized O(1) block operations, and splits evenly in
+// O(log n). Blocked nodes (B = kBlockSize) follow Schardl's released
+// implementation rather than the paper's one-element nodes; this is
+// what makes the structure competitive and is what the IPDPSW paper
+// benchmarked against.
+//
+// The structure is *not* concurrent: PBFS gives each worker its own
+// view through a reducer and merges views at strand joins.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace optibfs {
+
+class Pennant;
+
+/// Block size B. Schardl's code uses 2048; 512 keeps task granularity
+/// reasonable at container-scale graph sizes.
+inline constexpr std::size_t kBagBlockSize = 512;
+
+/// One pennant node: a block of vertices plus the two pennant links.
+struct PennantNode {
+  std::array<vid_t, kBagBlockSize> block;
+  std::size_t used = 0;          ///< valid prefix of `block`
+  PennantNode* left = nullptr;   ///< child pennant / subtree
+  PennantNode* right = nullptr;  ///< sibling subtree
+};
+
+/// A pennant owns 2^k nodes (k = rank). Move-only.
+class Pennant {
+ public:
+  Pennant() = default;
+  explicit Pennant(PennantNode* root, int rank) : root_(root), rank_(rank) {}
+  Pennant(Pennant&& other) noexcept { *this = std::move(other); }
+  Pennant& operator=(Pennant&& other) noexcept;
+  Pennant(const Pennant&) = delete;
+  Pennant& operator=(const Pennant&) = delete;
+  ~Pennant();
+
+  bool empty() const { return root_ == nullptr; }
+  int rank() const { return rank_; }
+  PennantNode* root() const { return root_; }
+
+  /// Number of nodes (2^rank) — NOT the number of vertices.
+  std::size_t node_count() const {
+    return root_ == nullptr ? 0 : std::size_t{1} << rank_;
+  }
+
+  /// O(1) union of two pennants of equal rank (consumes both).
+  static Pennant unite(Pennant x, Pennant y);
+
+  /// O(1) inverse: splits off the lower half, leaving *this with the
+  /// upper half. Requires rank >= 1.
+  Pennant split();
+
+  /// Releases ownership of the root without deleting the tree.
+  PennantNode* release() {
+    PennantNode* r = root_;
+    root_ = nullptr;
+    rank_ = 0;
+    return r;
+  }
+
+ private:
+  PennantNode* root_ = nullptr;
+  int rank_ = 0;
+};
+
+/// The bag: a binary-counter array of pennants plus a filling block.
+class Bag {
+ public:
+  Bag() = default;
+  Bag(Bag&&) noexcept = default;
+  Bag& operator=(Bag&&) noexcept = default;
+  Bag(const Bag&) = delete;
+  Bag& operator=(const Bag&) = delete;
+
+  /// Amortized O(1): appends to the filling block, promoting it to a
+  /// rank-0 pennant (with binary-counter carries) when full.
+  void insert(vid_t v);
+
+  /// Bag union (binary addition with carry); consumes `other`.
+  void merge(Bag&& other);
+
+  bool empty() const;
+
+  /// Total vertices (O(#pennants); each pennant's count is cached).
+  std::uint64_t size() const;
+
+  /// Invokes fn(span-like block pointer, count) over every block —
+  /// test/debug traversal, not the parallel path.
+  template <typename Fn>
+  void for_each_block(Fn&& fn) const;
+
+  /// The spine: pennant at rank k (may be empty). PBFS walks these in
+  /// parallel.
+  const std::vector<Pennant>& spine() const { return spine_; }
+  std::vector<Pennant>& spine() { return spine_; }
+
+  /// The partially filled block (may be null).
+  const PennantNode* filling() const { return filling_.get(); }
+
+  void clear();
+
+ private:
+  void carry_in(Pennant p);
+
+  std::vector<Pennant> spine_;
+  std::unique_ptr<PennantNode> filling_;
+};
+
+/// Recursive block walk used by for_each_block and PBFS's serial base
+/// case.
+template <typename Fn>
+void walk_pennant_nodes(const PennantNode* node, Fn&& fn) {
+  if (node == nullptr) return;
+  fn(node->block.data(), node->used);
+  walk_pennant_nodes(node->left, fn);
+  walk_pennant_nodes(node->right, fn);
+}
+
+template <typename Fn>
+void Bag::for_each_block(Fn&& fn) const {
+  for (const Pennant& p : spine_) {
+    walk_pennant_nodes(p.root(), fn);
+  }
+  if (filling_ != nullptr) fn(filling_->block.data(), filling_->used);
+}
+
+}  // namespace optibfs

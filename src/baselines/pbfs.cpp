@@ -1,0 +1,151 @@
+#include "baselines/pbfs.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/bag.hpp"
+#include "runtime/cache_aligned.hpp"
+#include "runtime/reducer.hpp"
+
+namespace optibfs {
+namespace {
+
+struct BagMonoid {
+  using View = Bag;
+  static void reduce(Bag& into, Bag&& from) { into.merge(std::move(from)); }
+};
+
+struct WorkerCounters {
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+};
+
+}  // namespace
+
+struct PBFS::Impl {
+  explicit Impl(int workers)
+      : pool(workers),
+        counters(static_cast<std::size_t>(workers)) {}
+
+  ForkJoinPool pool;
+  std::vector<CacheAligned<WorkerCounters>> counters;
+};
+
+PBFS::PBFS(const CsrGraph& graph, BFSOptions opts)
+    : graph_(graph),
+      opts_(opts),
+      impl_(std::make_unique<Impl>(std::max(1, opts.num_threads))) {}
+
+PBFS::~PBFS() = default;
+
+void PBFS::run(vid_t source, BFSResult& out) {
+  const vid_t n = graph_.num_vertices();
+  if (source >= n) {
+    throw std::out_of_range("PBFS::run: source out of range");
+  }
+  out.level.resize(n);
+  out.parent.resize(n);
+  out.num_levels = 0;
+  out.vertices_visited = 0;
+  out.vertices_explored = 0;
+  out.edges_scanned = 0;
+  out.steal_stats = {};
+  out.claim_skips = 0;
+
+  ForkJoinPool& pool = impl_->pool;
+  for (auto& c : impl_->counters) c.value = WorkerCounters{};
+  pool.parallel_for(0, n, 16384, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t v = lo; v < hi; ++v) {
+      out.level[static_cast<std::size_t>(v)] = kUnvisited;
+      out.parent[static_cast<std::size_t>(v)] = kInvalidVertex;
+    }
+  });
+
+  out.level[source] = 0;
+  out.parent[source] = source;
+
+  Bag frontier;
+  frontier.insert(source);
+  level_t depth = 0;
+
+  // PROCESS-LAYER: split this layer's bag into pennant tasks; every
+  // strand discovers into its own reducer view; views join into the
+  // next layer's bag.
+  while (!frontier.empty()) {
+    Reducer<BagMonoid> next(pool);
+
+    // Serial base case over one block of vertices.
+    auto process_block = [&](const vid_t* block, std::size_t used) {
+      const int worker = pool.current_worker_id();
+      WorkerCounters& counters =
+          impl_->counters[static_cast<std::size_t>(worker)].value;
+      Bag& view = next.view();
+      for (std::size_t i = 0; i < used; ++i) {
+        const vid_t u = block[i];
+        ++counters.vertices;
+        const auto nbrs = graph_.out_neighbors(u);
+        counters.edges += nbrs.size();
+        for (const vid_t w : nbrs) {
+          std::atomic_ref<level_t> lvl(out.level[w]);
+          // Benign race, as in the original: concurrent discoverers all
+          // write depth+1.
+          if (lvl.load(std::memory_order_relaxed) == kUnvisited) {
+            lvl.store(depth + 1, std::memory_order_relaxed);
+            std::atomic_ref<vid_t>(out.parent[w])
+                .store(u, std::memory_order_relaxed);
+            view.insert(w);
+          }
+        }
+      }
+    };
+
+    // PROCESS-PENNANT with recursive halving (grain: one block).
+    auto process_pennant = [&](auto&& self, Pennant& p) -> void {
+      if (p.empty()) return;
+      if (p.rank() == 0) {
+        walk_pennant_nodes(p.root(), process_block);
+        return;
+      }
+      Pennant half = p.split();
+      ForkJoinPool::TaskGroup group(pool);
+      group.run([&] { self(self, half); });
+      self(self, p);
+      group.wait();
+    };
+
+    pool.run([&] {
+      ForkJoinPool::TaskGroup layer(pool);
+      for (Pennant& p : frontier.spine()) {
+        if (!p.empty()) {
+          layer.run([&] { process_pennant(process_pennant, p); });
+        }
+      }
+      if (frontier.filling() != nullptr) {
+        process_block(frontier.filling()->block.data(),
+                      frontier.filling()->used);
+      }
+      layer.wait();
+    });
+
+    frontier = next.reduce();
+    ++depth;
+  }
+
+  std::uint64_t visited = 0;
+  level_t max_level = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    if (out.level[v] != kUnvisited) {
+      ++visited;
+      max_level = std::max(max_level, out.level[v]);
+    }
+  }
+  out.vertices_visited = visited;
+  out.num_levels = max_level + 1;
+  for (const auto& c : impl_->counters) {
+    out.vertices_explored += c.value.vertices;
+    out.edges_scanned += c.value.edges;
+  }
+}
+
+}  // namespace optibfs

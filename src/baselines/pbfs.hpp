@@ -1,0 +1,39 @@
+// Baseline1: the Leiserson-Schardl work-efficient parallel BFS
+// ("PBFS", SPAA 2010), reproduced on this library's fork-join
+// work-stealing pool with a bag reducer.
+//
+// PBFS is the paper's most important comparator: it is the only other
+// BFS whose dynamic load balancing avoids locks *and* atomic
+// instructions — but it does so with the bag-of-pennants structure and
+// a full work-stealing scheduler underneath (whose deques do use CAS),
+// not with optimistic parallelization. Layers are processed bag-to-bag:
+// each layer's bag is split recursively into pennant tasks; discovered
+// vertices are inserted into per-strand reducer views that merge at the
+// layer join. Distance updates are benign races, exactly as in the
+// original ("how to cope with the nondeterminism of reducers").
+#pragma once
+
+#include <memory>
+
+#include "core/bfs_engine.hpp"
+#include "runtime/fork_join_pool.hpp"
+
+namespace optibfs {
+
+class PBFS final : public ParallelBFS {
+ public:
+  PBFS(const CsrGraph& graph, BFSOptions opts);
+  ~PBFS() override;
+
+  void run(vid_t source, BFSResult& out) override;
+  std::string_view name() const override { return "PBFS"; }
+  const BFSOptions& options() const override { return opts_; }
+
+ private:
+  struct Impl;
+  const CsrGraph& graph_;
+  BFSOptions opts_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace optibfs

@@ -1,0 +1,406 @@
+#include "core/bfs_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+namespace optibfs {
+namespace {
+
+/// Contiguous slice of [0, n) for thread tid of p.
+std::pair<vid_t, vid_t> slice(vid_t n, int tid, int p) {
+  const auto t = static_cast<std::uint64_t>(tid);
+  const auto pp = static_cast<std::uint64_t>(p);
+  return {static_cast<vid_t>(n * t / pp), static_cast<vid_t>(n * (t + 1) / pp)};
+}
+
+}  // namespace
+
+BFSEngineBase::BFSEngineBase(std::string name, const CsrGraph& graph,
+                             BFSOptions opts)
+    : graph_(graph),
+      opts_(opts),
+      p_(std::max(1, opts.num_threads)),
+      topology_(p_, opts.numa_aware ? std::max(1, opts.num_sockets) : 1),
+      queues_(p_, graph.num_vertices() == 0 ? 1 : graph.num_vertices()),
+      barrier_(p_),
+      ts_(static_cast<std::size_t>(p_)),
+      name_(std::move(name)),
+      team_(p_) {
+  if (opts_.parent_claim_dedup) {
+    claim_ = std::vector<std::atomic<std::int32_t>>(graph_.num_vertices());
+  }
+  if (opts_.visited_bitmap_dedup) {
+    visited_bits_ = std::vector<std::atomic<std::uint64_t>>(
+        (static_cast<std::size_t>(graph_.num_vertices()) + 63) / 64);
+  }
+}
+
+void BFSEngineBase::enable_scale_free() {
+  if (opts_.degree_threshold != 0) {
+    degree_threshold_ = opts_.degree_threshold;
+  } else {
+    const vid_t n = std::max<vid_t>(1, graph_.num_vertices());
+    const auto mean =
+        static_cast<vid_t>(graph_.num_edges() / n + 1);
+    degree_threshold_ = std::max<vid_t>(64, 8 * mean);
+  }
+  hotspot_vertex_ =
+      std::vector<CacheAligned<std::atomic<vid_t>>>(
+          static_cast<std::size_t>(p_));
+}
+
+std::int64_t BFSEngineBase::segment_size(std::int64_t remaining) const {
+  if (opts_.segment_size > 0) return opts_.segment_size;
+  // Paper: s is recomputed after each dispatch from the frontier size
+  // and p, so early dispatches hand out big slabs and the tail is
+  // fine-grained for balance.
+  const std::int64_t s = remaining / (4 * p_);
+  return std::clamp<std::int64_t>(s, 1, 2048);
+}
+
+int BFSEngineBase::max_steal_attempts(int population) const {
+  const int pop = std::max(1, population);
+  const int log2p = std::max(
+      1, static_cast<int>(std::bit_width(static_cast<unsigned>(pop))) - 1);
+  return std::max(1, opts_.steal_attempt_factor * pop * log2p);
+}
+
+int BFSEngineBase::pick_victim(int tid, bool prefer_local) {
+  ThreadState& st = state(tid);
+  if (p_ <= 1) return tid;
+  if (opts_.numa_aware && prefer_local) {
+    const auto& peers = topology_.socket_peers(tid);
+    if (peers.size() > 1) {
+      const auto pick = peers[static_cast<std::size_t>(
+          st.rng.next_below(peers.size()))];
+      if (pick != tid) return pick;
+      // fall through to a global pick on self-collision
+    }
+  }
+  int victim = tid;
+  while (victim == tid) {
+    victim = static_cast<int>(
+        st.rng.next_below(static_cast<std::uint64_t>(p_)));
+  }
+  return victim;
+}
+
+void BFSEngineBase::discover(int tid, vid_t from, vid_t w,
+                             level_t next_level) {
+  std::atomic_ref<level_t> lvl(out_->level[w]);
+  if (lvl.load(std::memory_order_relaxed) != kUnvisited) return;
+  if (!visited_bits_.empty()) {
+    // §IV-D atomic-bitmap alternative (Baseline2's claim): exactly one
+    // discoverer wins the fetch_or, so w enters exactly one queue.
+    const std::uint64_t bit = std::uint64_t{1} << (w & 63);
+    if ((visited_bits_[w >> 6].fetch_or(bit, std::memory_order_relaxed) &
+         bit) != 0) {
+      return;
+    }
+  }
+  // Two racing discoverers both store the same level (both hold a
+  // level-(next-1) parent), so the double-store is benign; the parent
+  // is the paper's "arbitrary concurrent write" — either value is a
+  // valid BFS parent.
+  lvl.store(next_level, std::memory_order_relaxed);
+  std::atomic_ref<vid_t>(out_->parent[w])
+      .store(from, std::memory_order_relaxed);
+  if (!claim_.empty()) {
+    claim_[w].store(tid, std::memory_order_relaxed);
+  }
+  queues_.push_out(tid, w, graph_.out_degree(w));
+}
+
+void BFSEngineBase::visit_neighbor_range(int tid, vid_t v,
+                                         level_t next_level, std::size_t lo,
+                                         std::size_t hi) {
+  const auto nbrs = graph_.out_neighbors(v);
+  hi = std::min(hi, nbrs.size());
+  if (lo >= hi) return;
+  for (std::size_t i = lo; i < hi; ++i) {
+    discover(tid, v, nbrs[i], next_level);
+  }
+  state(tid).edges_scanned += hi - lo;
+}
+
+bool BFSEngineBase::process_slot(int tid, int q, std::int64_t index,
+                                 level_t level) {
+  const vid_t v = queues_.consume_in(q, index, opts_.clear_slots);
+  if (v == kInvalidVertex) return false;
+  ThreadState& st = state(tid);
+  if (!claim_.empty() &&
+      claim_[v].load(std::memory_order_relaxed) != q) {
+    // §IV-D: another queue holds the claimed copy of v; skip this one.
+    ++st.claim_skips;
+    return true;
+  }
+  if (scale_free() && graph_.out_degree(v) > degree_threshold_) {
+    st.hotspots.push_back(v);
+    return true;
+  }
+  ++st.vertices_explored;
+  visit_neighbors(tid, v, level + 1);
+  return true;
+}
+
+void BFSEngineBase::run(vid_t source, BFSResult& out) {
+  const vid_t n = graph_.num_vertices();
+  if (source >= n) {
+    throw std::out_of_range("ParallelBFS::run: source out of range");
+  }
+  out.level.resize(n);
+  out.parent.resize(n);
+  out.num_levels = 0;
+  out.vertices_visited = 0;
+  out.vertices_explored = 0;
+  out.edges_scanned = 0;
+  out.steal_stats = {};
+  out.claim_skips = 0;
+  out.level_sizes.clear();
+  out.serial_levels = 0;
+  out_ = &out;
+
+  if (!opts_.clear_slots) {
+    // Without the clearing trick, consumed slots keep their values, so
+    // reuse requires an explicit wipe.
+    queues_.hard_reset();
+  }
+
+  team_.run([&](int tid) {
+    ThreadState& st = state(tid);
+    st.stats = {};
+    st.vertices_explored = 0;
+    st.edges_scanned = 0;
+    st.claim_skips = 0;
+    st.visited_in_slice = 0;
+    st.max_level_in_slice = 0;
+    st.hotspots.clear();
+    st.has_work.store(false, std::memory_order_relaxed);
+    st.rng = Xoshiro256(opts_.seed * 0x9E3779B97F4A7C15ULL +
+                        static_cast<std::uint64_t>(tid) * 7919 + source);
+
+    const auto [lo, hi] = slice(n, tid, p_);
+    for (vid_t v = lo; v < hi; ++v) {
+      out.level[v] = kUnvisited;
+      out.parent[v] = kInvalidVertex;
+      if (!claim_.empty()) claim_[v].store(-1, std::memory_order_relaxed);
+    }
+    if (!visited_bits_.empty()) {
+      const std::size_t words = visited_bits_.size();
+      const std::size_t wlo = words * static_cast<std::size_t>(tid) /
+                              static_cast<std::size_t>(p_);
+      const std::size_t whi = words * (static_cast<std::size_t>(tid) + 1) /
+                              static_cast<std::size_t>(p_);
+      for (std::size_t i = wlo; i < whi; ++i) {
+        visited_bits_[i].store(0, std::memory_order_relaxed);
+      }
+    }
+    barrier_.arrive_and_wait();
+
+    if (tid == 0) {
+      out.level[source] = 0;
+      out.parent[source] = source;
+      if (!claim_.empty()) claim_[source].store(0, std::memory_order_relaxed);
+      if (!visited_bits_.empty()) {
+        visited_bits_[source >> 6].store(std::uint64_t{1} << (source & 63),
+                                         std::memory_order_relaxed);
+      }
+      queues_.seed(source, graph_.out_degree(source));
+      more_levels_.store(true, std::memory_order_release);
+      serial_next_level_.store(opts_.serial_frontier_cutoff > 0,
+                               std::memory_order_release);
+      serial_levels_count_ = 0;
+      if (opts_.record_level_sizes) {
+        out.level_sizes.clear();
+        out.level_sizes.push_back(1);
+      }
+      on_level_prepared();
+    }
+    barrier_.arrive_and_wait();
+
+    level_t level = 0;
+    while (more_levels_.load(std::memory_order_acquire)) {
+      if (serial_next_level_.load(std::memory_order_acquire)) {
+        // Hybrid shortcut: a frontier this small is cheaper to drain on
+        // one thread than to dispatch; the others head to the barrier.
+        if (tid == 0) {
+          drain_level_serially(tid, level);
+          ++serial_levels_count_;
+        }
+      } else {
+        consume_level(tid, level);
+      }
+      if (barrier_.arrive_and_wait()) {
+        queues_.swap_and_prepare();
+        const std::int64_t next_size = queues_.total_in();
+        more_levels_.store(next_size > 0, std::memory_order_release);
+        serial_next_level_.store(opts_.serial_frontier_cutoff > 0 &&
+                                     next_size <
+                                         opts_.serial_frontier_cutoff,
+                                 std::memory_order_release);
+        if (opts_.record_level_sizes && next_size > 0) {
+          out.level_sizes.push_back(static_cast<std::uint64_t>(next_size));
+        }
+        on_level_prepared();
+      }
+      barrier_.arrive_and_wait();
+      ++level;
+    }
+
+    for (vid_t v = lo; v < hi; ++v) {
+      if (out.level[v] != kUnvisited) {
+        ++st.visited_in_slice;
+        st.max_level_in_slice = std::max(st.max_level_in_slice, out.level[v]);
+      }
+    }
+  });
+
+  level_t max_level = 0;
+  for (int t = 0; t < p_; ++t) {
+    const ThreadState& st = state(t);
+    out.vertices_visited += st.visited_in_slice;
+    out.vertices_explored += st.vertices_explored;
+    out.edges_scanned += st.edges_scanned;
+    out.claim_skips += st.claim_skips;
+    out.steal_stats += st.stats;
+    max_level = std::max(max_level, st.max_level_in_slice);
+  }
+  out.num_levels = max_level + 1;
+  out.serial_levels = serial_levels_count_;
+  out_ = nullptr;
+}
+
+void BFSEngineBase::drain_level_serially(int tid, level_t level) {
+  ThreadState& st = state(tid);
+  for (int q = 0; q < p_; ++q) {
+    const std::int64_t rear = queues_.in_rear(q);
+    for (std::int64_t i = 0; i < rear; ++i) {
+      const vid_t v = queues_.consume_in(q, i, opts_.clear_slots);
+      if (v == kInvalidVertex) continue;  // duplicate from a prior level
+      if (!claim_.empty() &&
+          claim_[v].load(std::memory_order_relaxed) != q) {
+        ++st.claim_skips;
+        continue;
+      }
+      // Hotspots are explored inline: with one thread there is nothing
+      // to split a fat adjacency list across.
+      ++st.vertices_explored;
+      visit_neighbors(tid, v, level + 1);
+    }
+  }
+}
+
+void BFSEngineBase::explore_hotspots(int tid, level_t level) {
+  // Phase boundary: every thread has finished phase 1, so the
+  // per-thread hotspot vectors are stable; one thread gathers them.
+  if (barrier_.arrive_and_wait()) {
+    level_hotspots_.clear();
+    for (int t = 0; t < p_; ++t) {
+      ThreadState& st = state(t);
+      level_hotspots_.insert(level_hotspots_.end(), st.hotspots.begin(),
+                             st.hotspots.end());
+      st.hotspots.clear();
+    }
+  }
+  barrier_.arrive_and_wait();
+  if (level_hotspots_.empty()) return;
+
+  if (opts_.phase2 == Phase2Mode::kChunked) {
+    // Paper phase 2: adjacency list of each hotspot is cut into p
+    // chunks; thread i explores chunk i. No stealing, no shared state.
+    for (const vid_t h : level_hotspots_) {
+      const auto deg = static_cast<std::size_t>(graph_.out_degree(h));
+      const auto t = static_cast<std::size_t>(tid);
+      const auto pp = static_cast<std::size_t>(p_);
+      const std::size_t chunk_lo = deg * t / pp;
+      const std::size_t chunk_hi = deg * (t + 1) / pp;
+      visit_neighbor_range(tid, h, level + 1, chunk_lo, chunk_hi);
+      if (tid == 0) ++state(tid).vertices_explored;
+    }
+    return;
+  }
+
+  // kStealing variant: hotspots are dealt round-robin; a thread that
+  // finishes its share steals half of a victim's remaining adjacency
+  // range. Edge ranges cannot use the 0-sentinel (the adjacency array
+  // is read-only), so owners re-read their (thief-writable) rear each
+  // step; races cost duplicate edge scans only.
+  ThreadState& st = state(tid);
+  for (std::size_t i = static_cast<std::size_t>(tid);
+       i < level_hotspots_.size(); i += static_cast<std::size_t>(p_)) {
+    const vid_t h = level_hotspots_[i];
+    hotspot_vertex_[static_cast<std::size_t>(tid)]->store(
+        h, std::memory_order_relaxed);
+    st.seg_front.store(0, std::memory_order_relaxed);
+    st.seg_rear.store(graph_.out_degree(h), std::memory_order_relaxed);
+    st.has_work.store(true, std::memory_order_relaxed);
+    drain_adjacency_range(tid, level);
+    ++st.vertices_explored;
+  }
+  st.has_work.store(false, std::memory_order_relaxed);
+  while (steal_adjacency_range(tid)) {
+    drain_adjacency_range(tid, level);
+    state(tid).has_work.store(false, std::memory_order_relaxed);
+  }
+}
+
+void BFSEngineBase::drain_adjacency_range(int tid, level_t level) {
+  ThreadState& st = state(tid);
+  const vid_t h = hotspot_vertex_[static_cast<std::size_t>(tid)]->load(
+      std::memory_order_relaxed);
+  std::int64_t i = st.seg_front.load(std::memory_order_relaxed);
+  while (i < st.seg_rear.load(std::memory_order_relaxed)) {
+    visit_neighbor_range(tid, h, level + 1, static_cast<std::size_t>(i),
+                         static_cast<std::size_t>(i) + 1);
+    ++i;
+    st.seg_front.store(i, std::memory_order_relaxed);
+  }
+}
+
+bool BFSEngineBase::steal_adjacency_range(int tid) {
+  ThreadState& st = state(tid);
+  const int budget = max_steal_attempts(p_);
+  for (int attempt = 0; attempt < budget; ++attempt) {
+    const int victim = pick_victim(tid, attempt * 2 < budget);
+    if (victim == tid) {
+      st.stats.record(StealOutcome::kVictimIdle);
+      continue;
+    }
+    ThreadState& vs = state(victim);
+    if (!vs.has_work.load(std::memory_order_relaxed)) {
+      st.stats.record(StealOutcome::kVictimIdle);
+      continue;
+    }
+    const vid_t hv = hotspot_vertex_[static_cast<std::size_t>(victim)]->load(
+        std::memory_order_relaxed);
+    const std::int64_t f = vs.seg_front.load(std::memory_order_relaxed);
+    const std::int64_t r = vs.seg_rear.load(std::memory_order_relaxed);
+    if (hv >= graph_.num_vertices() ||
+        r > static_cast<std::int64_t>(graph_.out_degree(hv)) || f < 0) {
+      st.stats.record(StealOutcome::kInvalidSegment);
+      continue;
+    }
+    if (f >= r) {
+      st.stats.record(StealOutcome::kVictimIdle);
+      continue;
+    }
+    if (r - f < 2) {
+      st.stats.record(StealOutcome::kSegmentTooSmall);
+      continue;
+    }
+    const std::int64_t mid = f + (r - f) / 2;
+    vs.seg_rear.store(mid, std::memory_order_relaxed);
+    hotspot_vertex_[static_cast<std::size_t>(tid)]->store(
+        hv, std::memory_order_relaxed);
+    st.seg_front.store(mid, std::memory_order_relaxed);
+    st.seg_rear.store(r, std::memory_order_relaxed);
+    st.has_work.store(true, std::memory_order_relaxed);
+    st.stats.record(StealOutcome::kSuccess);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace optibfs

@@ -1,0 +1,206 @@
+// Engine scaffolding shared by every parallel BFS variant.
+//
+// A ParallelBFS instance owns its worker team, barrier, frontier queue
+// pool, and per-thread state, and is reused across sources — the same
+// amortization the paper gets from persistent cilk workers over its
+// 1000-source measurement loops. Subclasses implement one virtual,
+// consume_level(), which drains the current in-queues using the
+// variant's load-balancing discipline; everything else (the
+// level-synchronous loop, queue swapping, discovery, statistics,
+// verification-friendly result assembly) lives here.
+//
+// Memory-model note (see DESIGN.md §2): every "unprotected" shared
+// access from the paper — queue fronts, the global queue pointer, the
+// per-thread steal blocks ⟨q,f,r⟩, queue slots, level/parent entries —
+// is a std::atomic / std::atomic_ref access with memory_order_relaxed.
+// On x86 these compile to the same plain MOVs the paper's C++ emits, so
+// the lock-free variants execute zero lock-prefixed instructions in
+// their load-balancing paths; the relaxed ordering merely makes the
+// deliberate races defined behaviour. The level barrier supplies the
+// inter-level synchronization, exactly as the paper's level-synchronous
+// design assumes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/bfs_options.hpp"
+#include "core/bfs_result.hpp"
+#include "core/frontier_queues.hpp"
+#include "core/steal_stats.hpp"
+#include "graph/csr_graph.hpp"
+#include "runtime/cache_aligned.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/spin_barrier.hpp"
+#include "runtime/spin_lock.hpp"
+#include "runtime/thread_team.hpp"
+#include "runtime/topology.hpp"
+
+namespace optibfs {
+
+/// Abstract interface every BFS engine implements. Obtain instances
+/// through make_bfs() (core/registry.hpp).
+class ParallelBFS {
+ public:
+  virtual ~ParallelBFS() = default;
+
+  /// Runs one BFS from `source` into `out`, reusing out's buffers.
+  virtual void run(vid_t source, BFSResult& out) = 0;
+
+  BFSResult run(vid_t source) {
+    BFSResult out;
+    run(source, out);
+    return out;
+  }
+
+  /// Table II acronym ("BFS_CL", "BFS_WSL", ...).
+  virtual std::string_view name() const = 0;
+
+  virtual const BFSOptions& options() const = 0;
+};
+
+class BFSEngineBase : public ParallelBFS {
+ public:
+  void run(vid_t source, BFSResult& out) final;
+  std::string_view name() const final { return name_; }
+  const BFSOptions& options() const final { return opts_; }
+
+ protected:
+  BFSEngineBase(std::string name, const CsrGraph& graph, BFSOptions opts);
+
+  /// Per-worker mutable state. One cache-aligned instance per thread;
+  /// the atomic members form the work-stealing control block that other
+  /// threads read (and, for `seg_rear`, write) optimistically.
+  struct ThreadState {
+    // ---- steal block: shared, relaxed-only access ----
+    std::atomic<std::int32_t> seg_queue{0};   ///< queue id q
+    std::atomic<std::int64_t> seg_front{0};   ///< front pointer f
+    std::atomic<std::int64_t> seg_rear{0};    ///< rear pointer r
+    std::atomic<bool> has_work{false};        ///< false once out of work
+    SpinLock lock;                            ///< lock-based variants only
+
+    // ---- private to the owning thread ----
+    StealStats stats;
+    std::uint64_t vertices_explored = 0;
+    std::uint64_t edges_scanned = 0;
+    std::uint64_t claim_skips = 0;
+    std::uint64_t visited_in_slice = 0;   ///< result-assembly partial
+    level_t max_level_in_slice = 0;
+    std::vector<vid_t> hotspots;          ///< scale-free phase-1 deferrals
+    Xoshiro256 rng{0};
+  };
+
+  /// Drains the current level's in-queues. Runs on every thread; must
+  /// leave all p threads having executed the same number of barrier_
+  /// phases (scale-free variants use two internal phases).
+  /// `level` is the level of the vertices in the in-queues.
+  virtual void consume_level(int tid, level_t level) = 0;
+
+  /// Invoked (single-threaded) between levels after the queue swap —
+  /// variants reset their level-scoped shared state here.
+  virtual void on_level_prepared() {}
+
+  // ---- helpers for subclasses ----
+
+  /// Scans all of v's out-neighbors, discovering unvisited ones into
+  /// thread tid's out-queue.
+  void visit_neighbors(int tid, vid_t v, level_t next_level) {
+    const auto nbrs = graph_.out_neighbors(v);
+    visit_neighbor_range(tid, v, next_level, 0, nbrs.size());
+  }
+
+  /// Scans neighbors [lo, hi) of v only (scale-free phase-2 chunks).
+  void visit_neighbor_range(int tid, vid_t v, level_t next_level,
+                            std::size_t lo, std::size_t hi);
+
+  /// Pops slot `index` of in-queue q and fully processes it: clearing,
+  /// claim check, hotspot deferral, neighbor visit, statistics.
+  /// Returns false if the slot was empty (the caller's abort signal).
+  bool process_slot(int tid, int q, std::int64_t index, level_t level);
+
+  /// Paper's adaptive segment size: recomputed at every dispatch from
+  /// the vertices remaining and p. Honors opts_.segment_size when fixed.
+  std::int64_t segment_size(std::int64_t remaining) const;
+
+  /// MAX_STEAL = c * p * log2(p) (balls-and-bins bound), at least 1.
+  int max_steal_attempts(int population) const;
+
+  /// Picks a random victim != tid, socket-local when `prefer_local` and
+  /// NUMA policy is on.
+  int pick_victim(int tid, bool prefer_local);
+
+  bool scale_free() const { return degree_threshold_ != 0; }
+  vid_t degree_threshold() const { return degree_threshold_; }
+
+  /// Runs the two-phase hotspot epilogue (gather + chunked/stolen
+  /// adjacency exploration). Scale-free variants call it at the end of
+  /// consume_level on every thread. Costs two barrier phases (three in
+  /// kStealing mode).
+  void explore_hotspots(int tid, level_t level);
+
+  /// Small-frontier hybrid: drains every in-queue on the calling thread
+  /// with no coordination at all (no segments, no stealing, hotspots
+  /// explored inline). Used when serial_frontier_cutoff triggers.
+  void drain_level_serially(int tid, level_t level);
+
+  const CsrGraph& graph_;
+  const BFSOptions opts_;
+  const int p_;
+  Topology topology_;
+  FrontierQueues queues_;
+  SpinBarrier barrier_;
+  std::vector<CacheAligned<ThreadState>> ts_;
+
+  ThreadState& state(int tid) { return ts_[static_cast<std::size_t>(tid)].value; }
+
+ protected:
+  /// Called by scale-free subclass constructors: computes the effective
+  /// degree threshold (options override or adaptive multiple of the
+  /// mean degree) and allocates phase-2 state.
+  void enable_scale_free();
+
+ private:
+  /// Phase-2 stealing mode: steals half of a victim's remaining
+  /// adjacency range into the thief's own block. Returns false after
+  /// MAX_STEAL consecutive failures.
+  bool steal_adjacency_range(int tid);
+
+  /// Phase-2 stealing mode: drains the edge range currently in tid's
+  /// block (shared with concurrent thieves).
+  void drain_adjacency_range(int tid, level_t level);
+
+  const std::string name_;
+  vid_t degree_threshold_ = 0;  ///< 0 = plain variant (set by scale-free)
+
+  // ---- level-loop shared state (written between barriers) ----
+  std::atomic<bool> more_levels_{false};
+  std::atomic<bool> serial_next_level_{false};
+  std::uint64_t serial_levels_count_ = 0;  ///< written by one thread only
+  BFSResult* out_ = nullptr;  ///< valid during run()
+
+  // §IV-D parent-claim array (allocated only when the option is on).
+  std::vector<std::atomic<std::int32_t>> claim_;
+
+  // §IV-D visited bitmap (allocated only when the option is on).
+  std::vector<std::atomic<std::uint64_t>> visited_bits_;
+
+  // ---- scale-free phase-2 shared state ----
+  std::vector<vid_t> level_hotspots_;
+  // kStealing mode: per-thread current hotspot vertex (the steal block's
+  // front/rear then index into its adjacency list).
+  std::vector<CacheAligned<std::atomic<vid_t>>> hotspot_vertex_;
+
+ protected:
+  // Discovery primitive shared with process_slot; exposed for phase-2.
+  void discover(int tid, vid_t from, vid_t w, level_t next_level);
+
+  BFSResult& result() { return *out_; }
+
+  ThreadTeam team_;  ///< declared last: workers must never outlive state
+};
+
+}  // namespace optibfs

@@ -1,0 +1,95 @@
+// Tuning knobs shared by every parallel BFS in the library.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace optibfs {
+
+/// How the scale-free variants (BFS_WS / BFS_WSL) treat phase 2 (the
+/// hotspot adjacency lists deferred from phase 1).
+enum class Phase2Mode {
+  /// Each hotspot's adjacency list is split into p static chunks; thread
+  /// i explores chunk i (the paper's primary variant).
+  kChunked,
+  /// Threads work-steal halves of the remaining adjacency ranges (the
+  /// paper's "other variant", reported as usually slower).
+  kStealing,
+};
+
+struct BFSOptions {
+  /// Worker threads (p). Queues, steal blocks, and output queues are all
+  /// sized by this.
+  int num_threads = 4;
+
+  /// Segment size s for the centralized fetch. 0 = adaptive: the paper
+  /// re-computes s after each dispatch from the remaining frontier size
+  /// and p (see kAdaptiveSegmentDivisor in bfs_engine.cpp).
+  std::int64_t segment_size = 0;
+
+  /// Degree above which a vertex counts as a hotspot for BFS_WS/BFS_WSL.
+  /// 0 = adaptive (a multiple of the mean degree).
+  vid_t degree_threshold = 0;
+
+  /// The constant c in the paper's MAX_STEAL = c * p * log2(p) failed
+  /// steal attempts before a thread quits the level (balls-and-bins
+  /// bound; c > 1). Also used for BFS_DL's c * j * log2(j) pool probes.
+  int steal_attempt_factor = 2;
+
+  /// Number of centralized queue pools j for BFS_DL (1 = BFS_CL-like,
+  /// num_threads = fully distributed). Clamped to [1, num_threads].
+  int dl_pools = 1;
+
+  /// Phase-2 strategy for the scale-free variants.
+  Phase2Mode phase2 = Phase2Mode::kChunked;
+
+  /// The clearing trick: readers zero each consumed slot so overlapping
+  /// or stale segments abort early. Disabling it (ablation) keeps
+  /// results correct but lets duplicate exploration balloon.
+  bool clear_slots = true;
+
+  /// §IV-D duplicate suppression: record the output-queue id of each
+  /// discovered vertex with an arbitrary concurrent write; at the next
+  /// level a copy is only explored from the recorded queue. No locks or
+  /// atomic RMW needed.
+  bool parent_claim_dedup = false;
+
+  /// §IV-D alternative: claim discoveries through an atomic visited
+  /// bitmap (fetch_or), exactly Baseline2's mechanism. Eliminates
+  /// duplicate queue entries entirely but reintroduces the atomic RMW
+  /// the lock-free engines exist to avoid — provided so the trade the
+  /// paper describes for dense graphs can be measured on OUR engines.
+  bool visited_bitmap_dedup = false;
+
+  /// §IV-C NUMA policy: steal victims / migrate pools socket-locally
+  /// first. Uses `topology`; meaningless when topology has one socket.
+  bool numa_aware = false;
+
+  /// Simulated socket layout (defaults to all threads on one socket).
+  /// Ignored unless numa_aware is set.
+  int num_sockets = 1;
+
+  /// Collect the Table VI steal/duplicate statistics. Counter updates
+  /// are thread-local so the cost is negligible either way; the flag
+  /// exists so results can be compared with the machinery fully off.
+  bool collect_stats = true;
+
+  /// Hybrid small-frontier shortcut: when the level's frontier holds
+  /// fewer than this many vertices, thread 0 drains it serially and the
+  /// other workers skip straight to the barrier. Levels with one or two
+  /// vertices are common on high-diameter graphs, and parallel dispatch
+  /// there is pure overhead (the insight behind Hong et al.'s
+  /// serial/parallel hybrid, applied to our engines). 0 disables.
+  std::int64_t serial_frontier_cutoff = 0;
+
+  /// Record the frontier size of every level into
+  /// BFSResult::level_sizes (tiny cost; off by default to keep
+  /// measurement allocations stable).
+  bool record_level_sizes = false;
+
+  /// Seed for the randomized policies (victim and pool selection).
+  std::uint64_t seed = 1;
+};
+
+}  // namespace optibfs

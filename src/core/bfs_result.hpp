@@ -1,0 +1,58 @@
+// Output of one BFS run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/steal_stats.hpp"
+#include "graph/types.hpp"
+
+namespace optibfs {
+
+struct BFSResult {
+  /// level[v] = BFS distance from the source, kUnvisited if unreachable.
+  std::vector<level_t> level;
+
+  /// parent[v] = predecessor on some shortest path (parent[source] ==
+  /// source; kInvalidVertex if unreachable). Under the paper's
+  /// arbitrary-concurrent-write rule any level-consistent parent is
+  /// valid, so two runs may legally differ here while `level` must not.
+  std::vector<vid_t> parent;
+
+  /// Number of levels including the source's (source-only graph -> 1).
+  level_t num_levels = 0;
+
+  /// Vertices reachable from the source (including it).
+  std::uint64_t vertices_visited = 0;
+
+  /// Vertex pops across all threads, *including duplicates* — the cost
+  /// the optimistic scheme pays instead of lock/atomic overhead.
+  std::uint64_t vertices_explored = 0;
+
+  /// duplicate work: vertices_explored - vertices_visited.
+  std::uint64_t duplicate_explorations() const {
+    return vertices_explored >= vertices_visited
+               ? vertices_explored - vertices_visited
+               : 0;
+  }
+
+  /// Adjacency-list entries scanned (duplicates included). TEPS uses the
+  /// *useful* edge count from the graph, not this raw figure.
+  std::uint64_t edges_scanned = 0;
+
+  /// Aggregated Table VI counters (work-stealing variants only).
+  StealStats steal_stats;
+
+  /// §IV-D duplicate-suppression hits: copies skipped via parent claim.
+  std::uint64_t claim_skips = 0;
+
+  /// level_sizes[l] = frontier size at level l. Filled only when
+  /// BFSOptions::record_level_sizes is set (empty otherwise).
+  std::vector<std::uint64_t> level_sizes;
+
+  /// Levels the engine drained serially via the small-frontier hybrid
+  /// shortcut (0 unless BFSOptions::serial_frontier_cutoff is set).
+  std::uint64_t serial_levels = 0;
+};
+
+}  // namespace optibfs

@@ -1,0 +1,54 @@
+#include "core/bfs_serial.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace optibfs {
+
+void bfs_serial(const CsrGraph& g, vid_t source, BFSResult& out) {
+  const vid_t n = g.num_vertices();
+  if (source >= n) {
+    throw std::out_of_range("bfs_serial: source out of range");
+  }
+  out.level.assign(n, kUnvisited);
+  out.parent.assign(n, kInvalidVertex);
+  out.num_levels = 0;
+  out.vertices_visited = 0;
+  out.vertices_explored = 0;
+  out.edges_scanned = 0;
+  out.steal_stats = {};
+  out.claim_skips = 0;
+
+  // Flat vector as FIFO: every vertex enters at most once, so capacity n
+  // suffices and no ring arithmetic is needed.
+  std::vector<vid_t> queue;
+  queue.reserve(n);
+  queue.push_back(source);
+  out.level[source] = 0;
+  out.parent[source] = source;
+
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const vid_t v = queue[head];
+    ++out.vertices_explored;
+    const auto nbrs = g.out_neighbors(v);
+    out.edges_scanned += nbrs.size();
+    for (vid_t w : nbrs) {
+      if (out.level[w] == kUnvisited) {
+        out.level[w] = out.level[v] + 1;
+        out.parent[w] = v;
+        queue.push_back(w);
+      }
+    }
+  }
+  out.vertices_visited = queue.size();
+  out.num_levels = queue.empty() ? 0 : out.level[queue.back()] + 1;
+  return;
+}
+
+BFSResult bfs_serial(const CsrGraph& g, vid_t source) {
+  BFSResult out;
+  bfs_serial(g, source, out);
+  return out;
+}
+
+}  // namespace optibfs

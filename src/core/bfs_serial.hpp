@@ -1,0 +1,19 @@
+// Serial reference BFS (the paper's `sbfs`).
+#pragma once
+
+#include "core/bfs_result.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace optibfs {
+
+/// Textbook FIFO BFS. Deterministic: the parent of v is its smallest
+/// level-(l-1) in-neighbor in queue order, so two runs agree exactly.
+/// Serves as the correctness oracle for every parallel variant and as
+/// the single-thread baseline row of Table V.
+BFSResult bfs_serial(const CsrGraph& g, vid_t source);
+
+/// Runs into an existing result object, reusing its buffers (the
+/// multi-source benchmark loop calls this to avoid reallocating).
+void bfs_serial(const CsrGraph& g, vid_t source, BFSResult& out);
+
+}  // namespace optibfs

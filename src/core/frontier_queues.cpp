@@ -1,0 +1,72 @@
+#include "core/frontier_queues.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace optibfs {
+
+FrontierQueues::FrontierQueues(int num_queues, vid_t max_vertices)
+    : num_queues_(num_queues),
+      capacity_(static_cast<std::int64_t>(max_vertices) + 1),
+      a_(static_cast<std::size_t>(num_queues) *
+         static_cast<std::size_t>(capacity_)),
+      b_(static_cast<std::size_t>(num_queues) *
+         static_cast<std::size_t>(capacity_)),
+      out_count_(static_cast<std::size_t>(num_queues)),
+      in_rear_(static_cast<std::size_t>(num_queues)),
+      in_front_(static_cast<std::size_t>(num_queues)) {
+  if (num_queues < 1) {
+    throw std::invalid_argument("FrontierQueues: need at least one queue");
+  }
+  in_ = a_.data();
+  out_ = b_.data();
+  // std::vector<std::atomic<vid_t>> value-initializes -> all slots are 0,
+  // which is the empty sentinel. The swap discipline keeps them that way.
+}
+
+void FrontierQueues::push_out(int tid, vid_t v, vid_t degree) {
+  OutCount& count = out_count_[static_cast<std::size_t>(tid)].value;
+  assert(count.entries + 1 < capacity_ && "out queue overflow");
+  out_[static_cast<std::size_t>(tid) * static_cast<std::size_t>(capacity_) +
+       static_cast<std::size_t>(count.entries)]
+      .store(v + 1, std::memory_order_relaxed);
+  ++count.entries;
+  count.edges += degree;
+}
+
+void FrontierQueues::swap_and_prepare() {
+  std::swap(in_, out_);
+  total_in_ = 0;
+  total_in_edges_ = 0;
+  for (int q = 0; q < num_queues_; ++q) {
+    OutCount& count = out_count_[static_cast<std::size_t>(q)].value;
+    in_rear_[static_cast<std::size_t>(q)].value.store(
+        count.entries, std::memory_order_relaxed);
+    in_front_[static_cast<std::size_t>(q)].value.store(
+        0, std::memory_order_relaxed);
+    total_in_ += count.entries;
+    total_in_edges_ += count.edges;
+    count = OutCount{};
+  }
+}
+
+void FrontierQueues::hard_reset() {
+  for (auto& slot : a_) slot.store(0, std::memory_order_relaxed);
+  for (auto& slot : b_) slot.store(0, std::memory_order_relaxed);
+  for (auto& count : out_count_) count.value = OutCount{};
+  for (auto& rear : in_rear_) rear.value.store(0, std::memory_order_relaxed);
+  for (auto& front : in_front_) {
+    front.value.store(0, std::memory_order_relaxed);
+  }
+  total_in_ = 0;
+  total_in_edges_ = 0;
+}
+
+void FrontierQueues::seed(vid_t source, vid_t degree) {
+  // Push into the out side, then promote it to the in side — the same
+  // path every later level takes, so all invariants hold from level 0.
+  push_out(0, source, degree);
+  swap_and_prepare();
+}
+
+}  // namespace optibfs

@@ -1,0 +1,140 @@
+#include "core/msbfs.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <stdexcept>
+
+#include "core/frontier_queues.hpp"
+#include "runtime/spin_barrier.hpp"
+#include "runtime/thread_team.hpp"
+
+namespace optibfs {
+
+MsBfsResult multi_source_bfs(const CsrGraph& graph,
+                             const std::vector<vid_t>& sources,
+                             const BFSOptions& options) {
+  const vid_t n = graph.num_vertices();
+  if (sources.empty() || sources.size() > 64) {
+    throw std::invalid_argument(
+        "multi_source_bfs: batch must hold 1..64 sources");
+  }
+  for (const vid_t s : sources) {
+    if (s >= n) {
+      throw std::out_of_range("multi_source_bfs: source out of range");
+    }
+  }
+
+  MsBfsResult result;
+  result.num_vertices = n;
+  result.num_sources = static_cast<int>(sources.size());
+  result.distance.assign(sources.size() * static_cast<std::size_t>(n),
+                         kUnvisited);
+
+  const int p = std::max(1, options.num_threads);
+  std::vector<std::atomic<std::uint64_t>> seen(n);
+  std::vector<std::atomic<std::uint64_t>> visit(n);
+  std::vector<std::atomic<std::uint64_t>> visit_next(n);
+  FrontierQueues queues(p, n);
+  SpinBarrier barrier(p);
+  ThreadTeam team(p);
+  std::atomic<std::int32_t> global_queue{0};
+  std::atomic<bool> more{true};
+
+  // Seed all sources (each distinct vertex enqueued once; its mask
+  // carries every source bit that starts there).
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    const vid_t v = sources[s];
+    const std::uint64_t bit = std::uint64_t{1} << s;
+    seen[v].fetch_or(bit, std::memory_order_relaxed);
+    visit[v].fetch_or(bit, std::memory_order_relaxed);
+    result.distance[s * n + v] = 0;
+  }
+  {
+    std::uint64_t enqueued_total = 0;
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      const vid_t v = sources[s];
+      bool already = false;
+      for (std::size_t prior = 0; prior < s; ++prior) {
+        if (sources[prior] == v) already = true;
+      }
+      if (!already) {
+        queues.push_out(0, v, graph.out_degree(v));
+        ++enqueued_total;
+      }
+    }
+    queues.swap_and_prepare();
+    (void)enqueued_total;
+  }
+
+  team.run([&](int tid) {
+    level_t depth = 0;  // lockstep via the two barriers per level
+    while (more.load(std::memory_order_acquire)) {
+      // Optimistic centralized drain (BFS_CL discipline).
+      for (;;) {
+        int k = global_queue.load(std::memory_order_relaxed);
+        if (k < 0) k = 0;
+        std::int64_t front = 0, rear = 0;
+        while (k < p) {
+          front = queues.in_front(k).load(std::memory_order_relaxed);
+          rear = queues.in_rear(k);
+          if (front < rear) break;
+          ++k;
+        }
+        if (k >= p) break;
+        const std::int64_t len = std::min<std::int64_t>(
+            std::max<std::int64_t>((rear - front) / (4 * p), 1),
+            rear - front);
+        global_queue.store(k, std::memory_order_relaxed);
+        queues.in_front(k).store(front + len, std::memory_order_relaxed);
+        for (std::int64_t i = front; i < front + len; ++i) {
+          const vid_t v = queues.consume_in(k, i, /*clear=*/true);
+          if (v == kInvalidVertex) break;
+          // Claim this vertex's current-level mask; a duplicate pop of
+          // v (optimistic overlap) reads 0 here and does nothing.
+          const std::uint64_t mask =
+              visit[v].exchange(0, std::memory_order_relaxed);
+          if (mask == 0) continue;
+          for (const vid_t w : graph.out_neighbors(v)) {
+            std::uint64_t fresh =
+                mask & ~seen[w].load(std::memory_order_relaxed);
+            if (fresh == 0) continue;
+            // fetch_or arbitrates which thread owns each new bit; the
+            // owner records the distance (single writer per (s, w)).
+            const std::uint64_t before =
+                seen[w].fetch_or(fresh, std::memory_order_relaxed);
+            fresh &= ~before;
+            if (fresh == 0) continue;
+            for (std::uint64_t bits = fresh; bits != 0;) {
+              const int s = std::countr_zero(bits);
+              bits &= bits - 1;
+              result.distance[static_cast<std::size_t>(s) * n + w] =
+                  depth + 1;
+            }
+            const std::uint64_t prior_next =
+                visit_next[w].fetch_or(fresh, std::memory_order_relaxed);
+            if (prior_next == 0) {
+              queues.push_out(tid, w, graph.out_degree(w));
+            }
+          }
+        }
+      }
+      if (barrier.arrive_and_wait()) {
+        // Single-threaded window: the other workers are parked at the
+        // second barrier below and touch none of this state.
+        queues.swap_and_prepare();
+        global_queue.store(0, std::memory_order_relaxed);
+        // visit <- visit_next by swapping roles. visit is all-zero here
+        // (every processed vertex exchanged its mask away), so the swap
+        // leaves visit_next all-zero for the next level.
+        std::swap(visit, visit_next);
+        more.store(queues.total_in() > 0, std::memory_order_release);
+      }
+      barrier.arrive_and_wait();
+      ++depth;
+    }
+  });
+  return result;
+}
+
+}  // namespace optibfs

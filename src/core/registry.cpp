@@ -1,0 +1,119 @@
+#include "core/registry.hpp"
+
+#include <stdexcept>
+
+#include "baselines/direction_optimizing.hpp"
+#include "baselines/hong_bfs.hpp"
+#include "baselines/pbfs.hpp"
+#include "core/bfs_centralized.hpp"
+#include "core/bfs_serial.hpp"
+#include "core/bfs_workstealing.hpp"
+
+namespace optibfs {
+namespace {
+
+/// Adapter presenting the serial reference through the common interface.
+class SerialBFSEngine final : public ParallelBFS {
+ public:
+  SerialBFSEngine(const CsrGraph& graph, BFSOptions opts)
+      : graph_(graph), opts_(opts) {
+    opts_.num_threads = 1;
+  }
+
+  void run(vid_t source, BFSResult& out) override {
+    bfs_serial(graph_, source, out);
+  }
+  std::string_view name() const override { return "sbfs"; }
+  const BFSOptions& options() const override { return opts_; }
+
+ private:
+  const CsrGraph& graph_;
+  BFSOptions opts_;
+};
+
+}  // namespace
+
+std::unique_ptr<ParallelBFS> make_bfs(std::string_view algorithm,
+                                      const CsrGraph& graph,
+                                      const BFSOptions& options) {
+  if (algorithm == "sbfs") {
+    return std::make_unique<SerialBFSEngine>(graph, options);
+  }
+  if (algorithm == "BFS_C") {
+    return std::make_unique<CentralizedBFS>(graph, options);
+  }
+  if (algorithm == "BFS_CL") {
+    return std::make_unique<CentralizedLockfreeBFS>(graph, options);
+  }
+  if (algorithm == "BFS_EBL") {
+    return std::make_unique<CentralizedLockfreeBFS>(graph, options,
+                                                    /*edge_balanced=*/true);
+  }
+  if (algorithm == "BFS_DL") {
+    return std::make_unique<DecentralizedLockfreeBFS>(graph, options);
+  }
+  if (algorithm == "BFS_W") {
+    return std::make_unique<WorkStealingBFS>(graph, options,
+                                             /*use_locks=*/true,
+                                             /*scale_free_mode=*/false);
+  }
+  if (algorithm == "BFS_WL") {
+    return std::make_unique<WorkStealingBFS>(graph, options,
+                                             /*use_locks=*/false,
+                                             /*scale_free_mode=*/false);
+  }
+  if (algorithm == "BFS_WS") {
+    return std::make_unique<WorkStealingBFS>(graph, options,
+                                             /*use_locks=*/true,
+                                             /*scale_free_mode=*/true);
+  }
+  if (algorithm == "BFS_WSL") {
+    return std::make_unique<WorkStealingBFS>(graph, options,
+                                             /*use_locks=*/false,
+                                             /*scale_free_mode=*/true);
+  }
+  if (algorithm == "PBFS") {
+    return std::make_unique<PBFS>(graph, options);
+  }
+  if (algorithm == "HONG_QUEUE") {
+    return std::make_unique<HongBFS>(graph, options, HongVariant::kQueue);
+  }
+  if (algorithm == "HONG_READ") {
+    return std::make_unique<HongBFS>(graph, options, HongVariant::kRead);
+  }
+  if (algorithm == "HONG_HYBRID") {
+    return std::make_unique<HongBFS>(graph, options, HongVariant::kHybrid);
+  }
+  if (algorithm == "HONG_LOCAL_BITMAP") {
+    return std::make_unique<HongBFS>(graph, options,
+                                     HongVariant::kHybridBitmap);
+  }
+  if (algorithm == "DO_BFS") {
+    return std::make_unique<DirectionOptimizingBFS>(graph, options);
+  }
+  throw std::invalid_argument("make_bfs: unknown algorithm '" +
+                              std::string(algorithm) + "'");
+}
+
+std::vector<std::string> all_algorithms() {
+  return {"sbfs",   "BFS_C",      "BFS_CL",    "BFS_DL",
+          "BFS_W",  "BFS_WL",     "BFS_WS",    "BFS_WSL",
+          "BFS_EBL", "PBFS",      "HONG_QUEUE", "HONG_READ",
+          "HONG_HYBRID", "HONG_LOCAL_BITMAP", "DO_BFS"};
+}
+
+std::vector<std::string> paper_algorithms() {
+  return {"BFS_C", "BFS_CL", "BFS_DL", "BFS_W",
+          "BFS_WL", "BFS_WS", "BFS_WSL"};
+}
+
+std::vector<std::string> lockfree_algorithms() {
+  return {"BFS_CL", "BFS_DL", "BFS_WL", "BFS_WSL"};
+}
+
+std::vector<std::string> baseline_algorithms() {
+  return {"PBFS", "HONG_QUEUE", "HONG_READ", "HONG_HYBRID",
+          "HONG_LOCAL_BITMAP"};
+}
+
+}  // namespace optibfs

@@ -1,0 +1,61 @@
+// Steal-attempt and duplicate-exploration statistics (paper Table VI).
+#pragma once
+
+#include <cstdint>
+
+namespace optibfs {
+
+/// Outcome classification for one steal attempt, matching the Table VI
+/// columns. Lock-based variants report kVictimLocked and never
+/// kStaleSegment/kInvalidSegment; lock-free variants the reverse.
+enum class StealOutcome {
+  kSuccess,
+  kVictimLocked,   ///< try_lock on the victim's control block failed
+  kVictimIdle,     ///< victim had no work (or already quit the level)
+  kSegmentTooSmall,///< victim's remaining segment too small to halve
+  kStaleSegment,   ///< sanity checks passed but the slots were consumed
+  kInvalidSegment, ///< sanity check f' < r' <= Qin[q'].r failed
+};
+
+/// Plain counters; one instance lives per worker thread (cache-aligned
+/// by the engine) and instances are summed after the run, so no member
+/// needs to be atomic.
+struct StealStats {
+  std::uint64_t successful = 0;
+  std::uint64_t failed_victim_locked = 0;
+  std::uint64_t failed_victim_idle = 0;
+  std::uint64_t failed_segment_too_small = 0;
+  std::uint64_t failed_stale_segment = 0;
+  std::uint64_t failed_invalid_segment = 0;
+
+  void record(StealOutcome outcome) {
+    switch (outcome) {
+      case StealOutcome::kSuccess: ++successful; break;
+      case StealOutcome::kVictimLocked: ++failed_victim_locked; break;
+      case StealOutcome::kVictimIdle: ++failed_victim_idle; break;
+      case StealOutcome::kSegmentTooSmall: ++failed_segment_too_small; break;
+      case StealOutcome::kStaleSegment: ++failed_stale_segment; break;
+      case StealOutcome::kInvalidSegment: ++failed_invalid_segment; break;
+    }
+  }
+
+  std::uint64_t total_failed() const {
+    return failed_victim_locked + failed_victim_idle +
+           failed_segment_too_small + failed_stale_segment +
+           failed_invalid_segment;
+  }
+
+  std::uint64_t total_attempts() const { return successful + total_failed(); }
+
+  StealStats& operator+=(const StealStats& other) {
+    successful += other.successful;
+    failed_victim_locked += other.failed_victim_locked;
+    failed_victim_idle += other.failed_victim_idle;
+    failed_segment_too_small += other.failed_segment_too_small;
+    failed_stale_segment += other.failed_stale_segment;
+    failed_invalid_segment += other.failed_invalid_segment;
+    return *this;
+  }
+};
+
+}  // namespace optibfs

@@ -1,0 +1,86 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace optibfs {
+
+CsrGraph CsrGraph::from_edges(const EdgeList& edges, bool dedup) {
+  CsrGraph g;
+  const vid_t n = edges.num_vertices();
+  g.num_vertices_ = n;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  // Counting pass.
+  for (const Edge& e : edges.edges()) {
+    assert(e.src < n && e.dst < n);
+    ++g.offsets_[e.src + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+
+  // Placement pass.
+  g.targets_.resize(edges.num_edges());
+  std::vector<eid_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges.edges()) {
+    g.targets_[cursor[e.src]++] = e.dst;
+  }
+
+  // Sort each adjacency list so has_edge can binary-search and traversal
+  // order is deterministic for the serial reference.
+  for (vid_t v = 0; v < n; ++v) {
+    auto* first = g.targets_.data() + g.offsets_[v];
+    auto* last = g.targets_.data() + g.offsets_[v + 1];
+    std::sort(first, last);
+  }
+
+  if (dedup) {
+    // Rebuild offsets/targets with duplicates removed.
+    std::vector<eid_t> new_offsets(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<vid_t> new_targets;
+    new_targets.reserve(g.targets_.size());
+    for (vid_t v = 0; v < n; ++v) {
+      auto nbrs = g.out_neighbors(v);
+      vid_t prev = kInvalidVertex;
+      for (vid_t w : nbrs) {
+        if (w != prev) {
+          new_targets.push_back(w);
+          prev = w;
+        }
+      }
+      new_offsets[v + 1] = new_targets.size();
+    }
+    g.offsets_ = std::move(new_offsets);
+    g.targets_ = std::move(new_targets);
+  }
+  return g;
+}
+
+bool CsrGraph::has_edge(vid_t u, vid_t v) const {
+  if (u >= num_vertices_) return false;
+  auto nbrs = out_neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+const CsrGraph& CsrGraph::transpose() const {
+  if (!transpose_) {
+    EdgeList rev(num_vertices_);
+    rev.reserve(targets_.size());
+    for (vid_t v = 0; v < num_vertices_; ++v) {
+      for (vid_t w : out_neighbors(v)) rev.add_unchecked(w, v);
+    }
+    transpose_ = std::make_unique<CsrGraph>(from_edges(rev));
+  }
+  return *transpose_;
+}
+
+vid_t CsrGraph::max_out_degree() const {
+  vid_t best = 0;
+  for (vid_t v = 0; v < num_vertices_; ++v) {
+    best = std::max(best, out_degree(v));
+  }
+  return best;
+}
+
+}  // namespace optibfs

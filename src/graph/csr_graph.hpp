@@ -1,0 +1,72 @@
+// Immutable Compressed-Sparse-Row graph.
+//
+// This is the representation every BFS in the library traverses. The
+// paper's algorithms only ever walk out-adjacency lists; the reverse
+// (in-edge) view is materialized on demand for the bottom-up traversals
+// used by the Hong read-based and Beamer direction-optimizing baselines.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace optibfs {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds a CSR from an edge list. Adjacency lists come out sorted by
+  /// target. Set `dedup` to drop duplicate edges (the paper keeps
+  /// multi-edges from RMAT; duplicates only change constant factors).
+  static CsrGraph from_edges(const EdgeList& edges, bool dedup = false);
+
+  vid_t num_vertices() const { return num_vertices_; }
+  eid_t num_edges() const { return offsets_.empty() ? 0 : offsets_.back(); }
+
+  /// Out-degree of v.
+  vid_t out_degree(vid_t v) const {
+    return static_cast<vid_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Out-neighbors of v as a contiguous, immutable span.
+  std::span<const vid_t> out_neighbors(vid_t v) const {
+    return {targets_.data() + offsets_[v],
+            targets_.data() + offsets_[v + 1]};
+  }
+
+  /// Offset of v's adjacency list within the flat target array.
+  eid_t out_offset(vid_t v) const { return offsets_[v]; }
+
+  /// Flat target array (used by edge-balanced traversal).
+  std::span<const vid_t> targets() const { return targets_; }
+
+  /// Offsets array, size num_vertices()+1.
+  std::span<const eid_t> offsets() const { return offsets_; }
+
+  /// True if the edge u -> v exists (binary search; adjacency sorted).
+  bool has_edge(vid_t u, vid_t v) const;
+
+  /// Returns the transpose (in-edge) view, building it on first use.
+  /// Thread-safe only before the first concurrent traversal; call once
+  /// up front from a single thread (benches do this during setup).
+  const CsrGraph& transpose() const;
+
+  /// True if a transpose has already been materialized.
+  bool has_transpose() const { return transpose_ != nullptr; }
+
+  /// Maximum out-degree over all vertices (0 for an empty graph).
+  vid_t max_out_degree() const;
+
+ private:
+  vid_t num_vertices_ = 0;
+  std::vector<eid_t> offsets_;  // size num_vertices_ + 1
+  std::vector<vid_t> targets_;  // size num_edges
+  mutable std::unique_ptr<CsrGraph> transpose_;
+};
+
+}  // namespace optibfs

@@ -1,0 +1,57 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace optibfs {
+
+void EdgeList::add(vid_t u, vid_t v) {
+  edges_.push_back({u, v});
+  const vid_t hi = std::max(u, v);
+  if (hi >= num_vertices_) num_vertices_ = hi + 1;
+}
+
+void EdgeList::ensure_vertices(vid_t n) {
+  num_vertices_ = std::max(num_vertices_, n);
+}
+
+void EdgeList::sort() { std::sort(edges_.begin(), edges_.end()); }
+
+void EdgeList::dedup() {
+  sort();
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+}
+
+void EdgeList::remove_self_loops() {
+  std::erase_if(edges_, [](const Edge& e) { return e.src == e.dst; });
+}
+
+void EdgeList::symmetrize() {
+  const std::size_t original = edges_.size();
+  edges_.reserve(original * 2);
+  for (std::size_t i = 0; i < original; ++i) {
+    const Edge e = edges_[i];
+    if (e.src != e.dst) edges_.push_back({e.dst, e.src});
+  }
+  dedup();
+}
+
+EdgeList EdgeList::reversed() const {
+  EdgeList out(num_vertices_);
+  out.reserve(edges_.size());
+  for (const Edge& e : edges_) out.add_unchecked(e.dst, e.src);
+  return out;
+}
+
+void EdgeList::relabel(const std::vector<vid_t>& perm) {
+  if (perm.size() < num_vertices_) {
+    throw std::invalid_argument("EdgeList::relabel: permutation too small");
+  }
+  for (Edge& e : edges_) {
+    e.src = perm[e.src];
+    e.dst = perm[e.dst];
+  }
+}
+
+}  // namespace optibfs

@@ -1,0 +1,79 @@
+// Mutable edge-list representation used while constructing graphs.
+//
+// Generators and file readers produce an EdgeList; CsrGraph::from_edges
+// consumes one. Transformations (sorting, deduplication, symmetrization,
+// relabeling) live here so every producer shares one implementation.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace optibfs {
+
+/// A directed edge (u -> v).
+struct Edge {
+  vid_t src = 0;
+  vid_t dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Growable list of directed edges over vertices [0, num_vertices).
+///
+/// The vertex count is carried explicitly so isolated (zero-degree)
+/// vertices survive the round trip through an edge list.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(vid_t num_vertices) : num_vertices_(num_vertices) {}
+
+  /// Appends edge u -> v, growing the vertex count to cover both endpoints.
+  void add(vid_t u, vid_t v);
+
+  /// Appends without adjusting the vertex count (caller guarantees range).
+  void add_unchecked(vid_t u, vid_t v) { edges_.push_back({u, v}); }
+
+  void reserve(std::size_t n) { edges_.reserve(n); }
+
+  vid_t num_vertices() const { return num_vertices_; }
+  std::size_t num_edges() const { return edges_.size(); }
+  bool empty() const { return edges_.empty(); }
+
+  /// Raises the vertex count (never lowers it).
+  void ensure_vertices(vid_t n);
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::vector<Edge>& edges() { return edges_; }
+
+  // ---- transformations (all in place) ----
+
+  /// Sorts edges by (src, dst).
+  void sort();
+
+  /// Sorts and removes exact duplicate edges.
+  void dedup();
+
+  /// Removes u -> u edges.
+  void remove_self_loops();
+
+  /// Adds the reverse of every edge (making the graph undirected as a
+  /// symmetric digraph), then dedups.
+  void symmetrize();
+
+  /// Produces the edge list with every edge reversed (v -> u).
+  EdgeList reversed() const;
+
+  /// Applies a vertex permutation: edge (u,v) becomes (perm[u], perm[v]).
+  /// `perm` must be a bijection on [0, num_vertices).
+  void relabel(const std::vector<vid_t>& perm);
+
+ private:
+  std::vector<Edge> edges_;
+  vid_t num_vertices_ = 0;
+};
+
+}  // namespace optibfs

@@ -1,0 +1,224 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/rng.hpp"
+
+namespace optibfs::gen {
+
+EdgeList rmat(int scale, int edge_factor, std::uint64_t seed,
+              const RmatParams& params) {
+  if (scale < 0 || scale > 31) {
+    throw std::invalid_argument("rmat: scale must be in [0, 31]");
+  }
+  const vid_t n = vid_t{1} << scale;
+  const eid_t m = static_cast<eid_t>(edge_factor) * n;
+  EdgeList out(n);
+  out.reserve(m);
+  Xoshiro256 rng(seed);
+
+  for (eid_t e = 0; e < m; ++e) {
+    vid_t u = 0, v = 0;
+    // Per-level parameter jitter (Graph500-style noise) keeps the degree
+    // distribution power-law-ish without a perfectly self-similar core.
+    double a = params.a, b = params.b, c = params.c;
+    double d = 1.0 - a - b - c;
+    for (int bit = scale - 1; bit >= 0; --bit) {
+      const double r = rng.next_double();
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= vid_t{1} << bit;
+      } else if (r < a + b + c) {
+        u |= vid_t{1} << bit;
+      } else {
+        u |= vid_t{1} << bit;
+        v |= vid_t{1} << bit;
+      }
+      if (params.noise > 0) {
+        a *= 1.0 + params.noise * (rng.next_double() - 0.5);
+        b *= 1.0 + params.noise * (rng.next_double() - 0.5);
+        c *= 1.0 + params.noise * (rng.next_double() - 0.5);
+        d *= 1.0 + params.noise * (rng.next_double() - 0.5);
+        const double total = a + b + c + d;
+        a /= total;
+        b /= total;
+        c /= total;
+        d /= total;
+      }
+    }
+    out.add_unchecked(u, v);
+  }
+  return out;
+}
+
+EdgeList erdos_renyi(vid_t n, eid_t m, std::uint64_t seed) {
+  if (n == 0 && m > 0) {
+    throw std::invalid_argument("erdos_renyi: edges on empty vertex set");
+  }
+  EdgeList out(n);
+  out.reserve(m);
+  Xoshiro256 rng(seed);
+  for (eid_t e = 0; e < m; ++e) {
+    out.add_unchecked(static_cast<vid_t>(rng.next_below(n)),
+                      static_cast<vid_t>(rng.next_below(n)));
+  }
+  return out;
+}
+
+EdgeList power_law(vid_t n, eid_t target_edges, double gamma,
+                   std::uint64_t seed) {
+  if (gamma <= 1.0) {
+    throw std::invalid_argument("power_law: gamma must exceed 1");
+  }
+  if (n == 0) return EdgeList{};
+  // Chung-Lu style: weight(i) = (i+1)^(-1/(gamma-1)); sample endpoints
+  // proportionally to weight via inverse-CDF on the cumulative weights.
+  const double exponent = -1.0 / (gamma - 1.0);
+  std::vector<double> cumulative(n);
+  double total = 0.0;
+  for (vid_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i) + 1.0, exponent);
+    cumulative[i] = total;
+  }
+
+  EdgeList out(n);
+  out.reserve(target_edges);
+  Xoshiro256 rng(seed);
+  auto sample = [&]() -> vid_t {
+    const double r = rng.next_double() * total;
+    // Binary search for the first cumulative value >= r.
+    vid_t lo = 0, hi = n - 1;
+    while (lo < hi) {
+      const vid_t mid = lo + (hi - lo) / 2;
+      if (cumulative[mid] < r) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  };
+  for (eid_t e = 0; e < target_edges; ++e) {
+    out.add_unchecked(sample(), sample());
+  }
+  return out;
+}
+
+EdgeList grid2d(vid_t rows, vid_t cols) {
+  EdgeList out(rows * cols);
+  auto id = [cols](vid_t r, vid_t c) { return r * cols + c; };
+  for (vid_t r = 0; r < rows; ++r) {
+    for (vid_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        out.add_unchecked(id(r, c), id(r, c + 1));
+        out.add_unchecked(id(r, c + 1), id(r, c));
+      }
+      if (r + 1 < rows) {
+        out.add_unchecked(id(r, c), id(r + 1, c));
+        out.add_unchecked(id(r + 1, c), id(r, c));
+      }
+    }
+  }
+  return out;
+}
+
+EdgeList grid3d(vid_t nx, vid_t ny, vid_t nz) {
+  EdgeList out(nx * ny * nz);
+  auto id = [ny, nz](vid_t x, vid_t y, vid_t z) {
+    return (x * ny + y) * nz + z;
+  };
+  for (vid_t x = 0; x < nx; ++x) {
+    for (vid_t y = 0; y < ny; ++y) {
+      for (vid_t z = 0; z < nz; ++z) {
+        if (x + 1 < nx) {
+          out.add_unchecked(id(x, y, z), id(x + 1, y, z));
+          out.add_unchecked(id(x + 1, y, z), id(x, y, z));
+        }
+        if (y + 1 < ny) {
+          out.add_unchecked(id(x, y, z), id(x, y + 1, z));
+          out.add_unchecked(id(x, y + 1, z), id(x, y, z));
+        }
+        if (z + 1 < nz) {
+          out.add_unchecked(id(x, y, z), id(x, y, z + 1));
+          out.add_unchecked(id(x, y, z + 1), id(x, y, z));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+EdgeList circuit_like(vid_t rows, vid_t cols, eid_t shortcuts,
+                      std::uint64_t seed) {
+  EdgeList out = grid2d(rows, cols);
+  const vid_t n = rows * cols;
+  if (n == 0) return out;
+  Xoshiro256 rng(seed);
+  for (eid_t e = 0; e < shortcuts; ++e) {
+    const vid_t u = static_cast<vid_t>(rng.next_below(n));
+    // Shortcuts are *local* (within a window) so the diameter stays high,
+    // as in circuit netlists where most nets are short.
+    const vid_t window = std::max<vid_t>(vid_t{1}, n / 64);
+    const vid_t offset = static_cast<vid_t>(rng.next_below(window));
+    const vid_t v = (u + offset) % n;
+    out.add_unchecked(u, v);
+    out.add_unchecked(v, u);
+  }
+  return out;
+}
+
+EdgeList binary_tree(vid_t n) {
+  EdgeList out(n);
+  for (vid_t v = 1; v < n; ++v) {
+    const vid_t parent = (v - 1) / 2;
+    out.add_unchecked(parent, v);
+    out.add_unchecked(v, parent);
+  }
+  return out;
+}
+
+EdgeList path(vid_t n) {
+  EdgeList out(n);
+  for (vid_t v = 0; v + 1 < n; ++v) {
+    out.add_unchecked(v, v + 1);
+    out.add_unchecked(v + 1, v);
+  }
+  return out;
+}
+
+EdgeList star(vid_t n) {
+  EdgeList out(n);
+  for (vid_t v = 1; v < n; ++v) {
+    out.add_unchecked(0, v);
+    out.add_unchecked(v, 0);
+  }
+  return out;
+}
+
+EdgeList complete(vid_t n) {
+  EdgeList out(n);
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v = 0; v < n; ++v) {
+      if (u != v) out.add_unchecked(u, v);
+    }
+  }
+  return out;
+}
+
+EdgeList random_regular(vid_t n, vid_t d, std::uint64_t seed) {
+  EdgeList out(n);
+  if (n == 0) return out;
+  out.reserve(static_cast<std::size_t>(n) * d);
+  Xoshiro256 rng(seed);
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t k = 0; k < d; ++k) {
+      out.add_unchecked(u, static_cast<vid_t>(rng.next_below(n)));
+    }
+  }
+  return out;
+}
+
+}  // namespace optibfs::gen

@@ -1,0 +1,71 @@
+// Synthetic graph generators.
+//
+// Every generator is deterministic given its seed. The suite covers the
+// structural classes the paper evaluates on: RMAT / Graph500 (the paper's
+// synthetic workload, a=.45 b=.15 c=.15), scale-free power-law graphs
+// (wikipedia-class hotspot graphs), near-regular meshes (cage-class),
+// high-diameter circuit-like lattices (freescale-class), and the usual
+// adversarial shapes for testing (path, star, tree, complete).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace optibfs::gen {
+
+/// RMAT parameters. Defaults are the paper's Graph500 settings
+/// (a=.45, b=.15, c=.15, d = 1-a-b-c = .25).
+struct RmatParams {
+  double a = 0.45;
+  double b = 0.15;
+  double c = 0.15;
+  /// Noise added per recursion level to break the strict self-similarity
+  /// (as in the Graph500 reference generator). 0 disables.
+  double noise = 0.1;
+};
+
+/// RMAT graph with 2^scale vertices and (edge_factor * 2^scale) directed
+/// edges. Multi-edges and self-loops are kept, matching the paper's use
+/// of the raw Graph500 generator output.
+EdgeList rmat(int scale, int edge_factor, std::uint64_t seed,
+              const RmatParams& params = {});
+
+/// Erdos-Renyi G(n, m): m directed edges drawn uniformly.
+EdgeList erdos_renyi(vid_t n, eid_t m, std::uint64_t seed);
+
+/// Chung-Lu power-law graph: expected degree of vertex i is proportional
+/// to (i+1)^(-1/(gamma-1)), giving a degree distribution with exponent
+/// `gamma` (the paper: scale-free graphs have gamma in [2,3]). Produces
+/// roughly `target_edges` directed edges.
+EdgeList power_law(vid_t n, eid_t target_edges, double gamma,
+                   std::uint64_t seed);
+
+/// 2-D grid, rows x cols vertices, 4-neighborhood, both edge directions.
+EdgeList grid2d(vid_t rows, vid_t cols);
+
+/// 3-D grid, both edge directions (6-neighborhood).
+EdgeList grid3d(vid_t nx, vid_t ny, vid_t nz);
+
+/// 2-D grid plus `shortcuts` random extra edges — a circuit-like graph:
+/// sparse, locally connected, large but not path-like diameter.
+EdgeList circuit_like(vid_t rows, vid_t cols, eid_t shortcuts,
+                      std::uint64_t seed);
+
+/// Complete binary tree on n vertices, parent->child edges plus reverse.
+EdgeList binary_tree(vid_t n);
+
+/// Simple path 0-1-...-(n-1), both directions. Maximal-diameter stress.
+EdgeList path(vid_t n);
+
+/// Star: vertex 0 connected to all others, both directions. One giant
+/// hotspot — the degenerate scale-free case.
+EdgeList star(vid_t n);
+
+/// Complete directed graph on n vertices (no self loops).
+EdgeList complete(vid_t n);
+
+/// Random d-regular-out digraph: every vertex gets d uniform targets.
+EdgeList random_regular(vid_t n, vid_t d, std::uint64_t seed);
+
+}  // namespace optibfs::gen

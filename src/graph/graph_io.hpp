@@ -1,0 +1,43 @@
+// Graph file formats.
+//
+// The paper's real-world graphs come from the Florida (SuiteSparse)
+// Sparse Matrix Collection as MatrixMarket files, so a MatrixMarket
+// reader is provided; when those files are available the benchmark suite
+// consumes them unchanged. A plain edge-list text format and a fast
+// binary CSR format round out the set.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+
+namespace optibfs::io {
+
+/// Reads a MatrixMarket coordinate file. Supports `general` and
+/// `symmetric` matrices; `symmetric` emits both edge directions. Entry
+/// values (for non-pattern matrices) are parsed and discarded — BFS only
+/// needs structure. 1-based indices are converted to 0-based.
+/// Throws std::runtime_error on malformed input.
+EdgeList read_matrix_market(std::istream& in);
+EdgeList read_matrix_market_file(const std::string& path);
+
+/// Writes a MatrixMarket `pattern general` coordinate file.
+void write_matrix_market(std::ostream& out, const EdgeList& edges);
+
+/// Reads whitespace-separated "u v" pairs, 0-based, '#' comments allowed.
+/// An optional leading "n m" header fixes the vertex count; otherwise it
+/// is inferred from the maximum endpoint.
+EdgeList read_edge_list(std::istream& in, bool has_header = false);
+EdgeList read_edge_list_file(const std::string& path, bool has_header = false);
+
+/// Writes "u v" lines preceded by an "n m" header line.
+void write_edge_list(std::ostream& out, const EdgeList& edges);
+
+/// Binary CSR snapshot (little-endian; magic-checked). Fast path for
+/// benchmark graphs so generation cost is paid once.
+void write_binary_csr(const std::string& path, const CsrGraph& g);
+CsrGraph read_binary_csr(const std::string& path);
+
+}  // namespace optibfs::io

@@ -1,0 +1,42 @@
+// Structural graph statistics (the Table IV columns).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace optibfs {
+
+struct DegreeStats {
+  vid_t min = 0;
+  vid_t max = 0;
+  double mean = 0.0;
+  /// Number of vertices with out-degree 0.
+  vid_t isolated = 0;
+  /// histogram[k] = number of vertices whose degree falls in bucket
+  /// [2^k, 2^(k+1)); bucket 0 holds degrees 0 and 1.
+  std::vector<eid_t> log2_histogram;
+};
+
+DegreeStats degree_stats(const CsrGraph& g);
+
+/// Least-squares slope of log(count) vs log(degree) over the non-empty
+/// histogram buckets — a quick power-law exponent estimate. Returns 0 if
+/// fewer than two buckets are populated.
+double power_law_exponent_estimate(const DegreeStats& stats);
+
+/// Number of vertices reachable from `source` (including the source).
+vid_t reachable_count(const CsrGraph& g, vid_t source);
+
+/// Number of BFS levels explored from `source` (the paper's "diameter
+/// explored by the BFS": the eccentricity of the source within its
+/// reachable set). Returns 0 for an out-of-range source.
+level_t bfs_depth(const CsrGraph& g, vid_t source);
+
+/// Maximum bfs_depth over `samples` deterministic sources — the Table IV
+/// "diameter" column (paper: max diameter explored by the BFS).
+level_t sampled_bfs_diameter(const CsrGraph& g, int samples,
+                             std::uint64_t seed);
+
+}  // namespace optibfs

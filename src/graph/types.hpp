@@ -1,0 +1,24 @@
+// Fundamental scalar types shared by the whole library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace optibfs {
+
+/// Vertex identifier. 32 bits covers every graph in the paper's suite
+/// (largest: 15.1M vertices) with a 4x memory saving over 64-bit ids,
+/// which matters for the O(p*n) frontier queue pools.
+using vid_t = std::uint32_t;
+
+/// Edge identifier / edge count. Graphs in the paper reach one billion
+/// edges, beyond 32 bits once multiplied by anything.
+using eid_t = std::uint64_t;
+
+/// BFS level (distance from the source). -1 encodes "not visited".
+using level_t = std::int32_t;
+
+inline constexpr vid_t kInvalidVertex = std::numeric_limits<vid_t>::max();
+inline constexpr level_t kUnvisited = -1;
+
+}  // namespace optibfs

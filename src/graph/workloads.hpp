@@ -1,0 +1,54 @@
+// The benchmark graph suite — stand-ins for Table IV of the paper.
+//
+// The paper evaluates on five SuiteSparse matrices (cage15, cage14,
+// freescale1, wikipedia-2007, kkt_power) and two Graph500 RMAT graphs.
+// Those files are multi-gigabyte downloads unavailable offline, so each
+// is replaced by a synthetic graph of the same *structural class*
+// (degree distribution, diameter regime, density), scaled to container
+// size. DESIGN.md §2 documents the mapping; `Workload::description`
+// carries it at runtime. Real .mtx files can be substituted via
+// OPTIBFS_GRAPH_DIR (any file named <name>.mtx overrides the generator).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace optibfs {
+
+struct Workload {
+  std::string name;          ///< paper graph it stands in for
+  std::string description;   ///< what we generate and why
+  CsrGraph graph;
+};
+
+/// Scale knob: 1.0 reproduces the default container-sized suite
+/// (~10^5 vertices / ~10^6 edges per graph); larger values scale vertex
+/// and edge counts proportionally. Read from env OPTIBFS_SCALE by the
+/// benches.
+struct WorkloadConfig {
+  double scale = 1.0;
+  std::uint64_t seed = 20130527;  // IPDPSW 2013 conference date
+  /// Directory searched for <name>.mtx real-graph overrides ("" = none).
+  std::string graph_dir;
+};
+
+/// Names in suite order (cage15, cage14, freescale, wikipedia,
+/// kkt_power, rmat_100m, rmat_1b — the two RMATs become rmat_sparse /
+/// rmat_dense at container scale).
+std::vector<std::string> workload_names();
+
+/// Builds a single workload by name. Throws std::invalid_argument for
+/// unknown names.
+Workload make_workload(const std::string& name, const WorkloadConfig& config);
+
+/// Builds the full Table IV suite.
+std::vector<Workload> make_all_workloads(const WorkloadConfig& config);
+
+/// Reads OPTIBFS_SCALE / OPTIBFS_SEED / OPTIBFS_GRAPH_DIR from the
+/// environment, falling back to defaults.
+WorkloadConfig workload_config_from_env();
+
+}  // namespace optibfs

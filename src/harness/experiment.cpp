@@ -1,0 +1,59 @@
+#include "harness/experiment.hpp"
+
+#include <cstdlib>
+
+#include "core/registry.hpp"
+#include "harness/source_sampler.hpp"
+
+namespace optibfs {
+
+std::vector<ExperimentCell> run_experiment(
+    const std::vector<Workload>& workloads, const ExperimentConfig& config) {
+  std::vector<ExperimentCell> cells;
+  for (const Workload& workload : workloads) {
+    const std::vector<vid_t> sources =
+        sample_sources(workload.graph, config.sources, config.source_seed);
+    for (const int threads : config.thread_counts) {
+      for (const std::string& algorithm : config.algorithms) {
+        BFSOptions options = config.base_options;
+        options.num_threads = threads;
+        auto engine = make_bfs(algorithm, workload.graph, options);
+        ExperimentCell cell;
+        cell.graph = workload.name;
+        cell.algorithm = algorithm;
+        cell.threads = threads;
+        cell.measurement =
+            measure_bfs(*engine, workload.graph, sources, config.verify);
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  if (const char* raw = std::getenv(name)) {
+    const int value = std::atoi(raw);
+    if (value > 0) return value;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int env_sources(int default_sources) {
+  return env_int("OPTIBFS_SOURCES", default_sources);
+}
+
+int env_threads(int default_threads) {
+  return env_int("OPTIBFS_THREADS", default_threads);
+}
+
+bool env_verify() {
+  const char* raw = std::getenv("OPTIBFS_VERIFY");
+  return raw != nullptr && raw[0] == '1';
+}
+
+}  // namespace optibfs

@@ -1,0 +1,91 @@
+#include "harness/graph500.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/registry.hpp"
+#include "graph/generators.hpp"
+#include "harness/source_sampler.hpp"
+#include "harness/timing.hpp"
+#include "harness/verifier.hpp"
+
+namespace optibfs {
+namespace {
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(position);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double fraction = position - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - fraction) + sorted[hi] * fraction;
+}
+
+}  // namespace
+
+Graph500Stats summarize_teps(std::vector<double> samples) {
+  Graph500Stats stats;
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  stats.min = samples.front();
+  stats.max = samples.back();
+  stats.firstquartile = percentile(samples, 0.25);
+  stats.median = percentile(samples, 0.5);
+  stats.thirdquartile = percentile(samples, 0.75);
+  double sum = 0, inv_sum = 0;
+  for (const double s : samples) {
+    sum += s;
+    if (s > 0) inv_sum += 1.0 / s;
+  }
+  stats.mean = sum / static_cast<double>(samples.size());
+  stats.harmonic_mean =
+      inv_sum > 0 ? static_cast<double>(samples.size()) / inv_sum : 0;
+  return stats;
+}
+
+Graph500Result run_graph500(const Graph500Config& config) {
+  Graph500Result result;
+
+  // Kernel 1: edge generation + CSR construction (both timed, as in the
+  // official benchmark's "construction_time").
+  Timer construction;
+  const EdgeList edges =
+      gen::rmat(config.scale, config.edge_factor, config.seed);
+  const CsrGraph graph = CsrGraph::from_edges(edges);
+  result.construction_seconds = construction.elapsed_seconds();
+  result.num_vertices = graph.num_vertices();
+  result.num_edges = graph.num_edges();
+
+  // Kernel 2: timed searches.
+  auto engine = make_bfs(config.algorithm, graph, config.bfs);
+  const auto sources =
+      sample_sources(graph, config.num_sources, config.seed ^ 0x5EED);
+  BFSResult bfs;
+  for (const vid_t source : sources) {
+    Timer timer;
+    engine->run(source, bfs);
+    const double ms = timer.elapsed_ms();
+
+    if (config.validate) {
+      const VerifyReport report = verify_against_serial(graph, source, bfs);
+      if (!report.ok) {
+        result.all_validated = false;
+        if (result.first_error.empty()) result.first_error = report.error;
+        continue;  // invalid searches are excluded from the statistics
+      }
+    }
+    std::uint64_t component_edges = 0;
+    for (vid_t v = 0; v < graph.num_vertices(); ++v) {
+      if (bfs.level[v] != kUnvisited) component_edges += graph.out_degree(v);
+    }
+    result.time_ms.push_back(ms);
+    result.teps.push_back(ms > 0
+                              ? static_cast<double>(component_edges) /
+                                    (ms / 1e3)
+                              : 0.0);
+  }
+  result.teps_stats = summarize_teps(result.teps);
+  return result;
+}
+
+}  // namespace optibfs

@@ -1,0 +1,56 @@
+// Graph500-style benchmark protocol (the paper cites Graph500 [3,4] as
+// the canonical BFS benchmark; its RMAT generator and parameters are
+// what the paper's synthetic workloads use).
+//
+// Kernel timings and statistics follow the official output format:
+// construction time, then per-search TEPS with min / quartiles / max /
+// harmonic mean (the official aggregate) over `num_sources` validated
+// searches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/bfs_options.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace optibfs {
+
+struct Graph500Config {
+  int scale = 16;
+  int edge_factor = 16;
+  int num_sources = 16;
+  std::uint64_t seed = 1;
+  std::string algorithm = "BFS_WSL";
+  BFSOptions bfs;
+  bool validate = true;  ///< Graph500 requires validated results
+};
+
+struct Graph500Stats {
+  double min = 0, firstquartile = 0, median = 0, thirdquartile = 0, max = 0;
+  double harmonic_mean = 0;  ///< the official TEPS aggregate
+  double mean = 0;
+};
+
+struct Graph500Result {
+  vid_t num_vertices = 0;
+  eid_t num_edges = 0;
+  double construction_seconds = 0;
+  std::vector<double> teps;     ///< per validated search
+  std::vector<double> time_ms;  ///< per validated search
+  Graph500Stats teps_stats;
+  bool all_validated = true;
+  std::string first_error;
+};
+
+/// Order statistics + harmonic mean over a sample (exposed for tests).
+Graph500Stats summarize_teps(std::vector<double> samples);
+
+/// Runs the full protocol: kernel 1 (RMAT construction into CSR),
+/// kernel 2 (num_sources BFS runs from random non-isolated sources,
+/// each optionally validated), and the statistics.
+Graph500Result run_graph500(const Graph500Config& config);
+
+}  // namespace optibfs

@@ -1,0 +1,81 @@
+#include "harness/machine_info.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace optibfs {
+namespace {
+
+std::string value_after_colon(const std::string& line) {
+  const auto pos = line.find(':');
+  if (pos == std::string::npos) return {};
+  auto start = line.find_first_not_of(" \t", pos + 1);
+  return start == std::string::npos ? std::string{} : line.substr(start);
+}
+
+}  // namespace
+
+MachineInfo detect_machine() {
+  MachineInfo info;
+  info.logical_cpus =
+      static_cast<int>(std::thread::hardware_concurrency());
+
+  if (std::ifstream cpuinfo("/proc/cpuinfo"); cpuinfo) {
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+      if (line.rfind("model name", 0) == 0) {
+        info.cpu_model = value_after_colon(line);
+        break;
+      }
+    }
+  }
+
+  if (std::ifstream meminfo("/proc/meminfo"); meminfo) {
+    std::string key, unit;
+    long kb = 0;
+    while (meminfo >> key >> kb >> unit) {
+      if (key == "MemTotal:") {
+        info.total_ram_mb = kb / 1024;
+        break;
+      }
+      meminfo.ignore(1024, '\n');
+    }
+  }
+
+  if (std::ifstream release("/etc/os-release"); release) {
+    std::string line;
+    while (std::getline(release, line)) {
+      if (line.rfind("PRETTY_NAME=", 0) == 0) {
+        info.os = line.substr(12);
+        if (info.os.size() >= 2 && info.os.front() == '"') {
+          info.os = info.os.substr(1, info.os.size() - 2);
+        }
+        break;
+      }
+    }
+  }
+
+  // Walk cpu0's cache hierarchy in sysfs.
+  std::ostringstream caches;
+  const std::filesystem::path base = "/sys/devices/system/cpu/cpu0/cache";
+  std::error_code ec;
+  for (int index = 0; index < 8; ++index) {
+    const auto dir = base / ("index" + std::to_string(index));
+    if (!std::filesystem::exists(dir, ec)) break;
+    std::ifstream level_file(dir / "level");
+    std::ifstream type_file(dir / "type");
+    std::ifstream size_file(dir / "size");
+    std::string level, type, size;
+    if (level_file >> level && type_file >> type && size_file >> size) {
+      if (type == "Instruction") continue;
+      if (caches.tellp() > 0) caches << " / ";
+      caches << 'L' << level << (type == "Data" ? "d" : "") << ' ' << size;
+    }
+  }
+  info.cache_summary = caches.str();
+  return info;
+}
+
+}  // namespace optibfs

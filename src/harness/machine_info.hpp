@@ -1,0 +1,21 @@
+// Runtime environment description (the Table III analog).
+#pragma once
+
+#include <string>
+
+namespace optibfs {
+
+struct MachineInfo {
+  std::string cpu_model;
+  int logical_cpus = 0;
+  long total_ram_mb = 0;
+  std::string os;
+  std::string cache_summary;  ///< e.g. "L1d 32K / L2 512K / L3 16M"
+};
+
+/// Reads /proc/cpuinfo, /proc/meminfo, /etc/os-release and sysfs cache
+/// descriptors; all fields degrade gracefully to empty/0 when a source
+/// is unavailable (e.g., non-Linux).
+MachineInfo detect_machine();
+
+}  // namespace optibfs

@@ -1,0 +1,41 @@
+#include "harness/source_sampler.hpp"
+
+#include "runtime/rng.hpp"
+
+namespace optibfs {
+
+std::vector<vid_t> sample_sources(const CsrGraph& g, int count,
+                                  std::uint64_t seed) {
+  std::vector<vid_t> sources;
+  if (count <= 0 || g.num_vertices() == 0) return sources;
+  sources.reserve(static_cast<std::size_t>(count));
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < count; ++i) {
+    vid_t candidate = 0;
+    bool found = false;
+    // A bounded rejection loop: overwhelmingly succeeds on any graph
+    // with a constant fraction of non-isolated vertices.
+    for (int tries = 0; tries < 256; ++tries) {
+      candidate = static_cast<vid_t>(rng.next_below(g.num_vertices()));
+      if (g.out_degree(candidate) > 0) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      // Degenerate graph: fall back to the first non-isolated vertex,
+      // or vertex 0 if none exists.
+      candidate = 0;
+      for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        if (g.out_degree(v) > 0) {
+          candidate = v;
+          break;
+        }
+      }
+    }
+    sources.push_back(candidate);
+  }
+  return sources;
+}
+
+}  // namespace optibfs

@@ -1,0 +1,102 @@
+#include "harness/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace optibfs {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+std::size_t Table::add_row() {
+  rows_.emplace_back(header_.size());
+  return rows_.size() - 1;
+}
+
+void Table::set(std::size_t row, std::size_t col, std::string value) {
+  rows_.at(row).at(col) = std::move(value);
+}
+
+void Table::set(std::size_t row, std::size_t col, double value,
+                int precision) {
+  std::ostringstream text;
+  text << std::fixed << std::setprecision(precision) << value;
+  set(row, col, text.str());
+}
+
+void Table::set(std::size_t row, std::size_t col, std::uint64_t value) {
+  set(row, col, std::to_string(value));
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+          << (c == 0 ? std::left : std::right) << row[c];
+      out << (c == 0 ? "" : "");
+      out.unsetf(std::ios::adjustfield);
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  std::size_t total = header_.empty() ? 0 : (header_.size() - 1) * 2;
+  for (const std::size_t w : widths) total += w;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (const char ch : cell) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << escape(row[c]);
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string human_count(double value) {
+  const char* suffix = "";
+  if (value >= 1e9) {
+    value /= 1e9;
+    suffix = "B";
+  } else if (value >= 1e6) {
+    value /= 1e6;
+    suffix = "M";
+  } else if (value >= 1e3) {
+    value /= 1e3;
+    suffix = "K";
+  }
+  std::ostringstream text;
+  text << std::fixed << std::setprecision(value >= 100 ? 0 : 1) << value
+       << suffix;
+  return text.str();
+}
+
+}  // namespace optibfs

@@ -1,0 +1,45 @@
+// Aligned ASCII table / CSV emitters shared by every bench binary.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace optibfs {
+
+/// Builds a table row-by-row and renders it column-aligned. Cells are
+/// pre-formatted strings; numeric helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; returns its index.
+  std::size_t add_row();
+  void set(std::size_t row, std::size_t col, std::string value);
+  void set(std::size_t row, std::size_t col, double value, int precision = 2);
+  void set(std::size_t row, std::size_t col, std::uint64_t value);
+
+  /// Appends a fully formed row (padded/truncated to the header width).
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+  const std::string& cell(std::size_t row, std::size_t col) const {
+    return rows_[row][col];
+  }
+
+  /// Column-aligned plain text with a header rule.
+  void print(std::ostream& out) const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Convenience: "1234567" -> "1.2M"-style human formatting for counts.
+std::string human_count(double value);
+
+}  // namespace optibfs

@@ -1,0 +1,62 @@
+#include "harness/timing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "harness/verifier.hpp"
+
+namespace optibfs {
+
+RunMeasurement measure_bfs(ParallelBFS& bfs, const CsrGraph& graph,
+                           const std::vector<vid_t>& sources,
+                           bool verify_each) {
+  RunMeasurement agg;
+  if (sources.empty()) return agg;
+  agg.min_ms = std::numeric_limits<double>::infinity();
+
+  BFSResult result;
+  double total_ms = 0.0;
+  double total_teps = 0.0;
+  double total_duplicates = 0.0;
+
+  for (const vid_t source : sources) {
+    Timer timer;
+    bfs.run(source, result);
+    const double ms = timer.elapsed_ms();
+
+    if (verify_each) {
+      const VerifyReport report = verify_against_serial(graph, source, result);
+      if (!report) {
+        throw std::runtime_error(std::string(bfs.name()) +
+                                 " failed verification: " + report.error);
+      }
+    }
+
+    // Graph500 TEPS: edges *of the input graph* inside the traversed
+    // component, independent of how much duplicate scanning happened.
+    std::uint64_t component_edges = 0;
+    for (vid_t v = 0; v < graph.num_vertices(); ++v) {
+      if (result.level[v] != kUnvisited) component_edges += graph.out_degree(v);
+    }
+
+    total_ms += ms;
+    agg.min_ms = std::min(agg.min_ms, ms);
+    agg.max_ms = std::max(agg.max_ms, ms);
+    if (ms > 0.0) {
+      total_teps += static_cast<double>(component_edges) / (ms / 1e3);
+    }
+    total_duplicates += static_cast<double>(result.duplicate_explorations());
+    agg.steal_stats += result.steal_stats;
+  }
+
+  const auto count = static_cast<double>(sources.size());
+  agg.sources = static_cast<int>(sources.size());
+  agg.mean_ms = total_ms / count;
+  agg.mean_teps = total_teps / count;
+  agg.mean_duplicates = total_duplicates / count;
+  return agg;
+}
+
+}  // namespace optibfs

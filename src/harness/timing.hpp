@@ -1,0 +1,53 @@
+// Measurement utilities: wall-clock timing, per-source averaging, TEPS.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "core/bfs_engine.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace optibfs {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Aggregate over a multi-source measurement loop (the paper reports
+/// the average running time per source over 1000 random sources).
+struct RunMeasurement {
+  double mean_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+  int sources = 0;
+  /// Mean traversed-edges-per-second, Graph500 style: the number of
+  /// input edges in the traversed component divided by the time —
+  /// duplicate scans don't inflate it (Figure 3's metric).
+  double mean_teps = 0.0;
+  /// Mean duplicate explorations per source (optimism overhead).
+  double mean_duplicates = 0.0;
+  /// Steal statistics summed over all sources (Table VI).
+  StealStats steal_stats;
+};
+
+/// Runs `bfs` from every source in `sources` and aggregates. When
+/// `verify_each` is set, every run is validated against the serial
+/// reference and a failed run throws std::runtime_error (benches keep
+/// it off; tests and the quickstart keep it on).
+RunMeasurement measure_bfs(ParallelBFS& bfs, const CsrGraph& graph,
+                           const std::vector<vid_t>& sources,
+                           bool verify_each = false);
+
+}  // namespace optibfs

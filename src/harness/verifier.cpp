@@ -1,0 +1,117 @@
+#include "harness/verifier.hpp"
+
+#include <sstream>
+
+#include "core/bfs_serial.hpp"
+
+namespace optibfs {
+namespace {
+
+VerifyReport fail(std::string message) {
+  VerifyReport report;
+  report.ok = false;
+  report.error = std::move(message);
+  return report;
+}
+
+}  // namespace
+
+VerifyReport verify_bfs_tree(const CsrGraph& g, vid_t source,
+                             const BFSResult& result) {
+  const vid_t n = g.num_vertices();
+  if (result.level.size() != n || result.parent.size() != n) {
+    return fail("result arrays have wrong size");
+  }
+  if (source >= n) return fail("source out of range");
+  if (result.level[source] != 0) return fail("level[source] != 0");
+  if (result.parent[source] != source) return fail("parent[source] != source");
+
+  for (vid_t v = 0; v < n; ++v) {
+    const level_t lv = result.level[v];
+    if (lv == kUnvisited) {
+      if (result.parent[v] != kInvalidVertex) {
+        std::ostringstream msg;
+        msg << "unreachable vertex " << v << " has a parent";
+        return fail(msg.str());
+      }
+      continue;
+    }
+    if (lv < 0) {
+      std::ostringstream msg;
+      msg << "vertex " << v << " has negative level " << lv;
+      return fail(msg.str());
+    }
+    if (v == source) continue;
+    const vid_t parent = result.parent[v];
+    if (parent >= n) {
+      std::ostringstream msg;
+      msg << "vertex " << v << " has out-of-range parent";
+      return fail(msg.str());
+    }
+    if (result.level[parent] + 1 != lv) {
+      std::ostringstream msg;
+      msg << "vertex " << v << " at level " << lv << " has parent " << parent
+          << " at level " << result.level[parent];
+      return fail(msg.str());
+    }
+    if (!g.has_edge(parent, v)) {
+      std::ostringstream msg;
+      msg << "tree edge " << parent << "->" << v << " not in graph";
+      return fail(msg.str());
+    }
+  }
+
+  // Edge rule: no edge may span more than one level downward, and a
+  // visited tail implies a visited head.
+  for (vid_t u = 0; u < n; ++u) {
+    const level_t lu = result.level[u];
+    if (lu == kUnvisited) continue;
+    for (const vid_t v : g.out_neighbors(u)) {
+      const level_t lv = result.level[v];
+      if (lv == kUnvisited) {
+        std::ostringstream msg;
+        msg << "edge " << u << "->" << v
+            << " reaches an unvisited vertex from a visited one";
+        return fail(msg.str());
+      }
+      if (lv > lu + 1) {
+        std::ostringstream msg;
+        msg << "edge " << u << "->" << v << " skips a level (" << lu << " -> "
+            << lv << ")";
+        return fail(msg.str());
+      }
+    }
+  }
+  return {};
+}
+
+VerifyReport verify_against_serial(const CsrGraph& g, vid_t source,
+                                   const BFSResult& result) {
+  VerifyReport structural = verify_bfs_tree(g, source, result);
+  if (!structural) return structural;
+
+  const BFSResult reference = bfs_serial(g, source);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (result.level[v] != reference.level[v]) {
+      std::ostringstream msg;
+      msg << "level mismatch at vertex " << v << ": got " << result.level[v]
+          << ", serial reference says " << reference.level[v];
+      return fail(msg.str());
+    }
+  }
+  if (result.vertices_visited != reference.vertices_visited) {
+    std::ostringstream msg;
+    msg << "visited-count mismatch: got " << result.vertices_visited
+        << ", reference " << reference.vertices_visited;
+    return fail(msg.str());
+  }
+  if (result.num_levels != reference.num_levels) {
+    std::ostringstream msg;
+    msg << "num_levels mismatch: got " << result.num_levels << ", reference "
+        << reference.num_levels;
+    return fail(msg.str());
+  }
+  return {};
+}
+
+}  // namespace optibfs

@@ -1,0 +1,39 @@
+// Graph500-style BFS output validation.
+//
+// The optimistic algorithms are *nondeterministic in parents* but must
+// be *deterministic in levels*. The verifier checks both properties:
+// levels are compared exactly against the serial oracle, while any
+// parent consistent with a shortest-path tree is accepted (the paper's
+// arbitrary-concurrent-write rule makes parents run-dependent).
+#pragma once
+
+#include <string>
+
+#include "core/bfs_result.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace optibfs {
+
+struct VerifyReport {
+  bool ok = true;
+  std::string error;  ///< first failure, human-readable
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Structural validation without an oracle:
+///  1. level[source] == 0 and parent[source] == source;
+///  2. every visited v != source has a parent with an actual edge
+///     parent->v and level[parent] + 1 == level[v];
+///  3. unreachable vertices have parent == kInvalidVertex;
+///  4. no edge u->v skips a level (level[v] <= level[u] + 1 when both
+///     visited, and v visited whenever u is).
+VerifyReport verify_bfs_tree(const CsrGraph& g, vid_t source,
+                             const BFSResult& result);
+
+/// Full validation: structural checks plus an exact level-by-level
+/// comparison against the serial reference.
+VerifyReport verify_against_serial(const CsrGraph& g, vid_t source,
+                                   const BFSResult& result);
+
+}  // namespace optibfs

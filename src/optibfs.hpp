@@ -1,0 +1,33 @@
+// optibfs — umbrella header.
+//
+// Reproduction of Tithi, Matani, Menghani & Chowdhury, "Avoiding Locks
+// and Atomic Instructions in Shared-Memory Parallel BFS Using
+// Optimistic Parallelization" (IEEE IPDPSW 2013).
+//
+// Quickstart:
+//   #include "optibfs.hpp"
+//   auto g = optibfs::CsrGraph::from_edges(
+//       optibfs::gen::rmat(/*scale=*/16, /*edge_factor=*/16, /*seed=*/1));
+//   optibfs::BFSOptions opts;
+//   opts.num_threads = 8;
+//   auto bfs = optibfs::make_bfs("BFS_WSL", g, opts);
+//   optibfs::BFSResult result = bfs->run(/*source=*/0);
+//
+// See README.md for the architecture overview and DESIGN.md for the
+// paper-to-module mapping.
+#pragma once
+
+#include "core/bfs_engine.hpp"     // IWYU pragma: export
+#include "core/bfs_options.hpp"    // IWYU pragma: export
+#include "core/bfs_result.hpp"     // IWYU pragma: export
+#include "core/bfs_serial.hpp"     // IWYU pragma: export
+#include "core/registry.hpp"       // IWYU pragma: export
+#include "graph/csr_graph.hpp"     // IWYU pragma: export
+#include "graph/generators.hpp"    // IWYU pragma: export
+#include "graph/graph_io.hpp"      // IWYU pragma: export
+#include "graph/graph_props.hpp"   // IWYU pragma: export
+#include "graph/workloads.hpp"     // IWYU pragma: export
+#include "harness/experiment.hpp"  // IWYU pragma: export
+#include "harness/source_sampler.hpp"  // IWYU pragma: export
+#include "harness/timing.hpp"      // IWYU pragma: export
+#include "harness/verifier.hpp"    // IWYU pragma: export

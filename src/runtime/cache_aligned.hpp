@@ -1,0 +1,34 @@
+// Cache-line padding utilities.
+//
+// Every per-thread mutable slot in this library (queue indices, steal
+// counters, segment control blocks) is padded to its own cache line:
+// the paper's whole premise is cheap unprotected access to shared
+// indices, and false sharing would silently reintroduce the coherence
+// traffic the design removes.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace optibfs {
+
+/// Fixed at 64 rather than std::hardware_destructive_interference_size:
+/// the std constant is an ABI hazard (GCC warns whenever it leaks into
+/// a header) and 64 is correct for every x86-64 and most AArch64 parts.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps T so that consecutive array elements occupy distinct cache lines.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  CacheAligned() = default;
+  explicit CacheAligned(const T& v) : value(v) {}
+
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+};
+
+}  // namespace optibfs

@@ -1,0 +1,53 @@
+// Per-worker-view reducer (a pragmatic cilk++ hyperobject stand-in).
+//
+// PBFS (Baseline1) accumulates the next frontier into a *bag reducer*:
+// every strand appends to what looks like a single bag, the runtime
+// keeps per-strand views, and views merge when strands join. Full Cilk
+// reducers guarantee a deterministic reduction *order*; PBFS only needs
+// the reduced *set* (a bag is an unordered multiset), so one view per
+// worker, merged once at the join point, is semantically equivalent for
+// this use and is what we provide. See DESIGN.md §3.2.
+#pragma once
+
+#include <vector>
+
+#include "runtime/cache_aligned.hpp"
+#include "runtime/fork_join_pool.hpp"
+
+namespace optibfs {
+
+/// Monoid concept: `View` default-constructs to the identity and
+/// `Monoid::reduce(View& into, View&& from)` folds a view into another.
+template <typename Monoid>
+class Reducer {
+ public:
+  using View = typename Monoid::View;
+
+  explicit Reducer(ForkJoinPool& pool)
+      : pool_(pool),
+        views_(static_cast<std::size_t>(pool.num_workers())) {}
+
+  /// The calling worker's private view. Must be called from inside the
+  /// pool (worker id >= 0).
+  View& view() {
+    const int id = pool_.current_worker_id();
+    return views_[static_cast<std::size_t>(id)].value;
+  }
+
+  /// Folds all views into one (quiescence required: no strand may be
+  /// appending concurrently — call at a join point).
+  View reduce() {
+    View result{};
+    for (auto& slot : views_) {
+      Monoid::reduce(result, std::move(slot.value));
+      slot.value = View{};
+    }
+    return result;
+  }
+
+ private:
+  ForkJoinPool& pool_;
+  std::vector<CacheAligned<View>> views_;
+};
+
+}  // namespace optibfs

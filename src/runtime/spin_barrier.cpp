@@ -1,0 +1,31 @@
+#include "runtime/spin_barrier.hpp"
+
+#include <thread>
+
+namespace optibfs {
+
+bool SpinBarrier::arrive_and_wait() {
+  const std::uint64_t my_generation =
+      generation_.load(std::memory_order_acquire);
+  const int position = arrived_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (position == num_threads_) {
+    // Last arriver: reset for the next phase and release everyone.
+    arrived_.store(0, std::memory_order_relaxed);
+    generation_.store(my_generation + 1, std::memory_order_release);
+    generation_.notify_all();
+    return true;
+  }
+  int spins = 0;
+  while (generation_.load(std::memory_order_acquire) == my_generation) {
+    if (++spins < kSpinLimit) {
+      // busy-wait briefly; cheap when all threads really run in parallel
+    } else if (spins < kSpinLimit * 2) {
+      std::this_thread::yield();
+    } else {
+      generation_.wait(my_generation, std::memory_order_acquire);
+    }
+  }
+  return false;
+}
+
+}  // namespace optibfs

@@ -1,0 +1,43 @@
+// Reusable barrier for level-synchronous BFS.
+//
+// The paper's algorithms are level-synchronized: a barrier separates BFS
+// levels (and the two phases of the scale-free variants). The barrier is
+// infrastructure, not part of the load-balancing inner loop the paper
+// optimizes, so it may use atomics freely.
+//
+// Implementation: central arrival counter + generation word. The last
+// arriver bumps the generation and notifies; earlier arrivers spin
+// briefly on the generation then fall back to atomic wait (futex). The
+// futex fallback matters in this environment — threads are oversubscribed
+// on few cores and pure spinning would burn whole timeslices waiting for
+// preempted peers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace optibfs {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int num_threads) : num_threads_(num_threads) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks until all `num_threads` participants have arrived.
+  /// Returns true for exactly one participant per phase (the last
+  /// arriver), which callers use to run a serial epilogue (queue swap).
+  bool arrive_and_wait();
+
+  int num_threads() const { return num_threads_; }
+
+ private:
+  static constexpr int kSpinLimit = 2048;
+
+  const int num_threads_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace optibfs

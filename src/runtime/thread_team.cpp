@@ -1,0 +1,65 @@
+#include "runtime/thread_team.hpp"
+
+#include <stdexcept>
+
+namespace optibfs {
+
+ThreadTeam::ThreadTeam(int num_threads) : num_threads_(num_threads) {
+  if (num_threads < 1) {
+    throw std::invalid_argument("ThreadTeam: need at least one thread");
+  }
+  threads_.reserve(static_cast<std::size_t>(num_threads_));
+  for (int tid = 0; tid < num_threads_; ++tid) {
+    threads_.emplace_back([this, tid] { worker_loop(tid); });
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadTeam::run(const std::function<void(int)>& body) {
+  std::unique_lock lock(mutex_);
+  body_ = &body;
+  remaining_ = num_threads_;
+  first_error_ = nullptr;
+  ++epoch_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  body_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadTeam::worker_loop(int tid) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(int)>* body = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return shutting_down_ || epoch_ != seen_epoch;
+      });
+      if (shutting_down_) return;
+      seen_epoch = epoch_;
+      body = body_;
+    }
+    std::exception_ptr error;
+    try {
+      (*body)(tid);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace optibfs

@@ -1,0 +1,27 @@
+#include "runtime/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace optibfs {
+
+Topology::Topology(int num_threads, int num_sockets)
+    : num_sockets_(std::max(1, num_sockets)) {
+  if (num_threads < 0) {
+    throw std::invalid_argument("Topology: negative thread count");
+  }
+  num_sockets_ = std::min(num_sockets_, std::max(1, num_threads));
+  socket_of_.resize(static_cast<std::size_t>(num_threads));
+  peers_.resize(static_cast<std::size_t>(num_sockets_));
+  // Block assignment: threads [0, t/s) on socket 0, etc. — matches how
+  // cluster schedulers hand out consecutive hardware threads per socket.
+  const int per_socket =
+      (num_threads + num_sockets_ - 1) / std::max(1, num_sockets_);
+  for (int t = 0; t < num_threads; ++t) {
+    const int s = std::min(t / std::max(1, per_socket), num_sockets_ - 1);
+    socket_of_[static_cast<std::size_t>(t)] = s;
+    peers_[static_cast<std::size_t>(s)].push_back(t);
+  }
+}
+
+}  // namespace optibfs

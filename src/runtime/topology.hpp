@@ -1,0 +1,40 @@
+// Simulated machine topology for the NUMA-aware policies of paper §IV-C.
+//
+// The paper sketches NUMA extensions: work-stealing threads should prefer
+// victims on their own socket, and decentralized-queue threads should
+// migrate between queue pools socket-locally. The container this library
+// is developed in has no NUMA (single core), so what we reproduce is the
+// *policy logic*: a Topology assigns each thread id to a socket, and the
+// stealing/migration code consults it. On a real NUMA machine the same
+// Topology can be constructed from the physical layout and combined with
+// thread pinning (ThreadTeam::Options::pin_threads).
+#pragma once
+
+#include <vector>
+
+namespace optibfs {
+
+class Topology {
+ public:
+  /// Flat topology: all threads on one socket (NUMA policy disabled).
+  static Topology flat(int num_threads) { return Topology(num_threads, 1); }
+
+  /// `num_threads` threads spread round-robin-block over `num_sockets`.
+  Topology(int num_threads, int num_sockets);
+
+  int num_threads() const { return static_cast<int>(socket_of_.size()); }
+  int num_sockets() const { return num_sockets_; }
+  int socket_of(int thread_id) const { return socket_of_[thread_id]; }
+
+  /// Thread ids sharing thread_id's socket (including itself).
+  const std::vector<int>& socket_peers(int thread_id) const {
+    return peers_[socket_of_[thread_id]];
+  }
+
+ private:
+  int num_sockets_ = 1;
+  std::vector<int> socket_of_;
+  std::vector<std::vector<int>> peers_;
+};
+
+}  // namespace optibfs

@@ -1,0 +1,174 @@
+// Pennant/bag invariants (Leiserson-Schardl structure behind PBFS).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "baselines/bag.hpp"
+#include "runtime/rng.hpp"
+
+namespace optibfs {
+namespace {
+
+std::vector<vid_t> collect(const Bag& bag) {
+  std::vector<vid_t> out;
+  bag.for_each_block([&](const vid_t* block, std::size_t used) {
+    out.insert(out.end(), block, block + used);
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(Bag, EmptyByDefault) {
+  Bag bag;
+  EXPECT_TRUE(bag.empty());
+  EXPECT_EQ(bag.size(), 0u);
+}
+
+TEST(Bag, InsertAndCollect) {
+  Bag bag;
+  std::vector<vid_t> expected;
+  for (vid_t v = 0; v < 5000; ++v) {
+    bag.insert(v * 3);
+    expected.push_back(v * 3);
+  }
+  EXPECT_FALSE(bag.empty());
+  EXPECT_EQ(bag.size(), 5000u);
+  EXPECT_EQ(collect(bag), expected);
+}
+
+TEST(Bag, SpineMirrorsBinaryCounter) {
+  // After inserting k full blocks, the spine ranks with a pennant must
+  // be exactly the set bits of k.
+  Bag bag;
+  const std::size_t blocks = 13;  // 0b1101
+  for (std::size_t i = 0; i < blocks * kBagBlockSize; ++i) {
+    bag.insert(static_cast<vid_t>(i));
+  }
+  std::size_t reconstructed = 0;
+  for (std::size_t k = 0; k < bag.spine().size(); ++k) {
+    if (!bag.spine()[k].empty()) {
+      EXPECT_EQ(bag.spine()[k].rank(), static_cast<int>(k));
+      reconstructed += std::size_t{1} << k;
+    }
+  }
+  EXPECT_EQ(reconstructed, blocks);
+}
+
+TEST(Pennant, UniteAndSplitAreInverse) {
+  auto make_rank0 = [](vid_t base) {
+    auto* node = new PennantNode;
+    node->used = kBagBlockSize;
+    for (std::size_t i = 0; i < kBagBlockSize; ++i) {
+      node->block[i] = base + static_cast<vid_t>(i);
+    }
+    return Pennant(node, 0);
+  };
+  Pennant a = make_rank0(0);
+  Pennant b = make_rank0(1000);
+  Pennant merged = Pennant::unite(std::move(a), std::move(b));
+  EXPECT_EQ(merged.rank(), 1);
+  EXPECT_EQ(merged.node_count(), 2u);
+  Pennant back = merged.split();
+  EXPECT_EQ(merged.rank(), 0);
+  EXPECT_EQ(back.rank(), 0);
+  EXPECT_EQ(merged.node_count(), 1u);
+  EXPECT_EQ(back.node_count(), 1u);
+}
+
+// Builds a pennant of the requested rank out of 2^rank single-element
+// nodes, checking the node-count invariant at every rank.
+TEST(Pennant, DoublingGrowsRankAndNodeCount) {
+  auto make_rank0 = [] {
+    auto* node = new PennantNode;
+    node->used = 1;
+    node->block[0] = 7;
+    return Pennant(node, 0);
+  };
+  std::function<Pennant(int)> build = [&](int rank) -> Pennant {
+    if (rank == 0) return make_rank0();
+    return Pennant::unite(build(rank - 1), build(rank - 1));
+  };
+  for (int rank = 0; rank <= 6; ++rank) {
+    const Pennant p = build(rank);
+    EXPECT_EQ(p.rank(), rank);
+    EXPECT_EQ(p.node_count(), std::size_t{1} << rank);
+    std::size_t nodes = 0;
+    walk_pennant_nodes(p.root(), [&](const vid_t*, std::size_t) { ++nodes; });
+    EXPECT_EQ(nodes, std::size_t{1} << rank);
+  }
+}
+
+TEST(Bag, MergeIsUnionOfContents) {
+  Bag a, b;
+  std::vector<vid_t> expected;
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 3000; ++i) {
+    const vid_t v = static_cast<vid_t>(rng.next_below(100000));
+    if (i % 2 == 0) {
+      a.insert(v);
+    } else {
+      b.insert(v);
+    }
+    expected.push_back(v);
+  }
+  a.merge(std::move(b));
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(collect(a), expected);
+}
+
+TEST(Bag, MergePreservesMultiplicity) {
+  Bag a, b;
+  for (int i = 0; i < 600; ++i) {
+    a.insert(1);
+    b.insert(1);
+  }
+  a.merge(std::move(b));
+  EXPECT_EQ(a.size(), 1200u);
+}
+
+TEST(Bag, MergeWithEmptySides) {
+  Bag a, b;
+  a.insert(3);
+  a.merge(std::move(b));
+  EXPECT_EQ(a.size(), 1u);
+  Bag c, d;
+  d.insert(9);
+  c.merge(std::move(d));
+  EXPECT_EQ(collect(c), std::vector<vid_t>{9});
+}
+
+TEST(Bag, RandomizedMergeProperty) {
+  // Property: for random insert/merge sequences, the multiset union is
+  // preserved exactly.
+  Xoshiro256 rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::map<vid_t, int> expected;
+    std::vector<Bag> bags(4);
+    for (int op = 0; op < 5000; ++op) {
+      const auto which = static_cast<std::size_t>(rng.next_below(4));
+      const vid_t v = static_cast<vid_t>(rng.next_below(64));
+      bags[which].insert(v);
+      ++expected[v];
+    }
+    Bag all;
+    for (auto& bag : bags) all.merge(std::move(bag));
+    std::map<vid_t, int> actual;
+    for (const vid_t v : collect(all)) ++actual[v];
+    EXPECT_EQ(actual, expected) << "trial " << trial;
+  }
+}
+
+TEST(Bag, ClearEmpties) {
+  Bag bag;
+  for (vid_t v = 0; v < 2000; ++v) bag.insert(v);
+  bag.clear();
+  EXPECT_TRUE(bag.empty());
+  EXPECT_EQ(bag.size(), 0u);
+  bag.insert(1);  // usable after clear
+  EXPECT_EQ(bag.size(), 1u);
+}
+
+}  // namespace
+}  // namespace optibfs

@@ -1,0 +1,111 @@
+// The central correctness matrix: every algorithm x every zoo graph x
+// several thread counts, validated against the serial oracle. This is
+// the test that backs the paper's core claim — optimistic, unprotected
+// index updates still yield exact BFS levels.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/registry.hpp"
+#include "harness/source_sampler.hpp"
+#include "harness/verifier.hpp"
+#include "test_util.hpp"
+
+namespace optibfs {
+namespace {
+
+using test::NamedGraph;
+
+class AlgorithmMatrixTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(AlgorithmMatrixTest, MatchesSerialOnZoo) {
+  const auto& [algorithm, threads] = GetParam();
+  for (const NamedGraph& entry : test::correctness_graph_zoo()) {
+    BFSOptions options;
+    options.num_threads = threads;
+    options.seed = 12345;
+    auto engine = make_bfs(algorithm, entry.graph, options);
+    const auto sources = sample_sources(entry.graph, 3, 99);
+    for (const vid_t source : sources) {
+      BFSResult result;
+      engine->run(source, result);
+      const VerifyReport report =
+          verify_against_serial(entry.graph, source, result);
+      EXPECT_TRUE(report.ok)
+          << algorithm << " on " << entry.name << " from source " << source
+          << " with " << threads << " threads: " << report.error;
+      if (!report.ok) return;  // one detailed failure is enough
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, AlgorithmMatrixTest,
+    ::testing::Combine(::testing::ValuesIn(all_algorithms()),
+                       ::testing::Values(1, 2, 4, 8)),
+    [](const auto& param_info) {
+      return std::get<0>(param_info.param) + "_t" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+// Engines must be reusable: run-to-run state leaks (stale queue slots,
+// stale steal blocks) are the classic failure of pooled BFS engines.
+TEST(EngineReuse, BackToBackRunsFromDifferentSources) {
+  const auto graph = CsrGraph::from_edges(gen::rmat(10, 8, 5));
+  BFSOptions options;
+  options.num_threads = 4;
+  for (const auto& algorithm : all_algorithms()) {
+    auto engine = make_bfs(algorithm, graph, options);
+    const auto sources = sample_sources(graph, 6, 17);
+    for (const vid_t source : sources) {
+      BFSResult result;
+      engine->run(source, result);
+      const auto report = verify_against_serial(graph, source, result);
+      ASSERT_TRUE(report.ok) << algorithm << ": " << report.error;
+    }
+  }
+}
+
+// The paper's own stress case: more threads than frontier vertices for
+// many levels (a path graph has frontier size 1 everywhere).
+TEST(DegenerateParallelism, ManyThreadsTinyFrontiers) {
+  const auto graph = CsrGraph::from_edges(gen::path(200));
+  for (const auto& algorithm : paper_algorithms()) {
+    BFSOptions options;
+    options.num_threads = 8;
+    auto engine = make_bfs(algorithm, graph, options);
+    BFSResult result;
+    engine->run(0, result);
+    const auto report = verify_against_serial(graph, 0, result);
+    ASSERT_TRUE(report.ok) << algorithm << ": " << report.error;
+    EXPECT_EQ(result.num_levels, 200);
+  }
+}
+
+TEST(SourceValidation, OutOfRangeSourceThrows) {
+  const auto graph = CsrGraph::from_edges(gen::path(8));
+  for (const auto& algorithm : all_algorithms()) {
+    BFSOptions options;
+    options.num_threads = 2;
+    auto engine = make_bfs(algorithm, graph, options);
+    EXPECT_THROW(engine->run(1000), std::out_of_range) << algorithm;
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  const auto graph = CsrGraph::from_edges(gen::path(4));
+  EXPECT_THROW(make_bfs("BFS_NOPE", graph, {}), std::invalid_argument);
+}
+
+TEST(Registry, NameRoundTrip) {
+  const auto graph = CsrGraph::from_edges(gen::path(4));
+  for (const auto& algorithm : all_algorithms()) {
+    auto engine = make_bfs(algorithm, graph, {});
+    EXPECT_EQ(engine->name(), algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace optibfs

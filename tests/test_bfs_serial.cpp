@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "core/bfs_serial.hpp"
+#include "graph/generators.hpp"
+
+namespace optibfs {
+namespace {
+
+TEST(SerialBFS, SingleVertex) {
+  const CsrGraph g = CsrGraph::from_edges(EdgeList(1));
+  const BFSResult r = bfs_serial(g, 0);
+  EXPECT_EQ(r.level[0], 0);
+  EXPECT_EQ(r.parent[0], 0u);
+  EXPECT_EQ(r.num_levels, 1);
+  EXPECT_EQ(r.vertices_visited, 1u);
+}
+
+TEST(SerialBFS, PathLevels) {
+  const CsrGraph g = CsrGraph::from_edges(gen::path(6));
+  const BFSResult r = bfs_serial(g, 0);
+  for (vid_t v = 0; v < 6; ++v) {
+    EXPECT_EQ(r.level[v], static_cast<level_t>(v));
+  }
+  EXPECT_EQ(r.num_levels, 6);
+  // Parents follow the chain.
+  for (vid_t v = 1; v < 6; ++v) EXPECT_EQ(r.parent[v], v - 1);
+}
+
+TEST(SerialBFS, MidPathSource) {
+  const CsrGraph g = CsrGraph::from_edges(gen::path(7));
+  const BFSResult r = bfs_serial(g, 3);
+  EXPECT_EQ(r.level[0], 3);
+  EXPECT_EQ(r.level[6], 3);
+  EXPECT_EQ(r.level[3], 0);
+  EXPECT_EQ(r.num_levels, 4);
+}
+
+TEST(SerialBFS, UnreachableVerticesStayUnvisited) {
+  EdgeList edges(5);
+  edges.add_unchecked(0, 1);
+  const CsrGraph g = CsrGraph::from_edges(edges);
+  const BFSResult r = bfs_serial(g, 0);
+  EXPECT_EQ(r.level[1], 1);
+  EXPECT_EQ(r.level[2], kUnvisited);
+  EXPECT_EQ(r.parent[2], kInvalidVertex);
+  EXPECT_EQ(r.vertices_visited, 2u);
+}
+
+TEST(SerialBFS, DirectedEdgesAreOneWay) {
+  EdgeList edges(3);
+  edges.add_unchecked(0, 1);
+  edges.add_unchecked(1, 2);
+  const CsrGraph g = CsrGraph::from_edges(edges);
+  EXPECT_EQ(bfs_serial(g, 2).vertices_visited, 1u);
+  EXPECT_EQ(bfs_serial(g, 0).vertices_visited, 3u);
+}
+
+TEST(SerialBFS, SelfLoopsAndMultiEdgesAreHarmless) {
+  EdgeList edges(3);
+  edges.add_unchecked(0, 0);
+  edges.add_unchecked(0, 1);
+  edges.add_unchecked(0, 1);
+  edges.add_unchecked(1, 2);
+  const BFSResult r = bfs_serial(CsrGraph::from_edges(edges), 0);
+  EXPECT_EQ(r.level[1], 1);
+  EXPECT_EQ(r.level[2], 2);
+  EXPECT_EQ(r.vertices_visited, 3u);
+}
+
+TEST(SerialBFS, CountersAreExact) {
+  const CsrGraph g = CsrGraph::from_edges(gen::complete(6));
+  const BFSResult r = bfs_serial(g, 0);
+  EXPECT_EQ(r.vertices_explored, 6u);   // serial: no duplicates ever
+  EXPECT_EQ(r.edges_scanned, 30u);
+  EXPECT_EQ(r.duplicate_explorations(), 0u);
+}
+
+TEST(SerialBFS, OutOfRangeSourceThrows) {
+  const CsrGraph g = CsrGraph::from_edges(gen::path(3));
+  EXPECT_THROW(bfs_serial(g, 3), std::out_of_range);
+}
+
+TEST(SerialBFS, ReusesBuffers) {
+  const CsrGraph g = CsrGraph::from_edges(gen::path(5));
+  BFSResult r;
+  bfs_serial(g, 0, r);
+  bfs_serial(g, 4, r);
+  EXPECT_EQ(r.level[0], 4);
+  EXPECT_EQ(r.level[4], 0);
+}
+
+TEST(SerialBFS, DeterministicParents) {
+  const CsrGraph g = CsrGraph::from_edges(gen::erdos_renyi(300, 2000, 5));
+  const BFSResult a = bfs_serial(g, 1);
+  const BFSResult b = bfs_serial(g, 1);
+  EXPECT_EQ(a.parent, b.parent);
+  EXPECT_EQ(a.level, b.level);
+}
+
+}  // namespace
+}  // namespace optibfs

@@ -1,0 +1,225 @@
+// Option-space coverage: every paper extension and ablation switch must
+// stay exactly correct (levels identical to serial) under all settings.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/registry.hpp"
+#include "harness/source_sampler.hpp"
+#include "harness/verifier.hpp"
+#include "test_util.hpp"
+
+namespace optibfs {
+namespace {
+
+void expect_correct(const std::string& algorithm, const CsrGraph& graph,
+                    const BFSOptions& options, const std::string& what) {
+  auto engine = make_bfs(algorithm, graph, options);
+  for (const vid_t source : sample_sources(graph, 2, 7)) {
+    BFSResult result;
+    engine->run(source, result);
+    const auto report = verify_against_serial(graph, source, result);
+    ASSERT_TRUE(report.ok) << algorithm << " [" << what << "] from " << source
+                           << ": " << report.error;
+  }
+}
+
+CsrGraph hotspot_graph() {
+  return CsrGraph::from_edges(gen::power_law(3000, 20000, 2.1, 41));
+}
+
+// ---- BFS_DL pool-count sweep (j = 1 .. p) ----
+
+class DlPoolSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DlPoolSweep, CorrectForEveryPoolCount) {
+  const CsrGraph graph = hotspot_graph();
+  BFSOptions options;
+  options.num_threads = 8;
+  options.dl_pools = GetParam();
+  expect_correct("BFS_DL", graph, options,
+                 "j=" + std::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPoolCounts, DlPoolSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+// ---- fixed segment sizes (s sweep, paper's adaptive default is 0) ----
+
+class SegmentSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegmentSizeSweep, CentralizedVariantsCorrect) {
+  const CsrGraph graph = hotspot_graph();
+  BFSOptions options;
+  options.num_threads = 4;
+  options.segment_size = GetParam();
+  for (const char* algorithm : {"BFS_C", "BFS_CL", "BFS_DL"}) {
+    expect_correct(algorithm, graph, options,
+                   "s=" + std::to_string(GetParam()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SegmentSizes, SegmentSizeSweep,
+                         ::testing::Values(1, 2, 7, 64, 1 << 20));
+
+// ---- §IV-D parent-claim duplicate suppression ----
+
+TEST(ParentClaim, CorrectAndSuppressesDuplicates) {
+  // Dense, low-diameter graph: the duplicate-heavy regime the paper
+  // says claim checking targets.
+  const CsrGraph graph = CsrGraph::from_edges(gen::rmat(11, 64, 9));
+  for (const char* algorithm : {"BFS_CL", "BFS_DL", "BFS_WL", "BFS_WSL"}) {
+    BFSOptions options;
+    options.num_threads = 8;
+    options.parent_claim_dedup = true;
+    expect_correct(algorithm, graph, options, "parent_claim");
+  }
+}
+
+TEST(ParentClaim, SkipCounterOnlyMovesWhenEnabled) {
+  const CsrGraph graph = CsrGraph::from_edges(gen::rmat(10, 32, 9));
+  BFSOptions off;
+  off.num_threads = 4;
+  auto plain = make_bfs("BFS_CL", graph, off);
+  BFSResult r1;
+  plain->run(0, r1);
+  EXPECT_EQ(r1.claim_skips, 0u);
+
+  BFSOptions on = off;
+  on.parent_claim_dedup = true;
+  auto claimed = make_bfs("BFS_CL", graph, on);
+  BFSResult r2;
+  claimed->run(0, r2);
+  // Every visited vertex is explored at least once even with claims on
+  // (the claimed copy always passes its own check).
+  EXPECT_GE(r2.vertices_explored, r2.vertices_visited);
+  const auto report = verify_against_serial(graph, 0, r2);
+  EXPECT_TRUE(report.ok) << report.error;
+}
+
+// ---- §IV-D atomic-bitmap dedup (Baseline2's trick on our engines) ----
+
+TEST(VisitedBitmap, CorrectAndEliminatesDuplicates) {
+  const CsrGraph graph = CsrGraph::from_edges(gen::rmat(11, 64, 9));
+  for (const char* algorithm :
+       {"BFS_C", "BFS_CL", "BFS_DL", "BFS_WL", "BFS_WSL"}) {
+    BFSOptions options;
+    options.num_threads = 8;
+    options.visited_bitmap_dedup = true;
+    auto engine = make_bfs(algorithm, graph, options);
+    for (const vid_t source : sample_sources(graph, 2, 7)) {
+      BFSResult result;
+      engine->run(source, result);
+      const auto report = verify_against_serial(graph, source, result);
+      ASSERT_TRUE(report.ok) << algorithm << ": " << report.error;
+      // The fetch_or claim admits each vertex into exactly one queue,
+      // so within-queue pops can't duplicate it either (each queue
+      // holds it at most once, and clearing dedups re-pops).
+      EXPECT_EQ(result.duplicate_explorations(), 0u) << algorithm;
+    }
+  }
+}
+
+TEST(VisitedBitmap, ComposesWithOtherOptions) {
+  const CsrGraph graph = hotspot_graph();
+  BFSOptions options;
+  options.num_threads = 8;
+  options.visited_bitmap_dedup = true;
+  options.serial_frontier_cutoff = 8;
+  options.numa_aware = true;
+  options.num_sockets = 2;
+  expect_correct("BFS_WSL", graph, options, "bitmap+hybrid+numa");
+}
+
+// ---- clearing-trick ablation ----
+
+TEST(ClearingAblation, StillCorrectWithoutClearing) {
+  const CsrGraph graph = hotspot_graph();
+  for (const char* algorithm : {"BFS_CL", "BFS_DL", "BFS_WL", "BFS_WSL"}) {
+    BFSOptions options;
+    options.num_threads = 8;
+    options.clear_slots = false;
+    expect_correct(algorithm, graph, options, "no_clearing");
+  }
+}
+
+// ---- scale-free phase-2 modes and thresholds ----
+
+TEST(ScaleFree, StealingPhase2Correct) {
+  const CsrGraph graph = hotspot_graph();
+  for (const char* algorithm : {"BFS_WS", "BFS_WSL"}) {
+    BFSOptions options;
+    options.num_threads = 8;
+    options.phase2 = Phase2Mode::kStealing;
+    expect_correct(algorithm, graph, options, "phase2=stealing");
+  }
+}
+
+class ThresholdSweep : public ::testing::TestWithParam<vid_t> {};
+
+TEST_P(ThresholdSweep, AnyThresholdCorrect) {
+  const CsrGraph graph = hotspot_graph();
+  BFSOptions options;
+  options.num_threads = 4;
+  options.degree_threshold = GetParam();
+  for (const char* algorithm : {"BFS_WS", "BFS_WSL"}) {
+    expect_correct(algorithm, graph, options,
+                   "threshold=" + std::to_string(GetParam()));
+  }
+}
+
+// threshold 1: nearly everything defers to phase 2; huge: never defers.
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,
+                         ::testing::Values(1u, 4u, 32u, 1000000u));
+
+// ---- §IV-C NUMA-aware policies ----
+
+TEST(NumaPolicy, SocketLocalPoliciesCorrect) {
+  const CsrGraph graph = hotspot_graph();
+  for (int sockets : {2, 4}) {
+    for (const char* algorithm : {"BFS_DL", "BFS_WL", "BFS_WSL", "BFS_W"}) {
+      BFSOptions options;
+      options.num_threads = 8;
+      options.numa_aware = true;
+      options.num_sockets = sockets;
+      options.dl_pools = 4;
+      expect_correct(algorithm, graph, options,
+                     "sockets=" + std::to_string(sockets));
+    }
+  }
+}
+
+// ---- steal budget extremes ----
+
+TEST(StealBudget, TinyAndHugeBudgetsCorrect) {
+  const CsrGraph graph = hotspot_graph();
+  for (int factor : {1, 64}) {
+    for (const char* algorithm : {"BFS_W", "BFS_WL", "BFS_DL"}) {
+      BFSOptions options;
+      options.num_threads = 8;
+      options.steal_attempt_factor = factor;
+      expect_correct(algorithm, graph, options,
+                     "c=" + std::to_string(factor));
+    }
+  }
+}
+
+// ---- combined extremes ----
+
+TEST(Combinations, EverythingOnAtOnce) {
+  const CsrGraph graph = hotspot_graph();
+  BFSOptions options;
+  options.num_threads = 8;
+  options.parent_claim_dedup = true;
+  options.numa_aware = true;
+  options.num_sockets = 2;
+  options.phase2 = Phase2Mode::kStealing;
+  options.degree_threshold = 16;
+  options.dl_pools = 3;
+  for (const auto& algorithm : paper_algorithms()) {
+    expect_correct(algorithm, graph, options, "everything_on");
+  }
+}
+
+}  // namespace
+}  // namespace optibfs

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "apps/bidirectional.hpp"
+#include "core/bfs_serial.hpp"
+#include "graph/generators.hpp"
+#include "runtime/rng.hpp"
+
+namespace optibfs {
+namespace {
+
+TEST(Bidirectional, TrivialCases) {
+  const CsrGraph g = CsrGraph::from_edges(gen::path(5));
+  const BidirResult same = bidirectional_shortest_path(g, 2, 2);
+  EXPECT_TRUE(same.found);
+  EXPECT_EQ(same.distance, 0);
+  EXPECT_EQ(same.path, std::vector<vid_t>{2});
+
+  const BidirResult adjacent = bidirectional_shortest_path(g, 1, 2);
+  EXPECT_TRUE(adjacent.found);
+  EXPECT_EQ(adjacent.distance, 1);
+}
+
+TEST(Bidirectional, PathEndsToEnds) {
+  const CsrGraph g = CsrGraph::from_edges(gen::path(101));
+  const BidirResult r = bidirectional_shortest_path(g, 0, 100);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.distance, 100);
+  ASSERT_EQ(r.path.size(), 101u);
+  EXPECT_EQ(r.path.front(), 0u);
+  EXPECT_EQ(r.path.back(), 100u);
+}
+
+TEST(Bidirectional, DirectedOneWay) {
+  EdgeList edges(4);
+  edges.add_unchecked(0, 1);
+  edges.add_unchecked(1, 2);
+  edges.add_unchecked(2, 3);
+  const CsrGraph g = CsrGraph::from_edges(edges);
+  EXPECT_TRUE(bidirectional_shortest_path(g, 0, 3).found);
+  EXPECT_FALSE(bidirectional_shortest_path(g, 3, 0).found);
+}
+
+TEST(Bidirectional, Unreachable) {
+  EdgeList edges(6);
+  edges.add_unchecked(0, 1);
+  edges.add_unchecked(4, 5);
+  const CsrGraph g = CsrGraph::from_edges(edges);
+  const BidirResult r = bidirectional_shortest_path(g, 0, 5);
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.path.empty());
+}
+
+TEST(Bidirectional, MatchesSerialOnManyPairs) {
+  // Exhaustive-ish agreement with the oracle across graph shapes —
+  // in particular the same-level multi-meet cases that break naive
+  // first-meet implementations.
+  const CsrGraph graphs[] = {
+      CsrGraph::from_edges(gen::erdos_renyi(600, 4000, 5)),
+      CsrGraph::from_edges(gen::power_law(600, 5000, 2.2, 6)),
+      CsrGraph::from_edges(gen::grid2d(20, 30)),
+      CsrGraph::from_edges(gen::rmat(9, 8, 7)),
+  };
+  Xoshiro256 rng(77);
+  for (const CsrGraph& g : graphs) {
+    for (int trial = 0; trial < 25; ++trial) {
+      const vid_t s = static_cast<vid_t>(rng.next_below(g.num_vertices()));
+      const vid_t t = static_cast<vid_t>(rng.next_below(g.num_vertices()));
+      const BFSResult oracle = bfs_serial(g, s);
+      const BidirResult r = bidirectional_shortest_path(g, s, t);
+      if (oracle.level[t] == kUnvisited) {
+        EXPECT_FALSE(r.found) << "s=" << s << " t=" << t;
+        continue;
+      }
+      ASSERT_TRUE(r.found) << "s=" << s << " t=" << t;
+      EXPECT_EQ(r.distance, oracle.level[t]) << "s=" << s << " t=" << t;
+      // Path integrity: consecutive hops are edges, endpoints correct.
+      ASSERT_EQ(r.path.size(), static_cast<std::size_t>(r.distance) + 1);
+      EXPECT_EQ(r.path.front(), s);
+      EXPECT_EQ(r.path.back(), t);
+      for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
+        ASSERT_TRUE(g.has_edge(r.path[i], r.path[i + 1]))
+            << "hop " << i << " s=" << s << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(Bidirectional, ScansFarFewerEdgesThanFullBfs) {
+  const CsrGraph g = CsrGraph::from_edges(gen::rmat(13, 16, 3));
+  const vid_t s = 1, t = 5000;
+  const BFSResult full = bfs_serial(g, s);
+  if (full.level[t] == kUnvisited) GTEST_SKIP();
+  const BidirResult r = bidirectional_shortest_path(g, s, t);
+  ASSERT_TRUE(r.found);
+  EXPECT_LT(r.edges_scanned, full.edges_scanned / 2)
+      << "bidirectional search should not scan the whole graph";
+}
+
+TEST(Bidirectional, RejectsBadEndpoints) {
+  const CsrGraph g = CsrGraph::from_edges(gen::path(3));
+  EXPECT_THROW(bidirectional_shortest_path(g, 5, 0), std::out_of_range);
+  EXPECT_THROW(bidirectional_shortest_path(g, 0, 5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace optibfs

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "runtime/chase_lev_deque.hpp"
+
+namespace optibfs {
+namespace {
+
+TEST(ChaseLevDeque, LifoForOwner) {
+  ChaseLevDeque<int> deque;
+  deque.push(1);
+  deque.push(2);
+  deque.push(3);
+  EXPECT_EQ(deque.pop(), 3);
+  EXPECT_EQ(deque.pop(), 2);
+  EXPECT_EQ(deque.pop(), 1);
+  EXPECT_EQ(deque.pop(), std::nullopt);
+}
+
+TEST(ChaseLevDeque, FifoForThief) {
+  ChaseLevDeque<int> deque;
+  deque.push(1);
+  deque.push(2);
+  deque.push(3);
+  EXPECT_EQ(deque.steal(), 1);
+  EXPECT_EQ(deque.steal(), 2);
+  EXPECT_EQ(deque.pop(), 3);
+  EXPECT_EQ(deque.steal(), std::nullopt);
+}
+
+TEST(ChaseLevDeque, GrowsPastInitialCapacity) {
+  ChaseLevDeque<int> deque(4);
+  for (int i = 0; i < 1000; ++i) deque.push(i);
+  EXPECT_EQ(deque.size_estimate(), 1000);
+  for (int i = 999; i >= 0; --i) EXPECT_EQ(deque.pop(), i);
+}
+
+TEST(ChaseLevDeque, SizeEstimate) {
+  ChaseLevDeque<int> deque;
+  EXPECT_TRUE(deque.empty_estimate());
+  deque.push(5);
+  EXPECT_EQ(deque.size_estimate(), 1);
+  (void)deque.pop();
+  EXPECT_TRUE(deque.empty_estimate());
+}
+
+// Stress: one owner pushing/popping, several thieves stealing; every
+// pushed value must be consumed exactly once. This is the canonical
+// Chase-Lev linearizability smoke test.
+TEST(ChaseLevDeque, OwnerVsThievesEveryItemExactlyOnce) {
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  ChaseLevDeque<int> deque;
+  std::vector<std::atomic<int>> consumed(kItems);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (auto v = deque.steal()) {
+          consumed[static_cast<std::size_t>(*v)].fetch_add(1);
+        }
+      }
+      // Final drain.
+      while (auto v = deque.steal()) {
+        consumed[static_cast<std::size_t>(*v)].fetch_add(1);
+      }
+    });
+  }
+
+  // Owner: pushes in bursts and pops some itself.
+  for (int i = 0; i < kItems; ++i) {
+    deque.push(i);
+    if (i % 3 == 0) {
+      if (auto v = deque.pop()) {
+        consumed[static_cast<std::size_t>(*v)].fetch_add(1);
+      }
+    }
+  }
+  while (auto v = deque.pop()) {
+    consumed[static_cast<std::size_t>(*v)].fetch_add(1);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(consumed[static_cast<std::size_t>(i)].load(), 1)
+        << "item " << i << " consumed wrong number of times";
+  }
+}
+
+}  // namespace
+}  // namespace optibfs

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "graph/csr_graph.hpp"
+#include "graph/generators.hpp"
+
+namespace optibfs {
+namespace {
+
+TEST(CsrGraph, EmptyGraph) {
+  const CsrGraph g = CsrGraph::from_edges(EdgeList{});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_out_degree(), 0u);
+}
+
+TEST(CsrGraph, IsolatedVerticesSurvive) {
+  EdgeList edges(5);
+  edges.add_unchecked(1, 3);
+  const CsrGraph g = CsrGraph::from_edges(edges);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.out_degree(0), 0u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+  EXPECT_EQ(g.out_degree(4), 0u);
+}
+
+TEST(CsrGraph, AdjacencyListsAreSorted) {
+  EdgeList edges(4);
+  edges.add_unchecked(0, 3);
+  edges.add_unchecked(0, 1);
+  edges.add_unchecked(0, 2);
+  const CsrGraph g = CsrGraph::from_edges(edges);
+  const auto nbrs = g.out_neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_EQ(nbrs[2], 3u);
+}
+
+TEST(CsrGraph, DedupDropsRepeatedEdges) {
+  EdgeList edges(3);
+  for (int i = 0; i < 4; ++i) edges.add_unchecked(0, 1);
+  edges.add_unchecked(0, 2);
+  const CsrGraph kept = CsrGraph::from_edges(edges, /*dedup=*/false);
+  const CsrGraph deduped = CsrGraph::from_edges(edges, /*dedup=*/true);
+  EXPECT_EQ(kept.num_edges(), 5u);
+  EXPECT_EQ(deduped.num_edges(), 2u);
+}
+
+TEST(CsrGraph, HasEdge) {
+  const CsrGraph g = CsrGraph::from_edges(gen::path(5));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 99));
+  EXPECT_FALSE(g.has_edge(99, 0));
+}
+
+TEST(CsrGraph, EdgeCountMatchesInput) {
+  const EdgeList edges = gen::rmat(8, 8, 3);
+  const CsrGraph g = CsrGraph::from_edges(edges);
+  EXPECT_EQ(g.num_edges(), edges.num_edges());
+  // Degree sum identity.
+  eid_t total = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) total += g.out_degree(v);
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST(CsrGraph, TransposeReversesEverything) {
+  EdgeList edges(4);
+  edges.add_unchecked(0, 1);
+  edges.add_unchecked(0, 2);
+  edges.add_unchecked(3, 0);
+  const CsrGraph g = CsrGraph::from_edges(edges);
+  EXPECT_FALSE(g.has_transpose());
+  const CsrGraph& t = g.transpose();
+  EXPECT_TRUE(g.has_transpose());
+  EXPECT_EQ(t.num_edges(), g.num_edges());
+  EXPECT_TRUE(t.has_edge(1, 0));
+  EXPECT_TRUE(t.has_edge(2, 0));
+  EXPECT_TRUE(t.has_edge(0, 3));
+  EXPECT_FALSE(t.has_edge(0, 1));
+  // Second call returns the cached instance.
+  EXPECT_EQ(&g.transpose(), &t);
+}
+
+TEST(CsrGraph, TransposeOfSymmetricGraphHasSameEdges) {
+  const CsrGraph g = CsrGraph::from_edges(gen::grid2d(6, 6));
+  const CsrGraph& t = g.transpose();
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    for (const vid_t w : g.out_neighbors(v)) {
+      EXPECT_TRUE(t.has_edge(v, w));
+    }
+  }
+}
+
+TEST(CsrGraph, MaxOutDegreeFindsHotspot) {
+  const CsrGraph g = CsrGraph::from_edges(gen::star(100));
+  EXPECT_EQ(g.max_out_degree(), 99u);
+}
+
+}  // namespace
+}  // namespace optibfs

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/edge_list.hpp"
+
+namespace optibfs {
+namespace {
+
+TEST(EdgeList, AddGrowsVertexCount) {
+  EdgeList edges;
+  EXPECT_EQ(edges.num_vertices(), 0u);
+  edges.add(3, 7);
+  EXPECT_EQ(edges.num_vertices(), 8u);
+  edges.add(1, 2);
+  EXPECT_EQ(edges.num_vertices(), 8u);
+  EXPECT_EQ(edges.num_edges(), 2u);
+}
+
+TEST(EdgeList, EnsureVerticesNeverShrinks) {
+  EdgeList edges(10);
+  edges.ensure_vertices(5);
+  EXPECT_EQ(edges.num_vertices(), 10u);
+  edges.ensure_vertices(20);
+  EXPECT_EQ(edges.num_vertices(), 20u);
+}
+
+TEST(EdgeList, SortOrdersLexicographically) {
+  EdgeList edges(4);
+  edges.add_unchecked(2, 1);
+  edges.add_unchecked(0, 3);
+  edges.add_unchecked(2, 0);
+  edges.sort();
+  EXPECT_EQ(edges.edges()[0], (Edge{0, 3}));
+  EXPECT_EQ(edges.edges()[1], (Edge{2, 0}));
+  EXPECT_EQ(edges.edges()[2], (Edge{2, 1}));
+}
+
+TEST(EdgeList, DedupRemovesExactDuplicates) {
+  EdgeList edges(3);
+  edges.add_unchecked(0, 1);
+  edges.add_unchecked(0, 1);
+  edges.add_unchecked(1, 0);
+  edges.add_unchecked(0, 1);
+  edges.dedup();
+  EXPECT_EQ(edges.num_edges(), 2u);
+}
+
+TEST(EdgeList, RemoveSelfLoops) {
+  EdgeList edges(3);
+  edges.add_unchecked(0, 0);
+  edges.add_unchecked(0, 1);
+  edges.add_unchecked(2, 2);
+  edges.remove_self_loops();
+  ASSERT_EQ(edges.num_edges(), 1u);
+  EXPECT_EQ(edges.edges()[0], (Edge{0, 1}));
+}
+
+TEST(EdgeList, SymmetrizeAddsReverses) {
+  EdgeList edges(3);
+  edges.add_unchecked(0, 1);
+  edges.add_unchecked(1, 2);
+  edges.symmetrize();
+  EXPECT_EQ(edges.num_edges(), 4u);
+  // Self-loops must not be doubled.
+  EdgeList loops(1);
+  loops.add_unchecked(0, 0);
+  loops.symmetrize();
+  EXPECT_EQ(loops.num_edges(), 1u);
+}
+
+TEST(EdgeList, ReversedFlipsEveryEdge) {
+  EdgeList edges(4);
+  edges.add_unchecked(0, 1);
+  edges.add_unchecked(2, 3);
+  const EdgeList rev = edges.reversed();
+  EXPECT_EQ(rev.num_vertices(), 4u);
+  EXPECT_EQ(rev.edges()[0], (Edge{1, 0}));
+  EXPECT_EQ(rev.edges()[1], (Edge{3, 2}));
+}
+
+TEST(EdgeList, RelabelAppliesPermutation) {
+  EdgeList edges(3);
+  edges.add_unchecked(0, 1);
+  edges.add_unchecked(1, 2);
+  edges.relabel({2, 0, 1});
+  EXPECT_EQ(edges.edges()[0], (Edge{2, 0}));
+  EXPECT_EQ(edges.edges()[1], (Edge{0, 1}));
+}
+
+TEST(EdgeList, RelabelRejectsShortPermutation) {
+  EdgeList edges(3);
+  edges.add_unchecked(0, 2);
+  EXPECT_THROW(edges.relabel({0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace optibfs

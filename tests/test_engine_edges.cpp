@@ -1,0 +1,86 @@
+// Engine construction and API edge cases.
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "graph/generators.hpp"
+#include "harness/verifier.hpp"
+
+namespace optibfs {
+namespace {
+
+TEST(EngineEdges, EmptyGraphConstructs) {
+  const CsrGraph g = CsrGraph::from_edges(EdgeList{});
+  for (const auto& algorithm : all_algorithms()) {
+    BFSOptions options;
+    options.num_threads = 2;
+    auto engine = make_bfs(algorithm, g, options);  // must not crash
+    EXPECT_THROW(engine->run(0), std::out_of_range) << algorithm;
+  }
+}
+
+TEST(EngineEdges, MoreThreadsThanVertices) {
+  const CsrGraph g = CsrGraph::from_edges(gen::path(3));
+  for (const auto& algorithm : paper_algorithms()) {
+    BFSOptions options;
+    options.num_threads = 16;
+    auto engine = make_bfs(algorithm, g, options);
+    BFSResult result;
+    engine->run(1, result);
+    ASSERT_TRUE(verify_against_serial(g, 1, result).ok) << algorithm;
+  }
+}
+
+TEST(EngineEdges, ZeroAndNegativeThreadCountsClampToOne) {
+  const CsrGraph g = CsrGraph::from_edges(gen::path(10));
+  for (const int threads : {0, -4}) {
+    BFSOptions options;
+    options.num_threads = threads;
+    auto engine = make_bfs("BFS_CL", g, options);
+    BFSResult result;
+    engine->run(0, result);
+    EXPECT_TRUE(verify_against_serial(g, 0, result).ok);
+  }
+}
+
+TEST(EngineEdges, SourceWithOnlySelfLoop) {
+  EdgeList edges(3);
+  edges.add_unchecked(0, 0);
+  const CsrGraph g = CsrGraph::from_edges(edges);
+  for (const auto& algorithm : paper_algorithms()) {
+    BFSOptions options;
+    options.num_threads = 4;
+    auto engine = make_bfs(algorithm, g, options);
+    BFSResult result;
+    engine->run(0, result);
+    EXPECT_EQ(result.vertices_visited, 1u) << algorithm;
+    EXPECT_EQ(result.num_levels, 1) << algorithm;
+  }
+}
+
+TEST(EngineEdges, OptionsAreEchoedBack) {
+  const CsrGraph g = CsrGraph::from_edges(gen::path(4));
+  BFSOptions options;
+  options.num_threads = 3;
+  options.segment_size = 17;
+  options.dl_pools = 2;
+  auto engine = make_bfs("BFS_DL", g, options);
+  EXPECT_EQ(engine->options().num_threads, 3);
+  EXPECT_EQ(engine->options().segment_size, 17);
+  EXPECT_EQ(engine->options().dl_pools, 2);
+}
+
+TEST(EngineEdges, ResultBuffersShrinkAndGrowAcrossGraphs) {
+  // The same BFSResult object reused with engines over differently
+  // sized graphs must always come out exactly sized.
+  const CsrGraph big = CsrGraph::from_edges(gen::path(100));
+  const CsrGraph small = CsrGraph::from_edges(gen::path(10));
+  BFSResult result;
+  make_bfs("BFS_CL", big, {})->run(0, result);
+  EXPECT_EQ(result.level.size(), 100u);
+  make_bfs("BFS_CL", small, {})->run(0, result);
+  EXPECT_EQ(result.level.size(), 10u);
+  EXPECT_TRUE(verify_against_serial(small, 0, result).ok);
+}
+
+}  // namespace
+}  // namespace optibfs

@@ -1,0 +1,125 @@
+// Queue-pool semantics: the sentinel representation, the clearing
+// trick, the swap discipline, and the out-of-range safety net.
+#include <gtest/gtest.h>
+
+#include "core/frontier_queues.hpp"
+
+namespace optibfs {
+namespace {
+
+TEST(FrontierQueues, SeedMakesOneEntryInQueueZero) {
+  FrontierQueues queues(4, 100);
+  queues.seed(42, 7);
+  EXPECT_EQ(queues.total_in(), 1);
+  EXPECT_EQ(queues.total_in_edges(), 7);
+  EXPECT_EQ(queues.in_rear(0), 1);
+  EXPECT_EQ(queues.in_rear(1), 0);
+  EXPECT_EQ(queues.peek_in(0, 0), 42u);
+}
+
+TEST(FrontierQueues, VertexZeroIsRepresentable) {
+  // The 0-sentinel must not collide with vertex id 0 (stored as v+1).
+  FrontierQueues queues(2, 10);
+  queues.seed(0, 3);
+  EXPECT_EQ(queues.peek_in(0, 0), 0u);
+  EXPECT_EQ(queues.consume_in(0, 0, true), 0u);
+  EXPECT_EQ(queues.consume_in(0, 0, true), kInvalidVertex);
+}
+
+TEST(FrontierQueues, SentinelPastRearReadsEmpty) {
+  FrontierQueues queues(2, 10);
+  queues.seed(5, 1);
+  EXPECT_EQ(queues.peek_in(0, 1), kInvalidVertex);   // rear sentinel
+  EXPECT_EQ(queues.peek_in(0, 10), kInvalidVertex);  // last slot
+}
+
+TEST(FrontierQueues, OutOfRangeIndicesAreSafe) {
+  FrontierQueues queues(2, 10);
+  queues.seed(5, 1);
+  EXPECT_EQ(queues.consume_in(0, -1, true), kInvalidVertex);
+  EXPECT_EQ(queues.consume_in(0, queues.capacity(), true), kInvalidVertex);
+  EXPECT_EQ(queues.consume_in(0, 1 << 30, true), kInvalidVertex);
+}
+
+TEST(FrontierQueues, ClearingConsumesExactlyOnce) {
+  FrontierQueues queues(2, 10);
+  queues.seed(3, 1);
+  EXPECT_EQ(queues.consume_in(0, 0, /*clear=*/true), 3u);
+  // Second reader of the same slot sees the clear marker.
+  EXPECT_EQ(queues.consume_in(0, 0, /*clear=*/true), kInvalidVertex);
+}
+
+TEST(FrontierQueues, PeekDoesNotClear) {
+  FrontierQueues queues(2, 10);
+  queues.seed(3, 1);
+  EXPECT_EQ(queues.peek_in(0, 0), 3u);
+  EXPECT_EQ(queues.peek_in(0, 0), 3u);
+}
+
+TEST(FrontierQueues, SwapPromotesOutCounts) {
+  FrontierQueues queues(3, 50);
+  queues.seed(1, 2);
+  (void)queues.consume_in(0, 0, true);
+  queues.push_out(0, 10, 4);
+  queues.push_out(0, 11, 5);
+  queues.push_out(2, 12, 6);
+  EXPECT_EQ(queues.out_count(0), 2);
+  EXPECT_EQ(queues.out_count(2), 1);
+  queues.swap_and_prepare();
+  EXPECT_EQ(queues.total_in(), 3);
+  EXPECT_EQ(queues.total_in_edges(), 15);
+  EXPECT_EQ(queues.in_rear(0), 2);
+  EXPECT_EQ(queues.in_rear(1), 0);
+  EXPECT_EQ(queues.in_rear(2), 1);
+  EXPECT_EQ(queues.in_front(0).load(), 0);
+  EXPECT_EQ(queues.peek_in(0, 0), 10u);
+  EXPECT_EQ(queues.peek_in(2, 0), 12u);
+  // Out counts reset for the new level.
+  EXPECT_EQ(queues.out_count(0), 0);
+}
+
+TEST(FrontierQueues, SlotsAreZeroAfterFullConsumeAndTwoSwaps) {
+  // The reuse invariant: if every reader clears, a side comes back as
+  // the out side fully zeroed.
+  FrontierQueues queues(1, 8);
+  queues.seed(4, 1);
+  (void)queues.consume_in(0, 0, true);
+  queues.push_out(0, 5, 1);
+  queues.push_out(0, 6, 1);
+  queues.swap_and_prepare();
+  (void)queues.consume_in(0, 0, true);
+  (void)queues.consume_in(0, 1, true);
+  queues.swap_and_prepare();  // empty level -> done
+  EXPECT_EQ(queues.total_in(), 0);
+  // Both sides must now read as all-empty.
+  for (std::int64_t i = 0; i < queues.capacity(); ++i) {
+    EXPECT_EQ(queues.peek_in(0, i), kInvalidVertex);
+  }
+}
+
+TEST(FrontierQueues, HardResetWipesEverything) {
+  FrontierQueues queues(2, 10);
+  queues.seed(3, 1);
+  queues.push_out(1, 7, 2);
+  queues.hard_reset();
+  EXPECT_EQ(queues.total_in(), 0);
+  EXPECT_EQ(queues.in_rear(0), 0);
+  EXPECT_EQ(queues.out_count(1), 0);
+  EXPECT_EQ(queues.peek_in(0, 0), kInvalidVertex);
+}
+
+TEST(FrontierQueues, FrontPointerIsShared) {
+  FrontierQueues queues(2, 10);
+  queues.seed(3, 1);
+  queues.in_front(0).store(5, std::memory_order_relaxed);
+  EXPECT_EQ(queues.in_front(0).load(std::memory_order_relaxed), 5);
+  queues.swap_and_prepare();
+  EXPECT_EQ(queues.in_front(0).load(std::memory_order_relaxed), 0);
+}
+
+TEST(FrontierQueues, RejectsZeroQueues) {
+  EXPECT_THROW(FrontierQueues(0, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace optibfs

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/csr_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_props.hpp"
+
+namespace optibfs {
+namespace {
+
+TEST(Generators, RmatSizes) {
+  const EdgeList edges = gen::rmat(10, 8, 1);
+  EXPECT_EQ(edges.num_vertices(), 1u << 10);
+  EXPECT_EQ(edges.num_edges(), 8u << 10);
+}
+
+TEST(Generators, RmatDeterministicInSeed) {
+  const EdgeList a = gen::rmat(8, 4, 42);
+  const EdgeList b = gen::rmat(8, 4, 42);
+  const EdgeList c = gen::rmat(8, 4, 43);
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(Generators, RmatIsSkewed) {
+  // With a=.45 the degree distribution must be heavy-tailed. The
+  // expected max out-degree is roughly m*(a+b)^scale ~ 9x the mean at
+  // scale 12 / edge factor 16; 5x is a robust lower bound.
+  const CsrGraph g = CsrGraph::from_edges(gen::rmat(12, 16, 7));
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_GT(stats.max, static_cast<vid_t>(stats.mean * 5));
+}
+
+TEST(Generators, RmatRejectsBadScale) {
+  EXPECT_THROW(gen::rmat(-1, 4, 1), std::invalid_argument);
+  EXPECT_THROW(gen::rmat(32, 4, 1), std::invalid_argument);
+}
+
+TEST(Generators, ErdosRenyiSizes) {
+  const EdgeList edges = gen::erdos_renyi(1000, 5000, 3);
+  EXPECT_EQ(edges.num_vertices(), 1000u);
+  EXPECT_EQ(edges.num_edges(), 5000u);
+  for (const Edge& e : edges.edges()) {
+    EXPECT_LT(e.src, 1000u);
+    EXPECT_LT(e.dst, 1000u);
+  }
+}
+
+TEST(Generators, PowerLawIsHeavyTailed) {
+  const CsrGraph g =
+      CsrGraph::from_edges(gen::power_law(5000, 40000, 2.2, 9));
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_GT(stats.max, 200u);  // hub vertices exist
+  const double gamma = power_law_exponent_estimate(stats);
+  // The log-log histogram slope should be clearly negative (decaying).
+  EXPECT_GT(gamma, 0.5);
+}
+
+TEST(Generators, PowerLawRejectsBadGamma) {
+  EXPECT_THROW(gen::power_law(10, 10, 1.0, 1), std::invalid_argument);
+}
+
+TEST(Generators, Grid2dStructure) {
+  const CsrGraph g = CsrGraph::from_edges(gen::grid2d(3, 4));
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // 2*(rows*(cols-1) + (rows-1)*cols) directed edges.
+  EXPECT_EQ(g.num_edges(), 2u * (3 * 3 + 2 * 4));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_FALSE(g.has_edge(3, 4));  // row wrap must not connect
+}
+
+TEST(Generators, Grid3dDegreeBounds) {
+  const CsrGraph g = CsrGraph::from_edges(gen::grid3d(4, 4, 4));
+  EXPECT_EQ(g.num_vertices(), 64u);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(g.out_degree(v), 3u);  // corner
+    EXPECT_LE(g.out_degree(v), 6u);  // interior
+  }
+}
+
+TEST(Generators, BinaryTreeParentLinks) {
+  const CsrGraph g = CsrGraph::from_edges(gen::binary_tree(15));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_TRUE(g.has_edge(3, 1));
+  EXPECT_EQ(g.num_edges(), 2u * 14);
+}
+
+TEST(Generators, PathAndStarShapes) {
+  const CsrGraph path = CsrGraph::from_edges(gen::path(10));
+  EXPECT_EQ(bfs_depth(path, 0), 9);
+  const CsrGraph star = CsrGraph::from_edges(gen::star(10));
+  EXPECT_EQ(bfs_depth(star, 0), 1);
+  EXPECT_EQ(bfs_depth(star, 5), 2);
+}
+
+TEST(Generators, CompleteGraph) {
+  const CsrGraph g = CsrGraph::from_edges(gen::complete(10));
+  EXPECT_EQ(g.num_edges(), 90u);
+  EXPECT_EQ(bfs_depth(g, 3), 1);
+}
+
+TEST(Generators, RandomRegularOutDegrees) {
+  const CsrGraph g = CsrGraph::from_edges(gen::random_regular(500, 7, 5));
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.out_degree(v), 7u);
+  }
+}
+
+TEST(Generators, CircuitLikeKeepsHighDiameter) {
+  // With no shortcuts the graph is exactly the grid.
+  const CsrGraph plain = CsrGraph::from_edges(gen::circuit_like(10, 200, 0, 3));
+  EXPECT_EQ(bfs_depth(plain, 0), 9 + 199);
+  // Local shortcuts shrink the diameter but must not collapse it to the
+  // small-world regime the way global shortcuts would.
+  const CsrGraph g =
+      CsrGraph::from_edges(gen::circuit_like(10, 200, 100, 3));
+  EXPECT_GT(bfs_depth(g, 0), 20);
+}
+
+TEST(Generators, ZeroSizedInputs) {
+  EXPECT_EQ(gen::path(0).num_edges(), 0u);
+  EXPECT_EQ(gen::star(0).num_edges(), 0u);
+  EXPECT_EQ(gen::complete(0).num_edges(), 0u);
+  EXPECT_EQ(gen::binary_tree(0).num_edges(), 0u);
+  EXPECT_EQ(gen::random_regular(0, 5, 1).num_edges(), 0u);
+  EXPECT_EQ(gen::erdos_renyi(0, 0, 1).num_edges(), 0u);
+  EXPECT_THROW(gen::erdos_renyi(0, 5, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace optibfs

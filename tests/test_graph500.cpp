@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "harness/graph500.hpp"
+
+namespace optibfs {
+namespace {
+
+TEST(Graph500Stats, OrderStatistics) {
+  const Graph500Stats stats = summarize_teps({4.0, 1.0, 2.0, 3.0, 5.0});
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 5.0);
+  EXPECT_DOUBLE_EQ(stats.median, 3.0);
+  EXPECT_DOUBLE_EQ(stats.firstquartile, 2.0);
+  EXPECT_DOUBLE_EQ(stats.thirdquartile, 4.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 3.0);
+  // harmonic mean of 1..5 = 5 / (1 + 1/2 + 1/3 + 1/4 + 1/5)
+  EXPECT_NEAR(stats.harmonic_mean, 5.0 / (137.0 / 60.0), 1e-12);
+}
+
+TEST(Graph500Stats, SingleSampleAndEmpty) {
+  const Graph500Stats one = summarize_teps({7.0});
+  EXPECT_DOUBLE_EQ(one.min, 7.0);
+  EXPECT_DOUBLE_EQ(one.max, 7.0);
+  EXPECT_DOUBLE_EQ(one.harmonic_mean, 7.0);
+  const Graph500Stats none = summarize_teps({});
+  EXPECT_DOUBLE_EQ(none.harmonic_mean, 0.0);
+}
+
+TEST(Graph500Stats, HarmonicBelowArithmetic) {
+  const Graph500Stats stats = summarize_teps({1.0, 10.0, 100.0});
+  EXPECT_LT(stats.harmonic_mean, stats.mean);
+}
+
+TEST(Graph500Run, FullProtocolSmall) {
+  Graph500Config config;
+  config.scale = 9;
+  config.edge_factor = 8;
+  config.num_sources = 4;
+  config.bfs.num_threads = 4;
+  config.algorithm = "BFS_CL";
+  const Graph500Result result = run_graph500(config);
+  EXPECT_EQ(result.num_vertices, 512u);
+  EXPECT_EQ(result.num_edges, 4096u);
+  EXPECT_GT(result.construction_seconds, 0.0);
+  EXPECT_TRUE(result.all_validated) << result.first_error;
+  EXPECT_EQ(result.teps.size(), 4u);
+  EXPECT_GT(result.teps_stats.harmonic_mean, 0.0);
+  EXPECT_LE(result.teps_stats.min, result.teps_stats.median);
+  EXPECT_LE(result.teps_stats.median, result.teps_stats.max);
+}
+
+TEST(Graph500Run, DeterministicGraphAcrossRuns) {
+  Graph500Config config;
+  config.scale = 8;
+  config.num_sources = 1;
+  config.bfs.num_threads = 2;
+  const Graph500Result a = run_graph500(config);
+  const Graph500Result b = run_graph500(config);
+  EXPECT_EQ(a.num_edges, b.num_edges);
+  EXPECT_EQ(a.num_vertices, b.num_vertices);
+}
+
+}  // namespace
+}  // namespace optibfs

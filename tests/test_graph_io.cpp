@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/graph_io.hpp"
+
+namespace optibfs {
+namespace {
+
+TEST(MatrixMarket, RoundTrip) {
+  EdgeList original = gen::erdos_renyi(50, 200, 1);
+  std::stringstream buffer;
+  io::write_matrix_market(buffer, original);
+  EdgeList loaded = io::read_matrix_market(buffer);
+  original.sort();
+  loaded.sort();
+  EXPECT_EQ(original.edges(), loaded.edges());
+  EXPECT_EQ(original.num_vertices(), loaded.num_vertices());
+}
+
+TEST(MatrixMarket, SymmetricExpandsBothDirections) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "% a comment\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 3\n");
+  const EdgeList edges = io::read_matrix_market(in);
+  EXPECT_EQ(edges.num_vertices(), 3u);
+  // (2,1) expands to both directions; the (3,3) diagonal does not.
+  EXPECT_EQ(edges.num_edges(), 3u);
+}
+
+TEST(MatrixMarket, RealValuesAreParsedAndDropped) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 2 3.25\n"
+      "2 1 -1e-3\n");
+  const EdgeList edges = io::read_matrix_market(in);
+  EXPECT_EQ(edges.num_edges(), 2u);
+}
+
+TEST(MatrixMarket, RejectsMalformedInput) {
+  std::stringstream no_banner("1 1 0\n");
+  EXPECT_THROW(io::read_matrix_market(no_banner), std::runtime_error);
+
+  std::stringstream bad_format(
+      "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+  EXPECT_THROW(io::read_matrix_market(bad_format), std::runtime_error);
+
+  std::stringstream out_of_range(
+      "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n");
+  EXPECT_THROW(io::read_matrix_market(out_of_range), std::runtime_error);
+
+  std::stringstream truncated(
+      "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n");
+  EXPECT_THROW(io::read_matrix_market(truncated), std::runtime_error);
+}
+
+TEST(EdgeListIo, RoundTripWithHeader) {
+  EdgeList original = gen::power_law(40, 150, 2.5, 2);
+  std::stringstream buffer;
+  io::write_edge_list(buffer, original);
+  EdgeList loaded = io::read_edge_list(buffer, /*has_header=*/true);
+  EXPECT_EQ(loaded.num_vertices(), original.num_vertices());
+  original.sort();
+  loaded.sort();
+  EXPECT_EQ(original.edges(), loaded.edges());
+}
+
+TEST(EdgeListIo, CommentsAndBlankLines) {
+  std::stringstream in("# header comment\n\n0 1\n   \n# mid\n1 2\n");
+  const EdgeList edges = io::read_edge_list(in);
+  EXPECT_EQ(edges.num_edges(), 2u);
+  EXPECT_EQ(edges.num_vertices(), 3u);
+}
+
+TEST(EdgeListIo, MalformedLineThrows) {
+  std::stringstream in("0 1\nbroken\n");
+  EXPECT_THROW(io::read_edge_list(in), std::runtime_error);
+}
+
+TEST(BinaryCsr, RoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "optibfs_io_test.bin")
+          .string();
+  const CsrGraph original = CsrGraph::from_edges(gen::rmat(8, 8, 4));
+  io::write_binary_csr(path, original);
+  const CsrGraph loaded = io::read_binary_csr(path);
+  ASSERT_EQ(loaded.num_vertices(), original.num_vertices());
+  ASSERT_EQ(loaded.num_edges(), original.num_edges());
+  for (vid_t v = 0; v < original.num_vertices(); ++v) {
+    const auto a = original.out_neighbors(v);
+    const auto b = loaded.out_neighbors(v);
+    ASSERT_EQ(a.size(), b.size()) << "vertex " << v;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCsr, BadMagicRejected) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "optibfs_io_bad.bin")
+          .string();
+  std::ofstream(path, std::ios::binary) << "definitely not a graph";
+  EXPECT_THROW(io::read_binary_csr(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCsr, MissingFileRejected) {
+  EXPECT_THROW(io::read_binary_csr("/nonexistent/nope.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace optibfs

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "graph/graph_props.hpp"
+
+namespace optibfs {
+namespace {
+
+TEST(GraphProps, DegreeStatsBasics) {
+  const CsrGraph g = CsrGraph::from_edges(gen::star(11));
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_EQ(stats.max, 10u);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.isolated, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean, 20.0 / 11.0);
+}
+
+TEST(GraphProps, HistogramCoversAllVertices) {
+  const CsrGraph g = CsrGraph::from_edges(gen::rmat(10, 8, 21));
+  const DegreeStats stats = degree_stats(g);
+  const eid_t total = std::accumulate(stats.log2_histogram.begin(),
+                                      stats.log2_histogram.end(), eid_t{0});
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(GraphProps, IsolatedCount) {
+  EdgeList edges(10);
+  edges.add_unchecked(0, 1);
+  const DegreeStats stats = degree_stats(CsrGraph::from_edges(edges));
+  EXPECT_EQ(stats.isolated, 9u);
+}
+
+TEST(GraphProps, EmptyGraphStats) {
+  const DegreeStats stats = degree_stats(CsrGraph::from_edges(EdgeList{}));
+  EXPECT_EQ(stats.max, 0u);
+  EXPECT_EQ(stats.mean, 0.0);
+}
+
+TEST(GraphProps, ReachableCount) {
+  const CsrGraph path = CsrGraph::from_edges(gen::path(10));
+  EXPECT_EQ(reachable_count(path, 0), 10u);
+  EXPECT_EQ(reachable_count(path, 5), 10u);  // path is bidirectional
+
+  EdgeList directed(4);
+  directed.add_unchecked(0, 1);
+  directed.add_unchecked(1, 2);
+  const CsrGraph chain = CsrGraph::from_edges(directed);
+  EXPECT_EQ(reachable_count(chain, 0), 3u);
+  EXPECT_EQ(reachable_count(chain, 2), 1u);
+  EXPECT_EQ(reachable_count(chain, 3), 1u);
+}
+
+TEST(GraphProps, BfsDepth) {
+  EXPECT_EQ(bfs_depth(CsrGraph::from_edges(gen::path(100)), 0), 99);
+  EXPECT_EQ(bfs_depth(CsrGraph::from_edges(gen::path(100)), 50), 50);
+  EXPECT_EQ(bfs_depth(CsrGraph::from_edges(gen::complete(5)), 0), 1);
+  EXPECT_EQ(bfs_depth(CsrGraph::from_edges(EdgeList(3)), 1), 0);
+}
+
+TEST(GraphProps, SampledDiameterAtLeastSingleSource) {
+  const CsrGraph g = CsrGraph::from_edges(gen::path(64));
+  const level_t sampled = sampled_bfs_diameter(g, 8, 123);
+  EXPECT_GE(sampled, 32);   // any source on a path sees >= n/2 levels
+  EXPECT_LE(sampled, 63);
+}
+
+TEST(GraphProps, PowerLawEstimateOnSyntheticHistogram) {
+  // Bucket counts 2^(20-2k): log2/log2 slope -2, so gamma = 1-(-2) = 3
+  // (bucket mass of a d^-gamma distribution scales as 2^(k(1-gamma))).
+  DegreeStats stats;
+  stats.log2_histogram = {0, 1 << 18, 1 << 16, 1 << 14, 1 << 12};
+  const double gamma = power_law_exponent_estimate(stats);
+  EXPECT_NEAR(gamma, 3.0, 0.01);
+}
+
+TEST(GraphProps, PowerLawEstimateNeedsTwoBuckets) {
+  DegreeStats stats;
+  stats.log2_histogram = {5, 7};
+  EXPECT_EQ(power_law_exponent_estimate(stats), 0.0);
+}
+
+}  // namespace
+}  // namespace optibfs

@@ -1,0 +1,97 @@
+// The small-frontier hybrid shortcut and level-size recording.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/registry.hpp"
+#include "graph/generators.hpp"
+#include "harness/verifier.hpp"
+
+namespace optibfs {
+namespace {
+
+TEST(HybridSerial, CorrectOnDeepGraphForAllEngines) {
+  const CsrGraph g = CsrGraph::from_edges(gen::path(300));
+  for (const auto& algorithm : paper_algorithms()) {
+    BFSOptions options;
+    options.num_threads = 8;
+    options.serial_frontier_cutoff = 16;
+    auto engine = make_bfs(algorithm, g, options);
+    BFSResult result;
+    engine->run(0, result);
+    const auto report = verify_against_serial(g, 0, result);
+    ASSERT_TRUE(report.ok) << algorithm << ": " << report.error;
+    // A path's frontiers are all below the cutoff: every level serial.
+    EXPECT_EQ(result.serial_levels, 300u) << algorithm;
+  }
+}
+
+TEST(HybridSerial, OnlySmallLevelsGoSerial) {
+  // chain -> blast -> chain: only the blast level crosses the cutoff.
+  EdgeList edges(0);
+  const vid_t chain = 20, fan = 500;
+  for (vid_t v = 0; v + 1 < chain; ++v) edges.add(v, v + 1);
+  for (vid_t i = 0; i < fan; ++i) edges.add(chain - 1, chain + i);
+  const CsrGraph g = CsrGraph::from_edges(edges);
+
+  BFSOptions options;
+  options.num_threads = 4;
+  options.serial_frontier_cutoff = 64;
+  options.record_level_sizes = true;
+  auto engine = make_bfs("BFS_CL", g, options);
+  BFSResult result;
+  engine->run(0, result);
+  ASSERT_TRUE(verify_against_serial(g, 0, result).ok);
+  // Levels: 20 chain levels of size 1 (serial) + the fan level of 500
+  // (parallel).
+  EXPECT_EQ(result.serial_levels, 20u);
+  ASSERT_EQ(result.level_sizes.size(), 21u);
+  EXPECT_EQ(result.level_sizes.front(), 1u);
+  EXPECT_EQ(result.level_sizes.back(), 500u);
+}
+
+TEST(HybridSerial, DisabledByDefault) {
+  const CsrGraph g = CsrGraph::from_edges(gen::path(50));
+  BFSOptions options;
+  options.num_threads = 4;
+  auto engine = make_bfs("BFS_WL", g, options);
+  BFSResult result;
+  engine->run(0, result);
+  EXPECT_EQ(result.serial_levels, 0u);
+  EXPECT_TRUE(result.level_sizes.empty());
+}
+
+TEST(HybridSerial, WorksWithClaimAndScaleFree) {
+  const CsrGraph g = CsrGraph::from_edges(gen::power_law(2000, 14000, 2.1, 5));
+  BFSOptions options;
+  options.num_threads = 8;
+  options.serial_frontier_cutoff = 8;
+  options.parent_claim_dedup = true;
+  auto engine = make_bfs("BFS_WSL", g, options);
+  for (int run = 0; run < 3; ++run) {
+    BFSResult result;
+    engine->run(static_cast<vid_t>(run), result);
+    ASSERT_TRUE(verify_against_serial(g, static_cast<vid_t>(run), result).ok);
+  }
+}
+
+TEST(LevelSizes, SumToVisitedCount) {
+  const CsrGraph g = CsrGraph::from_edges(gen::rmat(10, 8, 3));
+  BFSOptions options;
+  options.num_threads = 4;
+  options.record_level_sizes = true;
+  auto engine = make_bfs("BFS_CL", g, options);
+  BFSResult result;
+  engine->run(1, result);
+  const auto total = std::accumulate(result.level_sizes.begin(),
+                                     result.level_sizes.end(),
+                                     std::uint64_t{0});
+  // Each visited vertex lands in >= 1 level bucket (duplicate pushes
+  // can inflate the recorded frontier sizes, never deflate them).
+  EXPECT_GE(total, result.vertices_visited);
+  EXPECT_EQ(result.level_sizes.size(),
+            static_cast<std::size_t>(result.num_levels));
+}
+
+}  // namespace
+}  // namespace optibfs

@@ -1,0 +1,86 @@
+// Robustness fuzzing for the file-format readers: arbitrary garbage
+// must either parse or throw — never crash, hang, or silently produce
+// an out-of-range edge.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "graph/graph_io.hpp"
+#include "runtime/rng.hpp"
+
+namespace optibfs {
+namespace {
+
+std::string random_text(Xoshiro256& rng, std::size_t length) {
+  static constexpr char kAlphabet[] =
+      "0123456789 \t\n%#abcdefMatrixMarket.-+e";
+  std::string text;
+  text.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    text.push_back(
+        kAlphabet[rng.next_below(sizeof(kAlphabet) - 1)]);
+  }
+  return text;
+}
+
+template <typename Reader>
+void fuzz(Reader&& reader, std::uint64_t seed, int iterations) {
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < iterations; ++i) {
+    const std::string text = random_text(rng, 1 + rng.next_below(512));
+    std::istringstream in(text);
+    try {
+      const EdgeList edges = reader(in);
+      // If it parsed, every edge must be in range.
+      for (const Edge& e : edges.edges()) {
+        ASSERT_LT(e.src, edges.num_vertices());
+        ASSERT_LT(e.dst, edges.num_vertices());
+      }
+    } catch (const std::runtime_error&) {
+      // rejected: fine
+    }
+  }
+}
+
+TEST(IoFuzz, MatrixMarketGarbage) {
+  fuzz([](std::istream& in) { return io::read_matrix_market(in); }, 101,
+       300);
+}
+
+TEST(IoFuzz, MatrixMarketWithValidBanner) {
+  // Garbage after a valid banner exercises the deeper parse paths.
+  Xoshiro256 rng(55);
+  for (int i = 0; i < 300; ++i) {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n" +
+        random_text(rng, 1 + rng.next_below(256)));
+    try {
+      (void)io::read_matrix_market(in);
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST(IoFuzz, EdgeListGarbage) {
+  fuzz([](std::istream& in) { return io::read_edge_list(in); }, 202, 300);
+  fuzz([](std::istream& in) { return io::read_edge_list(in, true); }, 203,
+       300);
+}
+
+TEST(IoFuzz, HugeIndicesDoNotOverflowSilently) {
+  // 64-bit indices in text: the 32-bit vid_t cast must not produce an
+  // edge outside the declared vertex range.
+  std::istringstream in("18446744073709551615 1\n");
+  try {
+    const EdgeList edges = io::read_edge_list(in);
+    for (const Edge& e : edges.edges()) {
+      ASSERT_LT(e.src, edges.num_vertices());
+      ASSERT_LT(e.dst, edges.num_vertices());
+    }
+  } catch (const std::runtime_error&) {
+  }
+}
+
+}  // namespace
+}  // namespace optibfs

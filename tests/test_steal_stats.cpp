@@ -1,0 +1,100 @@
+// Table VI bookkeeping: counter arithmetic and the accounting
+// invariants the steal-statistics report relies on.
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "core/steal_stats.hpp"
+#include "graph/generators.hpp"
+#include "harness/source_sampler.hpp"
+
+namespace optibfs {
+namespace {
+
+TEST(StealStats, RecordRoutesToTheRightCounter) {
+  StealStats stats;
+  stats.record(StealOutcome::kSuccess);
+  stats.record(StealOutcome::kVictimLocked);
+  stats.record(StealOutcome::kVictimIdle);
+  stats.record(StealOutcome::kVictimIdle);
+  stats.record(StealOutcome::kSegmentTooSmall);
+  stats.record(StealOutcome::kStaleSegment);
+  stats.record(StealOutcome::kInvalidSegment);
+  EXPECT_EQ(stats.successful, 1u);
+  EXPECT_EQ(stats.failed_victim_locked, 1u);
+  EXPECT_EQ(stats.failed_victim_idle, 2u);
+  EXPECT_EQ(stats.failed_segment_too_small, 1u);
+  EXPECT_EQ(stats.failed_stale_segment, 1u);
+  EXPECT_EQ(stats.failed_invalid_segment, 1u);
+  EXPECT_EQ(stats.total_failed(), 6u);
+  EXPECT_EQ(stats.total_attempts(), 7u);
+}
+
+TEST(StealStats, AdditionAggregates) {
+  StealStats a, b;
+  a.record(StealOutcome::kSuccess);
+  b.record(StealOutcome::kSuccess);
+  b.record(StealOutcome::kStaleSegment);
+  a += b;
+  EXPECT_EQ(a.successful, 2u);
+  EXPECT_EQ(a.failed_stale_segment, 1u);
+  EXPECT_EQ(a.total_attempts(), 3u);
+}
+
+// Accounting invariant on real runs: totals always reconcile, the lock
+// variant never reports lock-free failure classes and vice versa
+// (that's the N/A structure of Table VI).
+TEST(StealStats, VariantReportsOnlyItsFailureClasses) {
+  const CsrGraph graph =
+      CsrGraph::from_edges(gen::power_law(4000, 30000, 2.2, 3));
+  BFSOptions options;
+  options.num_threads = 8;
+
+  auto locked = make_bfs("BFS_WS", graph, options);
+  auto lockfree = make_bfs("BFS_WSL", graph, options);
+  StealStats locked_stats, lockfree_stats;
+  for (const vid_t source : sample_sources(graph, 4, 5)) {
+    BFSResult r;
+    locked->run(source, r);
+    locked_stats += r.steal_stats;
+    lockfree->run(source, r);
+    lockfree_stats += r.steal_stats;
+  }
+
+  // Lock-based: no sanity checks exist, so stale/invalid are impossible.
+  EXPECT_EQ(locked_stats.failed_stale_segment, 0u);
+  EXPECT_EQ(locked_stats.failed_invalid_segment, 0u);
+  // Lock-free: there is no lock to find held.
+  EXPECT_EQ(lockfree_stats.failed_victim_locked, 0u);
+
+  // Both ran with 8 threads on a scale-free graph: stealing activity
+  // must actually have happened.
+  EXPECT_GT(locked_stats.total_attempts(), 0u);
+  EXPECT_GT(lockfree_stats.total_attempts(), 0u);
+}
+
+TEST(StealStats, SerialAndCentralizedReportNoSteals) {
+  const CsrGraph graph = CsrGraph::from_edges(gen::erdos_renyi(500, 3000, 1));
+  for (const char* algorithm : {"sbfs", "BFS_C", "BFS_CL"}) {
+    BFSOptions options;
+    options.num_threads = 4;
+    auto engine = make_bfs(algorithm, graph, options);
+    BFSResult r;
+    engine->run(0, r);
+    EXPECT_EQ(r.steal_stats.total_attempts(), 0u) << algorithm;
+  }
+}
+
+TEST(StealStats, DuplicateAccountingIdentity) {
+  const CsrGraph graph = CsrGraph::from_edges(gen::rmat(10, 16, 5));
+  BFSOptions options;
+  options.num_threads = 8;
+  auto engine = make_bfs("BFS_WL", graph, options);
+  BFSResult r;
+  engine->run(0, r);
+  EXPECT_GE(r.vertices_explored, r.vertices_visited);
+  EXPECT_EQ(r.duplicate_explorations(),
+            r.vertices_explored - r.vertices_visited);
+}
+
+}  // namespace
+}  // namespace optibfs

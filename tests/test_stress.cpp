@@ -1,0 +1,88 @@
+// Race-shaking stress: many repeated oversubscribed runs of the
+// optimistic engines on duplicate-prone graphs. Single runs can pass by
+// luck; repetition with heavy oversubscription (threads >> cores) and
+// tiny segments maximizes interleavings through the racy windows.
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "graph/generators.hpp"
+#include "harness/verifier.hpp"
+
+namespace optibfs {
+namespace {
+
+class LockfreeStress : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LockfreeStress, RepeatedRunsDuplicateStorm) {
+  // Dense + low diameter: max duplicate-discovery pressure. Tiny fixed
+  // segments maximize fetch frequency, i.e. racy index updates.
+  const CsrGraph g = CsrGraph::from_edges(gen::rmat(9, 32, 77));
+  BFSOptions options;
+  options.num_threads = 8;
+  options.segment_size = 2;
+  options.seed = 5;
+  auto engine = make_bfs(GetParam(), g, options);
+  for (int round = 0; round < 25; ++round) {
+    options.seed = static_cast<std::uint64_t>(round);
+    BFSResult r;
+    engine->run(static_cast<vid_t>(round % 64), r);
+    const auto report =
+        verify_against_serial(g, static_cast<vid_t>(round % 64), r);
+    ASSERT_TRUE(report.ok) << GetParam() << " round " << round << ": "
+                           << report.error;
+  }
+}
+
+TEST_P(LockfreeStress, RepeatedRunsDeepGraph) {
+  // Deep graph: thousands of barrier crossings and near-empty frontiers
+  // — the termination-detection stress case.
+  const CsrGraph g = CsrGraph::from_edges(gen::circuit_like(4, 250, 50, 3));
+  BFSOptions options;
+  options.num_threads = 8;
+  options.segment_size = 1;
+  auto engine = make_bfs(GetParam(), g, options);
+  for (int round = 0; round < 10; ++round) {
+    BFSResult r;
+    engine->run(0, r);
+    ASSERT_TRUE(verify_against_serial(g, 0, r).ok)
+        << GetParam() << " round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OptimisticEngines, LockfreeStress,
+                         ::testing::Values("BFS_CL", "BFS_DL", "BFS_WL",
+                                           "BFS_WSL"),
+                         [](const auto& param_info) { return param_info.param; });
+
+TEST(LockedStress, ExactVariantsUnderOversubscription) {
+  const CsrGraph g = CsrGraph::from_edges(gen::power_law(2000, 16000, 2.0, 9));
+  for (const char* algorithm : {"BFS_C", "BFS_W", "BFS_WS"}) {
+    BFSOptions options;
+    options.num_threads = 16;  // heavy oversubscription on this box
+    options.segment_size = 3;
+    auto engine = make_bfs(algorithm, g, options);
+    for (int round = 0; round < 10; ++round) {
+      BFSResult r;
+      engine->run(static_cast<vid_t>(round), r);
+      ASSERT_TRUE(verify_against_serial(g, static_cast<vid_t>(round), r).ok)
+          << algorithm << " round " << round;
+    }
+  }
+}
+
+TEST(SchedulerStress, PbfsRepeatedLayersUnderOversubscription) {
+  const CsrGraph g = CsrGraph::from_edges(gen::rmat(10, 16, 13));
+  BFSOptions options;
+  options.num_threads = 8;
+  auto engine = make_bfs("PBFS", g, options);
+  for (int round = 0; round < 15; ++round) {
+    BFSResult r;
+    engine->run(static_cast<vid_t>(round % 32), r);
+    ASSERT_TRUE(
+        verify_against_serial(g, static_cast<vid_t>(round % 32), r).ok)
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace optibfs

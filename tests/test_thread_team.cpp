@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/thread_team.hpp"
+
+namespace optibfs {
+namespace {
+
+TEST(ThreadTeam, RunsEveryThreadIdExactlyOnce) {
+  ThreadTeam team(6);
+  std::vector<std::atomic<int>> hits(6);
+  team.run([&](int tid) { hits[static_cast<std::size_t>(tid)].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadTeam, ReusableAcrossManyRegions) {
+  ThreadTeam team(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 200; ++round) {
+    team.run([&](int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ThreadTeam, RegionBlocksUntilAllFinish) {
+  ThreadTeam team(4);
+  std::atomic<int> done{0};
+  team.run([&](int tid) {
+    // Stagger completions; run() must still see all of them.
+    std::this_thread::sleep_for(std::chrono::microseconds(tid * 200));
+    done.fetch_add(1);
+  });
+  EXPECT_EQ(done.load(), 4);
+}
+
+TEST(ThreadTeam, PropagatesWorkerException) {
+  ThreadTeam team(3);
+  EXPECT_THROW(
+      team.run([](int tid) {
+        if (tid == 1) throw std::runtime_error("worker boom");
+      }),
+      std::runtime_error);
+  // Team must still be usable after a failed region.
+  std::atomic<int> ok{0};
+  team.run([&](int) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 3);
+}
+
+TEST(ThreadTeam, SingleThreadTeamWorks) {
+  ThreadTeam team(1);
+  int value = 0;
+  team.run([&](int tid) {
+    EXPECT_EQ(tid, 0);
+    value = 42;
+  });
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadTeam, RejectsNonPositiveCount) {
+  EXPECT_THROW(ThreadTeam(0), std::invalid_argument);
+  EXPECT_THROW(ThreadTeam(-3), std::invalid_argument);
+}
+
+TEST(ThreadTeam, DistinctOsThreads) {
+  ThreadTeam team(4);
+  std::mutex mutex;
+  std::set<std::thread::id> ids;
+  team.run([&](int) {
+    std::lock_guard lock(mutex);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+}  // namespace
+}  // namespace optibfs

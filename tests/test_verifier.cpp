@@ -1,0 +1,123 @@
+// The verifier itself must catch corrupted outputs — otherwise the
+// whole correctness matrix proves nothing.
+#include <gtest/gtest.h>
+
+#include "core/bfs_serial.hpp"
+#include "graph/generators.hpp"
+#include "harness/verifier.hpp"
+
+namespace optibfs {
+namespace {
+
+class VerifierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = CsrGraph::from_edges(gen::erdos_renyi(200, 1200, 3));
+    good_ = bfs_serial(graph_, 0);
+    ASSERT_TRUE(verify_against_serial(graph_, 0, good_).ok);
+  }
+  CsrGraph graph_;
+  BFSResult good_;
+};
+
+TEST_F(VerifierTest, AcceptsCorrectResult) {
+  EXPECT_TRUE(verify_bfs_tree(graph_, 0, good_).ok);
+}
+
+TEST_F(VerifierTest, RejectsWrongSourceLevel) {
+  BFSResult bad = good_;
+  bad.level[0] = 1;
+  EXPECT_FALSE(verify_bfs_tree(graph_, 0, bad).ok);
+}
+
+TEST_F(VerifierTest, RejectsWrongSourceParent) {
+  BFSResult bad = good_;
+  bad.parent[0] = 5;
+  EXPECT_FALSE(verify_bfs_tree(graph_, 0, bad).ok);
+}
+
+TEST_F(VerifierTest, RejectsLevelSkippedEdge) {
+  BFSResult bad = good_;
+  // Push some visited vertex one level too deep.
+  for (vid_t v = 1; v < graph_.num_vertices(); ++v) {
+    if (bad.level[v] > 0) {
+      bad.level[v] += 1;
+      break;
+    }
+  }
+  EXPECT_FALSE(verify_bfs_tree(graph_, 0, bad).ok);
+}
+
+TEST_F(VerifierTest, RejectsNonEdgeParent) {
+  BFSResult bad = good_;
+  for (vid_t v = 1; v < graph_.num_vertices(); ++v) {
+    if (bad.level[v] > 0) {
+      // Point the parent at a same-level-minus-one vertex with no edge,
+      // if one exists; fabricating an out-of-range parent also works.
+      bad.parent[v] = kInvalidVertex - 1;
+      break;
+    }
+  }
+  EXPECT_FALSE(verify_bfs_tree(graph_, 0, bad).ok);
+}
+
+TEST_F(VerifierTest, RejectsUnvisitedWithParent) {
+  BFSResult bad = good_;
+  bool mutated = false;
+  for (vid_t v = 0; v < graph_.num_vertices(); ++v) {
+    if (bad.level[v] == kUnvisited) {
+      bad.parent[v] = 0;
+      mutated = true;
+      break;
+    }
+  }
+  if (mutated) {
+    EXPECT_FALSE(verify_bfs_tree(graph_, 0, bad).ok);
+  }
+}
+
+TEST_F(VerifierTest, RejectsMissedReachableVertex) {
+  BFSResult bad = good_;
+  // "Unvisit" a reachable non-source vertex: some visited in-neighbor
+  // then violates the no-visited-to-unvisited-edge rule.
+  for (vid_t v = 1; v < graph_.num_vertices(); ++v) {
+    if (bad.level[v] > 0) {
+      bad.level[v] = kUnvisited;
+      bad.parent[v] = kInvalidVertex;
+      break;
+    }
+  }
+  EXPECT_FALSE(verify_bfs_tree(graph_, 0, bad).ok);
+}
+
+TEST_F(VerifierTest, RejectsWrongArraySizes) {
+  BFSResult bad = good_;
+  bad.level.pop_back();
+  EXPECT_FALSE(verify_bfs_tree(graph_, 0, bad).ok);
+}
+
+TEST_F(VerifierTest, SerialComparisonCatchesLevelDrift) {
+  BFSResult bad = good_;
+  // A self-consistent but wrong tree: claim a different visited count.
+  bad.vertices_visited += 1;
+  EXPECT_FALSE(verify_against_serial(graph_, 0, bad).ok);
+}
+
+TEST_F(VerifierTest, AcceptsAlternativeValidParents) {
+  // Any level-consistent parent must pass: rewire each vertex to its
+  // smallest valid alternative parent.
+  BFSResult alt = good_;
+  for (vid_t v = 0; v < graph_.num_vertices(); ++v) {
+    if (alt.level[v] <= 0) continue;
+    for (vid_t u = 0; u < graph_.num_vertices(); ++u) {
+      if (alt.level[u] == alt.level[v] - 1 && graph_.has_edge(u, v)) {
+        alt.parent[v] = u;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(verify_against_serial(graph_, 0, alt).ok);
+}
+
+}  // namespace
+}  // namespace optibfs

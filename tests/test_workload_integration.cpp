@@ -1,0 +1,56 @@
+// End-to-end integration: every paper algorithm on every Table IV
+// workload stand-in (tiny scale), verified — the exact pipeline the
+// bench binaries run, as a test.
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "graph/workloads.hpp"
+#include "harness/experiment.hpp"
+#include "harness/source_sampler.hpp"
+#include "harness/verifier.hpp"
+
+namespace optibfs {
+namespace {
+
+class WorkloadIntegration : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadIntegration, EveryEngineVerifiesOnSuiteGraph) {
+  WorkloadConfig config;
+  config.scale = 0.02;
+  const Workload workload = make_workload(GetParam(), config);
+  const auto sources = sample_sources(workload.graph, 2, 5);
+  for (const auto& algorithm : all_algorithms()) {
+    BFSOptions options;
+    options.num_threads = 4;
+    auto engine = make_bfs(algorithm, workload.graph, options);
+    for (const vid_t source : sources) {
+      BFSResult result;
+      engine->run(source, result);
+      const auto report =
+          verify_against_serial(workload.graph, source, result);
+      ASSERT_TRUE(report.ok)
+          << algorithm << " on " << GetParam() << ": " << report.error;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, WorkloadIntegration,
+                         ::testing::ValuesIn(workload_names()),
+                         [](const auto& param_info) {
+                           return param_info.param;
+                         });
+
+TEST(WorkloadIntegration, ExperimentDriverVerifiedSweep) {
+  WorkloadConfig wconfig;
+  wconfig.scale = 0.02;
+  ExperimentConfig config;
+  config.algorithms = {"BFS_CL", "BFS_WSL", "PBFS"};
+  config.thread_counts = {2, 4};
+  config.sources = 2;
+  config.verify = true;  // measure_bfs throws on any bad result
+  const auto cells = run_experiment(make_all_workloads(wconfig), config);
+  EXPECT_EQ(cells.size(), workload_names().size() * 3 * 2);
+}
+
+}  // namespace
+}  // namespace optibfs

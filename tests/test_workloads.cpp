@@ -1,0 +1,106 @@
+// The Table IV stand-in suite: structural-class sanity for each graph.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/graph_props.hpp"
+#include "graph/workloads.hpp"
+
+namespace optibfs {
+namespace {
+
+WorkloadConfig tiny() {
+  WorkloadConfig config;
+  config.scale = 0.02;
+  return config;
+}
+
+TEST(Workloads, AllNamesBuild) {
+  for (const auto& name : workload_names()) {
+    const Workload w = make_workload(name, tiny());
+    EXPECT_EQ(w.name, name);
+    EXPECT_GT(w.graph.num_vertices(), 0u) << name;
+    EXPECT_GT(w.graph.num_edges(), 0u) << name;
+    EXPECT_FALSE(w.description.empty()) << name;
+  }
+}
+
+TEST(Workloads, UnknownNameThrows) {
+  EXPECT_THROW(make_workload("not_a_graph", tiny()), std::invalid_argument);
+}
+
+TEST(Workloads, DeterministicInSeed) {
+  const Workload a = make_workload("wikipedia", tiny());
+  const Workload b = make_workload("wikipedia", tiny());
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.graph.num_vertices(), b.graph.num_vertices());
+}
+
+TEST(Workloads, WikipediaIsScaleFree) {
+  const Workload w = make_workload("wikipedia", tiny());
+  const DegreeStats stats = degree_stats(w.graph);
+  EXPECT_GT(stats.max, static_cast<vid_t>(stats.mean * 20))
+      << "wikipedia stand-in must have hub vertices";
+}
+
+TEST(Workloads, FreescaleHasHighDiameter) {
+  const Workload w = make_workload("freescale", tiny());
+  const Workload wiki = make_workload("wikipedia", tiny());
+  const level_t circuit_diameter = sampled_bfs_diameter(w.graph, 3, 1);
+  const level_t wiki_diameter = sampled_bfs_diameter(wiki.graph, 3, 1);
+  EXPECT_GT(circuit_diameter, 2 * wiki_diameter)
+      << "circuit class must be much deeper than the scale-free class";
+}
+
+TEST(Workloads, RmatDenseIsDenser) {
+  const Workload sparse = make_workload("rmat_sparse", tiny());
+  const Workload dense = make_workload("rmat_dense", tiny());
+  const double sparse_ratio =
+      static_cast<double>(sparse.graph.num_edges()) /
+      static_cast<double>(sparse.graph.num_vertices());
+  const double dense_ratio = static_cast<double>(dense.graph.num_edges()) /
+                             static_cast<double>(dense.graph.num_vertices());
+  EXPECT_GT(dense_ratio, sparse_ratio * 4);
+}
+
+TEST(Workloads, MakeAllReturnsFullSuite) {
+  const auto all = make_all_workloads(tiny());
+  EXPECT_EQ(all.size(), workload_names().size());
+}
+
+TEST(Workloads, GraphDirOverrideLoadsMtx) {
+  const auto dir = std::filesystem::temp_directory_path() / "optibfs_wl";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream mtx(dir / "kkt_power.mtx");
+    mtx << "%%MatrixMarket matrix coordinate pattern general\n"
+        << "4 4 3\n1 2\n2 3\n3 4\n";
+  }
+  WorkloadConfig config = tiny();
+  config.graph_dir = dir.string();
+  const Workload w = make_workload("kkt_power", config);
+  EXPECT_EQ(w.graph.num_vertices(), 4u);
+  EXPECT_EQ(w.graph.num_edges(), 3u);
+  EXPECT_NE(w.description.find("loaded from"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Workloads, EnvConfigParsing) {
+  setenv("OPTIBFS_SCALE", "0.5", 1);
+  setenv("OPTIBFS_SEED", "777", 1);
+  setenv("OPTIBFS_GRAPH_DIR", "/tmp/somewhere", 1);
+  const WorkloadConfig config = workload_config_from_env();
+  EXPECT_DOUBLE_EQ(config.scale, 0.5);
+  EXPECT_EQ(config.seed, 777u);
+  EXPECT_EQ(config.graph_dir, "/tmp/somewhere");
+  setenv("OPTIBFS_SCALE", "-3", 1);
+  EXPECT_DOUBLE_EQ(workload_config_from_env().scale, 1.0);
+  unsetenv("OPTIBFS_SCALE");
+  unsetenv("OPTIBFS_SEED");
+  unsetenv("OPTIBFS_GRAPH_DIR");
+}
+
+}  // namespace
+}  // namespace optibfs
