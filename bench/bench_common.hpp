@@ -8,10 +8,17 @@
 //   OPTIBFS_VERIFY   — 1 = validate every run against the serial oracle
 //   OPTIBFS_GRAPH_DIR— directory of real .mtx graphs overriding the
 //                      synthetic stand-ins
+//   OPTIBFS_JSON     — machine-readable output: "1"/"true" writes
+//                      BENCH_<name>.json into the CWD, any other value
+//                      is treated as the directory to write it into.
+//                      A `--json <path>` command-line flag overrides.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "graph/graph_props.hpp"
 #include "graph/workloads.hpp"
@@ -42,6 +49,39 @@ inline ExperimentConfig default_config() {
   config.verify = env_verify();
   config.thread_counts = {env_threads(8)};
   return config;
+}
+
+/// Resolves where bench `name` should write its JSON results, or ""
+/// when JSON output is off: `--json <path>` wins, then OPTIBFS_JSON
+/// (see the header comment).
+inline std::string json_path(const std::string& name, int argc,
+                             char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") return argv[i + 1];
+  }
+  if (const char* env = std::getenv("OPTIBFS_JSON")) {
+    const std::string value = env;
+    if (value.empty() || value == "0") return {};
+    const std::string file = "BENCH_" + name + ".json";
+    if (value == "1" || value == "true") return file;
+    return value + "/" + file;
+  }
+  return {};
+}
+
+/// Writes the sweep results as JSON when the user asked for it (no-op
+/// otherwise). `summary_json` is an optional pre-rendered JSON value
+/// embedded under "summary".
+inline void maybe_write_json(const std::string& name, int argc, char** argv,
+                             const std::vector<ExperimentCell>& cells,
+                             const std::string& summary_json = {}) {
+  const std::string path = json_path(name, argc, argv);
+  if (path.empty()) return;
+  if (write_cells_json(path, name, cells, summary_json)) {
+    std::cout << "\nwrote " << path << "\n";
+  } else {
+    std::cerr << "\nfailed to write " << path << "\n";
+  }
 }
 
 }  // namespace optibfs::bench

@@ -12,7 +12,7 @@
 #include "bench_common.hpp"
 #include "core/registry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace optibfs;
   bench::print_banner("Scalability on the scale-free graph",
                       "Figure 2(a)/(b)");
@@ -65,5 +65,8 @@ int main() {
                "scaling to 32. On a 1-core container every curve rises "
                "with p instead; compare *between* algorithms, not along "
                "the axis.\n";
+  auto all_cells = cells;
+  all_cells.insert(all_cells.end(), serial_cells.begin(), serial_cells.end());
+  bench::maybe_write_json("fig2", argc, argv, all_cells);
   return 0;
 }

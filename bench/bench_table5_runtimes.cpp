@@ -57,7 +57,7 @@ void print_subtable(const std::vector<Workload>& workloads,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Running times, all algorithms x all graphs",
                       "Table V(a)/(b)");
 
@@ -80,5 +80,6 @@ int main() {
                "beats its locked twin; our algorithms beat PBFS and Hong "
                "on the real-world-class graphs; HONG_LOCAL_BITMAP wins "
                "on rmat_dense (duplicate-heavy).\n";
+  bench::maybe_write_json("table5", argc, argv, cells);
   return 0;
 }

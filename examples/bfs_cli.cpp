@@ -36,6 +36,10 @@ using namespace optibfs;
       "  --pools J        BFS_DL pool count (default 1)\n"
       "  --steal-factor C MAX_STEAL = C*p*log p (default 2)\n"
       "  --phase2-steal   scale-free phase 2 steals adjacency halves\n"
+      "  --hybrid         direction-optimizing mode (same as an _H algo name)\n"
+      "  --alpha A        hybrid top-down->bottom-up threshold (default 15)\n"
+      "  --beta B         hybrid bottom-up->top-down threshold (default 18)\n"
+      "  --edge-segments  edge-balanced adaptive segment sizing\n"
       "  --claim          enable parent-claim duplicate suppression\n"
       "  --no-clearing    disable the clearing trick (ablation)\n"
       "  --numa-sockets S simulate S sockets with local-first policies\n"
@@ -135,6 +139,10 @@ int main(int argc, char** argv) {
     else if (arg == "--pools") options.dl_pools = std::atoi(next().c_str());
     else if (arg == "--steal-factor") options.steal_attempt_factor = std::atoi(next().c_str());
     else if (arg == "--phase2-steal") options.phase2 = Phase2Mode::kStealing;
+    else if (arg == "--hybrid") options.direction_mode = DirectionMode::kHybrid;
+    else if (arg == "--alpha") options.alpha = std::atoi(next().c_str());
+    else if (arg == "--beta") options.beta = std::atoi(next().c_str());
+    else if (arg == "--edge-segments") options.edge_balanced_segments = true;
     else if (arg == "--claim") options.parent_claim_dedup = true;
     else if (arg == "--no-clearing") options.clear_slots = false;
     else if (arg == "--numa-sockets") { options.numa_aware = true; options.num_sockets = std::atoi(next().c_str()); }

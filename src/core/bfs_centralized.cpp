@@ -63,11 +63,6 @@ CentralizedLockfreeBFS::CentralizedLockfreeBFS(const CsrGraph& graph,
 
 void CentralizedLockfreeBFS::on_level_prepared() {
   global_queue_.store(0, std::memory_order_relaxed);
-  if (edge_balanced_) {
-    const std::int64_t entries = std::max<std::int64_t>(1, queues_.total_in());
-    level_mean_degree_ =
-        std::max<std::int64_t>(1, queues_.total_in_edges() / entries);
-  }
 }
 
 std::int64_t CentralizedLockfreeBFS::pick_segment(
@@ -76,13 +71,14 @@ std::int64_t CentralizedLockfreeBFS::pick_segment(
     return std::min(segment_size(queue_remaining), queue_remaining);
   }
   // §IV-D: divide edges, not vertices. The per-dispatch edge budget is
-  // converted to a vertex count through the frontier's mean degree, so
-  // a frontier of fat vertices gets proportionally shorter segments.
+  // converted to a vertex count through the frontier's mean degree
+  // (maintained per level by the engine base), so a frontier of fat
+  // vertices gets proportionally shorter segments.
   const std::int64_t edge_budget =
       std::max<std::int64_t>(std::int64_t{64}, queues_.total_in_edges() /
                                                    (4 * p_));
   const std::int64_t s =
-      std::max<std::int64_t>(1, edge_budget / level_mean_degree_);
+      std::max<std::int64_t>(1, edge_budget / frontier_mean_degree());
   return std::min(s, queue_remaining);
 }
 

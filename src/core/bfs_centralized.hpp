@@ -57,9 +57,6 @@ class CentralizedLockfreeBFS : public BFSEngineBase {
   /// backwards under races (paper Figure 1), which only causes
   /// duplicate segments.
   std::atomic<std::int32_t> global_queue_{0};
-  /// Edge-balanced mode: mean out-degree of the current frontier,
-  /// recomputed per level (single-threaded window).
-  std::int64_t level_mean_degree_ = 1;
 };
 
 /// BFS_DL: j centralized pools, each spanning p/j of the queues.

@@ -26,13 +26,24 @@ BFSEngineBase::BFSEngineBase(std::string name, const CsrGraph& graph,
       queues_(p_, graph.num_vertices() == 0 ? 1 : graph.num_vertices()),
       barrier_(p_),
       ts_(static_cast<std::size_t>(p_)),
-      name_(std::move(name)),
+      // Hybrid engines advertise the registry's `_H` suffix so name()
+      // round-trips through make_bfs (opts_ is initialized before name_).
+      name_(opts_.direction_mode == DirectionMode::kHybrid
+                ? std::move(name) + "_H"
+                : std::move(name)),
       team_(p_) {
   if (opts_.parent_claim_dedup) {
     claim_ = std::vector<std::atomic<std::int32_t>>(graph_.num_vertices());
   }
   if (opts_.visited_bitmap_dedup) {
     visited_bits_ = std::vector<std::atomic<std::uint64_t>>(
+        (static_cast<std::size_t>(graph_.num_vertices()) + 63) / 64);
+  }
+  if (opts_.direction_mode == DirectionMode::kHybrid) {
+    // Materialize (and cache) the transpose up front so no hot path ever
+    // touches the lazy-build lock; shared with the DO_BFS baseline.
+    transpose_ = &graph_.transpose();
+    frontier_bits_ = std::vector<std::atomic<std::uint64_t>>(
         (static_cast<std::size_t>(graph_.num_vertices()) + 63) / 64);
   }
 }
@@ -53,6 +64,15 @@ void BFSEngineBase::enable_scale_free() {
 
 std::int64_t BFSEngineBase::segment_size(std::int64_t remaining) const {
   if (opts_.segment_size > 0) return opts_.segment_size;
+  if (opts_.edge_balanced_segments) {
+    // Target a fixed *edge* budget per dispatch: convert it to a vertex
+    // count through the frontier's mean degree, so levels dominated by
+    // fat vertices hand out proportionally shorter segments.
+    const std::int64_t edge_budget = std::max<std::int64_t>(
+        64, queues_.total_in_edges() / (4 * p_));
+    const std::int64_t s = edge_budget / frontier_mean_degree_;
+    return std::clamp<std::int64_t>(s, 1, 2048);
+  }
   // Paper: s is recomputed after each dispatch from the frontier size
   // and p, so early dispatches hand out big slabs and the tail is
   // fine-grained for balance.
@@ -137,6 +157,10 @@ bool BFSEngineBase::process_slot(int tid, int q, std::int64_t index,
     return true;
   }
   if (scale_free() && graph_.out_degree(v) > degree_threshold_) {
+    // A deferred hotspot counts as explored here, for the thread that
+    // popped it — not once per phase-2 explorer — keeping the per-pop
+    // vertices_explored convention uniform across all drain paths.
+    ++st.vertices_explored;
     st.hotspots.push_back(v);
     return true;
   }
@@ -160,6 +184,7 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
   out.claim_skips = 0;
   out.level_sizes.clear();
   out.serial_levels = 0;
+  out.bottom_up_levels = 0;
   out_ = &out;
 
   if (!opts_.clear_slots) {
@@ -212,6 +237,13 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
       serial_next_level_.store(opts_.serial_frontier_cutoff > 0,
                                std::memory_order_release);
       serial_levels_count_ = 0;
+      bottom_up_levels_count_ = 0;
+      edges_unexplored_ = graph_.num_edges();
+      frontier_edges_ = 0;
+      frontier_size_ = 0;
+      frontier_mean_degree_ = std::max<std::int64_t>(
+          1, queues_.total_in_edges());  // frontier = {source}
+      prepare_direction(1);
       if (opts_.record_level_sizes) {
         out.level_sizes.clear();
         out.level_sizes.push_back(1);
@@ -222,7 +254,9 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
 
     level_t level = 0;
     while (more_levels_.load(std::memory_order_acquire)) {
-      if (serial_next_level_.load(std::memory_order_acquire)) {
+      if (bottom_up_level_.load(std::memory_order_acquire)) {
+        consume_level_bottom_up(tid, level);
+      } else if (serial_next_level_.load(std::memory_order_acquire)) {
         // Hybrid shortcut: a frontier this small is cheaper to drain on
         // one thread than to dispatch; the others head to the barrier.
         if (tid == 0) {
@@ -240,6 +274,9 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
                                      next_size <
                                          opts_.serial_frontier_cutoff,
                                  std::memory_order_release);
+        frontier_mean_degree_ = std::max<std::int64_t>(
+            1, queues_.total_in_edges() / std::max<std::int64_t>(1, next_size));
+        prepare_direction(next_size);
         if (opts_.record_level_sizes && next_size > 0) {
           out.level_sizes.push_back(static_cast<std::uint64_t>(next_size));
         }
@@ -269,7 +306,117 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
   }
   out.num_levels = max_level + 1;
   out.serial_levels = serial_levels_count_;
+  out.bottom_up_levels = bottom_up_levels_count_;
   out_ = nullptr;
+}
+
+void BFSEngineBase::prepare_direction(std::int64_t next_size) {
+  if (opts_.direction_mode != DirectionMode::kHybrid) return;
+  const bool was_bottom_up =
+      bottom_up_level_.load(std::memory_order_relaxed);
+  // Beamer's bookkeeping: the edges the finished frontier could have
+  // scanned are no longer "unexplored".
+  edges_unexplored_ -= std::min(edges_unexplored_, frontier_edges_);
+  frontier_edges_ = static_cast<std::uint64_t>(queues_.total_in_edges());
+  const std::int64_t prev_size = frontier_size_;
+  frontier_size_ = next_size;
+  bool bottom_up = false;
+  if (next_size > 0 && opts_.alpha > 0) {
+    if (!was_bottom_up) {
+      // Alpha rule, in overflow-safe division form: switch down when the
+      // frontier's out-edges exceed 1/alpha of the unexplored edges —
+      // but only while the frontier is still growing (Beamer's guard:
+      // a plateaued or shrinking frontier on mesh-like graphs never
+      // amortizes a full bottom-up sweep).
+      bottom_up = next_size > prev_size &&
+                  frontier_edges_ >
+                      edges_unexplored_ /
+                          static_cast<std::uint64_t>(opts_.alpha);
+    } else {
+      // Beta rule: stay bottom-up while the frontier is still at least
+      // n/beta vertices; beta == 0 means switch back immediately.
+      bottom_up =
+          opts_.beta > 0 &&
+          static_cast<std::uint64_t>(next_size) >=
+              static_cast<std::uint64_t>(graph_.num_vertices()) /
+                  static_cast<std::uint64_t>(opts_.beta);
+    }
+  }
+  bottom_up_level_.store(bottom_up, std::memory_order_release);
+  if (bottom_up) {
+    ++bottom_up_levels_count_;
+    // The serial shortcut never fires on a bottom-up level: the whole
+    // point of going bottom-up is that the frontier is huge.
+    serial_next_level_.store(false, std::memory_order_release);
+  }
+}
+
+void BFSEngineBase::consume_level_bottom_up(int tid, level_t level) {
+  ThreadState& st = state(tid);
+  // The frontier is read from level[] below, but the in-queue entries
+  // must still be consumed — clearing keeps the all-slots-0 swap
+  // invariant the optimistic drains rely on — and counted (each live
+  // entry retires exactly once, the per-pop convention's analog).
+  st.vertices_explored +=
+      static_cast<std::uint64_t>(queues_.retire_in(tid, opts_.clear_slots));
+
+  const vid_t n = graph_.num_vertices();
+  const std::size_t words = frontier_bits_.size();
+  const std::size_t wlo = words * static_cast<std::size_t>(tid) /
+                          static_cast<std::size_t>(p_);
+  const std::size_t whi = words * (static_cast<std::size_t>(tid) + 1) /
+                          static_cast<std::size_t>(p_);
+  // Build the frontier bitmap. Slices are word-granular, so no two
+  // threads ever touch the same word: plain relaxed stores, no RMW.
+  for (std::size_t w = wlo; w < whi; ++w) {
+    const vid_t base = static_cast<vid_t>(w * 64);
+    const vid_t limit = std::min<vid_t>(n, base + 64);
+    std::uint64_t bits = 0;
+    for (vid_t v = base; v < limit; ++v) {
+      if (std::atomic_ref<level_t>(out_->level[v])
+              .load(std::memory_order_relaxed) == level) {
+        bits |= std::uint64_t{1} << (v - base);
+      }
+    }
+    frontier_bits_[w].store(bits, std::memory_order_relaxed);
+  }
+  barrier_.arrive_and_wait();  // publish every thread's bitmap words
+
+  // Owner-computes scan: this thread is the only writer of level[v],
+  // parent[v], and its own out-queue for every v in its slice, so the
+  // races the top-down engines tolerate simply do not exist here.
+  std::uint64_t edges = 0;
+  for (std::size_t w = wlo; w < whi; ++w) {
+    const vid_t base = static_cast<vid_t>(w * 64);
+    const vid_t limit = std::min<vid_t>(n, base + 64);
+    for (vid_t v = base; v < limit; ++v) {
+      if (std::atomic_ref<level_t>(out_->level[v])
+              .load(std::memory_order_relaxed) != kUnvisited) {
+        continue;
+      }
+      for (const vid_t u : transpose_->out_neighbors(v)) {
+        ++edges;
+        if ((frontier_bits_[u >> 6].load(std::memory_order_relaxed) >>
+             (u & 63)) &
+            1) {
+          std::atomic_ref<level_t>(out_->level[v])
+              .store(level + 1, std::memory_order_relaxed);
+          std::atomic_ref<vid_t>(out_->parent[v])
+              .store(u, std::memory_order_relaxed);
+          if (!claim_.empty()) {
+            claim_[v].store(tid, std::memory_order_relaxed);
+          }
+          // Refill Qout through the normal path so a switch back to
+          // top-down (and work-stealing) resumes seamlessly. No
+          // visited-bitmap update needed: discover() checks level[]
+          // before the bitmap, so v can never be re-discovered.
+          queues_.push_out(tid, v, graph_.out_degree(v));
+          break;  // first frontier in-neighbor wins; rest are redundant
+        }
+      }
+    }
+  }
+  st.edges_scanned += edges;
 }
 
 void BFSEngineBase::drain_level_serially(int tid, level_t level) {
@@ -316,8 +463,9 @@ void BFSEngineBase::explore_hotspots(int tid, level_t level) {
       const auto pp = static_cast<std::size_t>(p_);
       const std::size_t chunk_lo = deg * t / pp;
       const std::size_t chunk_hi = deg * (t + 1) / pp;
+      // vertices_explored was already counted when the popping thread
+      // deferred the hotspot (see process_slot).
       visit_neighbor_range(tid, h, level + 1, chunk_lo, chunk_hi);
-      if (tid == 0) ++state(tid).vertices_explored;
     }
     return;
   }
@@ -337,7 +485,6 @@ void BFSEngineBase::explore_hotspots(int tid, level_t level) {
     st.seg_rear.store(graph_.out_degree(h), std::memory_order_relaxed);
     st.has_work.store(true, std::memory_order_relaxed);
     drain_adjacency_range(tid, level);
-    ++st.vertices_explored;
   }
   st.has_work.store(false, std::memory_order_relaxed);
   while (steal_adjacency_range(tid)) {

@@ -123,8 +123,15 @@ class BFSEngineBase : public ParallelBFS {
   bool process_slot(int tid, int q, std::int64_t index, level_t level);
 
   /// Paper's adaptive segment size: recomputed at every dispatch from
-  /// the vertices remaining and p. Honors opts_.segment_size when fixed.
+  /// the vertices remaining and p. Honors opts_.segment_size when fixed;
+  /// with opts_.edge_balanced_segments it targets a fixed per-dispatch
+  /// edge budget through the frontier's mean degree instead.
   std::int64_t segment_size(std::int64_t remaining) const;
+
+  /// Mean out-degree of the current frontier (>= 1). Recomputed in the
+  /// single-threaded window after every queue swap; stable during a
+  /// level. Drives edge-balanced segment sizing (base and BFS_EBL).
+  std::int64_t frontier_mean_degree() const { return frontier_mean_degree_; }
 
   /// MAX_STEAL = c * p * log2(p) (balls-and-bins bound), at least 1.
   int max_steal_attempts(int population) const;
@@ -164,6 +171,19 @@ class BFSEngineBase : public ParallelBFS {
   void enable_scale_free();
 
  private:
+  /// One bottom-up level (kHybrid only; runs on every thread in place of
+  /// consume_level). Retires the thread's own in-queue, publishes the
+  /// frontier as a bitmap (owned words only), then scans the owned
+  /// word-aligned vertex slice of the transpose for unvisited vertices.
+  /// Owner-computes: no shared writes, hence no locks and no atomic RMW
+  /// anywhere on this path. Costs one internal barrier phase.
+  void consume_level_bottom_up(int tid, level_t level);
+
+  /// Single-threaded (barrier window): updates the alpha/beta direction
+  /// bookkeeping and decides whether the next level (of `next_size`
+  /// frontier vertices) runs bottom-up. No-op unless kHybrid.
+  void prepare_direction(std::int64_t next_size);
+
   /// Phase-2 stealing mode: steals half of a victim's remaining
   /// adjacency range into the thief's own block. Returns false after
   /// MAX_STEAL consecutive failures.
@@ -193,6 +213,21 @@ class BFSEngineBase : public ParallelBFS {
   // kStealing mode: per-thread current hotspot vertex (the steal block's
   // front/rear then index into its adjacency list).
   std::vector<CacheAligned<std::atomic<vid_t>>> hotspot_vertex_;
+
+  // ---- hybrid direction state (allocated only under kHybrid) ----
+  const CsrGraph* transpose_ = nullptr;  ///< cached &graph_.transpose()
+  /// Frontier-as-bitmap for bottom-up levels. Each thread writes only
+  /// the words of its own word-aligned slice (relaxed stores; the level
+  /// barrier publishes them) — word granularity is what removes the
+  /// fetch_or the direction-optimizing baseline needs.
+  std::vector<std::atomic<std::uint64_t>> frontier_bits_;
+  std::atomic<bool> bottom_up_level_{false};  ///< set in barrier window
+  // Alpha/beta bookkeeping; single writer (the barrier-window thread).
+  std::uint64_t edges_unexplored_ = 0;
+  std::uint64_t frontier_edges_ = 0;
+  std::int64_t frontier_size_ = 0;  ///< previous level, for the growth check
+  std::uint64_t bottom_up_levels_count_ = 0;
+  std::int64_t frontier_mean_degree_ = 1;
 
  protected:
   // Discovery primitive shared with process_slot; exposed for phase-2.

@@ -7,6 +7,19 @@
 
 namespace optibfs {
 
+/// Level traversal direction policy for the optimistic engine family.
+enum class DirectionMode {
+  /// Classic level-synchronous top-down expansion (the paper's mode).
+  kTopDown,
+  /// Beamer-style direction optimization on top of the optimistic
+  /// engines: at every level barrier the alpha/beta rule may flip the
+  /// whole level to a bottom-up step in which each thread scans only
+  /// its owned vertex slice of the transpose for unvisited vertices.
+  /// Bottom-up steps are owner-computes and need no locks and no atomic
+  /// RMW at all — stricter even than the paper's optimistic discipline.
+  kHybrid,
+};
+
 /// How the scale-free variants (BFS_WS / BFS_WSL) treat phase 2 (the
 /// hotspot adjacency lists deferred from phase 1).
 enum class Phase2Mode {
@@ -43,6 +56,30 @@ struct BFSOptions {
 
   /// Phase-2 strategy for the scale-free variants.
   Phase2Mode phase2 = Phase2Mode::kChunked;
+
+  /// Direction policy. kHybrid enables Beamer-style alpha/beta switching
+  /// between the optimistic top-down machinery and atomics-free
+  /// owner-computes bottom-up levels. Registry names with an `_H` suffix
+  /// (BFS_CL_H, ...) set this for you.
+  DirectionMode direction_mode = DirectionMode::kTopDown;
+
+  /// Beamer's alpha: switch top-down -> bottom-up when the frontier's
+  /// outgoing edge count exceeds (unexplored edges) / alpha. 0 disables
+  /// bottom-up entirely (kHybrid then behaves like kTopDown).
+  int alpha = 15;
+
+  /// Beamer's beta: once bottom-up, switch back to top-down when the
+  /// next frontier shrinks below n / beta vertices. 0 means "switch
+  /// back immediately after one bottom-up level".
+  int beta = 18;
+
+  /// Adaptive segment sizing that targets a fixed *edge* budget per
+  /// dispatch instead of a fixed vertex count: segment_size must be 0
+  /// (adaptive) for this to take effect. Uses
+  /// FrontierQueues::total_in_edges() and the level's mean frontier
+  /// degree so skewed levels hand out fewer high-degree vertices per
+  /// fetch. Measured in bench_ablation_segment_size.
+  bool edge_balanced_segments = false;
 
   /// The clearing trick: readers zero each consumed slot so overlapping
   /// or stale segments abort early. Disabling it (ablation) keeps

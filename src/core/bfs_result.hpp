@@ -27,6 +27,11 @@ struct BFSResult {
 
   /// Vertex pops across all threads, *including duplicates* — the cost
   /// the optimistic scheme pays instead of lock/atomic overhead.
+  /// Convention (uniform across all drain paths — parallel, serial
+  /// shortcut, hotspot phase 2, and bottom-up frontier retirement): a
+  /// frontier entry counts once per consumer that pops it, at the
+  /// moment it is popped. Hotspot vertices count once for the thread
+  /// that popped and deferred them, not once per phase-2 explorer.
   std::uint64_t vertices_explored = 0;
 
   /// duplicate work: vertices_explored - vertices_visited.
@@ -53,6 +58,10 @@ struct BFSResult {
   /// Levels the engine drained serially via the small-frontier hybrid
   /// shortcut (0 unless BFSOptions::serial_frontier_cutoff is set).
   std::uint64_t serial_levels = 0;
+
+  /// Levels traversed bottom-up (0 unless
+  /// BFSOptions::direction_mode == DirectionMode::kHybrid).
+  std::uint64_t bottom_up_levels = 0;
 };
 
 }  // namespace optibfs

@@ -62,6 +62,21 @@ void FrontierQueues::hard_reset() {
   total_in_edges_ = 0;
 }
 
+std::int64_t FrontierQueues::retire_in(int q, bool clear) {
+  const std::int64_t rear =
+      in_rear_[static_cast<std::size_t>(q)].value.load(
+          std::memory_order_relaxed);
+  std::atomic<vid_t>* slots =
+      in_ + static_cast<std::size_t>(q) * static_cast<std::size_t>(capacity_);
+  std::int64_t live = 0;
+  for (std::int64_t i = 0; i < rear; ++i) {
+    if (slots[i].load(std::memory_order_relaxed) == 0) continue;
+    ++live;
+    if (clear) slots[i].store(0, std::memory_order_relaxed);
+  }
+  return live;
+}
+
 void FrontierQueues::seed(vid_t source, vid_t degree) {
   // Push into the out side, then promote it to the in side — the same
   // path every later level takes, so all invariants hold from level 0.

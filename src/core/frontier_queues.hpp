@@ -104,6 +104,16 @@ class FrontierQueues {
     return raw == 0 ? kInvalidVertex : raw - 1;
   }
 
+  /// Retires in-queue q without exploring it: counts the live (non-zero)
+  /// slots in [0, rear) and, when `clear` is set, zeroes them so the
+  /// next swap hands the side back with the all-slots-0 invariant
+  /// intact. Used by bottom-up levels, which read the frontier from the
+  /// level[] array instead of the queues but must still consume the
+  /// queue entries. Single consumer per queue (the owner thread), so
+  /// plain relaxed loads/stores suffice. Returns the live-entry count —
+  /// the per-pop vertices_explored analog for a bottom-up level.
+  std::int64_t retire_in(int q, bool clear);
+
   /// In-queue q's rear (entry count). Stable during a level.
   std::int64_t in_rear(int q) const {
     return in_rear_[static_cast<std::size_t>(q)].value.load(

@@ -36,6 +36,23 @@ class SerialBFSEngine final : public ParallelBFS {
 std::unique_ptr<ParallelBFS> make_bfs(std::string_view algorithm,
                                       const CsrGraph& graph,
                                       const BFSOptions& options) {
+  // `_H` suffix: the same optimistic engine with direction_mode forced
+  // to kHybrid (the engine base appends the suffix to its name, so the
+  // name round-trips). Restricted to the engine-base family — the
+  // serial reference and the external baselines have no hybrid mode.
+  if (algorithm.size() > 2 &&
+      algorithm.substr(algorithm.size() - 2) == "_H") {
+    const std::string_view base = algorithm.substr(0, algorithm.size() - 2);
+    for (const std::string_view eligible :
+         {"BFS_C", "BFS_CL", "BFS_DL", "BFS_EBL", "BFS_W", "BFS_WL",
+          "BFS_WS", "BFS_WSL"}) {
+      if (base == eligible) {
+        BFSOptions hybrid = options;
+        hybrid.direction_mode = DirectionMode::kHybrid;
+        return make_bfs(base, graph, hybrid);
+      }
+    }
+  }
   if (algorithm == "sbfs") {
     return std::make_unique<SerialBFSEngine>(graph, options);
   }
@@ -98,7 +115,8 @@ std::unique_ptr<ParallelBFS> make_bfs(std::string_view algorithm,
 std::vector<std::string> all_algorithms() {
   return {"sbfs",   "BFS_C",      "BFS_CL",    "BFS_DL",
           "BFS_W",  "BFS_WL",     "BFS_WS",    "BFS_WSL",
-          "BFS_EBL", "PBFS",      "HONG_QUEUE", "HONG_READ",
+          "BFS_EBL", "BFS_CL_H",  "BFS_DL_H",  "BFS_WL_H",
+          "BFS_WSL_H", "PBFS",    "HONG_QUEUE", "HONG_READ",
           "HONG_HYBRID", "HONG_LOCAL_BITMAP", "DO_BFS"};
 }
 
@@ -109,6 +127,11 @@ std::vector<std::string> paper_algorithms() {
 
 std::vector<std::string> lockfree_algorithms() {
   return {"BFS_CL", "BFS_DL", "BFS_WL", "BFS_WSL"};
+}
+
+std::vector<std::string> hybrid_algorithms() {
+  return {"BFS_C_H",  "BFS_CL_H", "BFS_DL_H",  "BFS_EBL_H",
+          "BFS_W_H",  "BFS_WL_H", "BFS_WS_H",  "BFS_WSL_H"};
 }
 
 std::vector<std::string> baseline_algorithms() {

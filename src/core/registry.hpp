@@ -26,6 +26,10 @@ namespace optibfs {
 ///   BFS_WS    — work-stealing + scale-free, locks
 ///   BFS_WSL   — work-stealing + scale-free, lock-free
 ///   BFS_EBL   — edge-balanced centralized lock-free (§IV-D)
+///   *_H       — any engine-family name (BFS_C .. BFS_WSL, BFS_EBL) with
+///               an `_H` suffix: the same engine with atomics-free
+///               hybrid top-down/bottom-up direction switching
+///               (direction_mode = kHybrid)
 ///   PBFS      — Baseline1 (Leiserson-Schardl bag reducer)
 ///   HONG_QUEUE / HONG_READ / HONG_HYBRID / HONG_LOCAL_BITMAP — Baseline2
 ///   DO_BFS    — direction-optimizing (Beamer) extension baseline
@@ -44,6 +48,9 @@ std::vector<std::string> paper_algorithms();
 
 /// The lock-free subset plotted in Figure 2.
 std::vector<std::string> lockfree_algorithms();
+
+/// Every hybrid-direction (`_H`) name the registry accepts.
+std::vector<std::string> hybrid_algorithms();
 
 /// Baseline names.
 std::vector<std::string> baseline_algorithms();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 
 namespace optibfs {
 
@@ -64,6 +65,11 @@ bool CsrGraph::has_edge(vid_t u, vid_t v) const {
 }
 
 const CsrGraph& CsrGraph::transpose() const {
+  // A function-local mutex (rather than a member once_flag/atomic) keeps
+  // CsrGraph movable, which from_edges' return-by-value relies on. The
+  // lock is global across graphs but only ever taken on this cold path.
+  static std::mutex build_mutex;
+  std::scoped_lock lock(build_mutex);
   if (!transpose_) {
     EdgeList rev(num_vertices_);
     rev.reserve(targets_.size());

@@ -52,8 +52,10 @@ class CsrGraph {
   bool has_edge(vid_t u, vid_t v) const;
 
   /// Returns the transpose (in-edge) view, building it on first use.
-  /// Thread-safe only before the first concurrent traversal; call once
-  /// up front from a single thread (benches do this during setup).
+  /// The lazy build is serialized behind a mutex, so concurrent callers
+  /// are safe; engines cache the returned reference at construction so
+  /// no hot path pays for the lock. Shared by the direction-optimizing
+  /// baseline and the hybrid (*_H) optimistic engines.
   const CsrGraph& transpose() const;
 
   /// True if a transpose has already been materialized.

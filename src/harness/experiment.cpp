@@ -1,11 +1,53 @@
 #include "harness/experiment.hpp"
 
 #include <cstdlib>
+#include <fstream>
 
 #include "core/registry.hpp"
 #include "harness/source_sampler.hpp"
 
 namespace optibfs {
+namespace {
+
+/// Minimal JSON string escaping — bench/graph/algorithm names are plain
+/// ASCII identifiers, so quotes and backslashes are all that can bite.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool write_cells_json(const std::string& path, const std::string& bench_name,
+                      const std::vector<ExperimentCell>& cells,
+                      const std::string& summary_json) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"bench\": \"" << json_escape(bench_name) << "\",\n"
+      << "  \"summary\": "
+      << (summary_json.empty() ? std::string("{}") : summary_json) << ",\n"
+      << "  \"cells\": [";
+  bool first = true;
+  for (const ExperimentCell& cell : cells) {
+    const RunMeasurement& m = cell.measurement;
+    out << (first ? "\n" : ",\n")
+        << "    {\"graph\": \"" << json_escape(cell.graph)
+        << "\", \"algorithm\": \"" << json_escape(cell.algorithm)
+        << "\", \"threads\": " << cell.threads
+        << ", \"sources\": " << m.sources << ", \"mean_ms\": " << m.mean_ms
+        << ", \"min_ms\": " << m.min_ms << ", \"max_ms\": " << m.max_ms
+        << ", \"mean_teps\": " << m.mean_teps
+        << ", \"mean_duplicates\": " << m.mean_duplicates << "}";
+    first = false;
+  }
+  out << "\n  ]\n}\n";
+  return static_cast<bool>(out);
+}
 
 std::vector<ExperimentCell> run_experiment(
     const std::vector<Workload>& workloads, const ExperimentConfig& config) {

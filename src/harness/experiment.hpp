@@ -38,6 +38,17 @@ struct ExperimentCell {
 std::vector<ExperimentCell> run_experiment(
     const std::vector<Workload>& workloads, const ExperimentConfig& config);
 
+/// Writes a sweep's cells as a machine-readable JSON document:
+///   {"bench": "<name>", "summary": <summary_json|{}>, "cells": [
+///     {"graph": ..., "algorithm": ..., "threads": N, "sources": K,
+///      "mean_ms": ..., "min_ms": ..., "max_ms": ..., "mean_teps": ...,
+///      "mean_duplicates": ...}, ...]}
+/// `summary_json` must be a pre-rendered JSON value (pass "" to omit).
+/// Returns false when the file cannot be written.
+bool write_cells_json(const std::string& path, const std::string& bench_name,
+                      const std::vector<ExperimentCell>& cells,
+                      const std::string& summary_json = {});
+
 /// Environment knobs shared by all benches:
 ///   OPTIBFS_SOURCES — sources per measurement (default `default_sources`)
 ///   OPTIBFS_THREADS — max worker threads    (default `default_threads`)

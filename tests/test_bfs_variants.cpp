@@ -204,6 +204,147 @@ TEST(StealBudget, TinyAndHugeBudgetsCorrect) {
   }
 }
 
+// ---- hybrid direction optimization (`*_H` variants) ----
+
+TEST(HybridDirection, EveryVariantMatchesSerialOnHybridZoo) {
+  for (const test::NamedGraph& entry : test::hybrid_direction_zoo()) {
+    for (const auto& algorithm : hybrid_algorithms()) {
+      BFSOptions options;
+      options.num_threads = 8;
+      expect_correct(algorithm, entry.graph, options,
+                     "hybrid_zoo:" + entry.name);
+    }
+  }
+}
+
+TEST(HybridDirection, ActuallySwitchesBottomUpOnDenseGraphs) {
+  // Dense RMAT: the alpha rule must fire. The top-down twin must
+  // report zero bottom-up levels on the very same graph.
+  const CsrGraph graph = CsrGraph::from_edges(gen::rmat(11, 32, 5));
+  BFSOptions options;
+  options.num_threads = 8;
+  auto hybrid = make_bfs("BFS_CL_H", graph, options);
+  BFSResult result;
+  hybrid->run(0, result);
+  EXPECT_GE(result.bottom_up_levels, 1u);
+  EXPECT_TRUE(verify_against_serial(graph, 0, result).ok);
+
+  auto top_down = make_bfs("BFS_CL", graph, options);
+  top_down->run(0, result);
+  EXPECT_EQ(result.bottom_up_levels, 0u);
+}
+
+TEST(HybridDirection, DisconnectedGraphTerminatesAndSwitches) {
+  // Force the switch with an aggressive alpha: bottom-up levels scan
+  // the unreachable half every time and must leave it unvisited.
+  EdgeList edges = gen::complete(60);
+  edges.ensure_vertices(120);
+  const EdgeList other = gen::complete(60);
+  for (const Edge& e : other.edges()) {
+    edges.add_unchecked(e.src + 60, e.dst + 60);
+  }
+  const CsrGraph graph = CsrGraph::from_edges(edges);
+  BFSOptions options;
+  options.num_threads = 8;
+  options.alpha = 1000000;  // switch as soon as the frontier grows
+  auto engine = make_bfs("BFS_WSL_H", graph, options);
+  BFSResult result;
+  engine->run(3, result);
+  EXPECT_GE(result.bottom_up_levels, 1u);
+  EXPECT_EQ(result.vertices_visited, 60u);
+  const auto report = verify_against_serial(graph, 3, result);
+  EXPECT_TRUE(report.ok) << report.error;
+}
+
+TEST(HybridDirection, ZeroOutDegreeSourceAndSingleVertex) {
+  // Source with no out-edges: one level, one vertex, no switch drama.
+  EdgeList edges(257);
+  for (vid_t i = 1; i < 257; ++i) edges.add_unchecked(i, 0);
+  const CsrGraph reverse_star = CsrGraph::from_edges(edges);
+  const CsrGraph single = CsrGraph::from_edges(EdgeList(1));
+  for (const auto& algorithm : hybrid_algorithms()) {
+    BFSOptions options;
+    options.num_threads = 4;
+    auto engine = make_bfs(algorithm, reverse_star, options);
+    BFSResult result;
+    engine->run(0, result);
+    EXPECT_EQ(result.vertices_visited, 1u) << algorithm;
+    EXPECT_EQ(result.num_levels, 1) << algorithm;
+
+    auto tiny = make_bfs(algorithm, single, options);
+    tiny->run(0, result);
+    EXPECT_EQ(result.vertices_visited, 1u) << algorithm;
+    EXPECT_EQ(result.bottom_up_levels, 0u) << algorithm;
+  }
+}
+
+TEST(HybridDirection, AlphaBetaEdgeValues) {
+  const CsrGraph graph = CsrGraph::from_edges(gen::rmat(10, 16, 5));
+  struct Extreme {
+    int alpha;
+    int beta;
+    const char* what;
+  };
+  const Extreme extremes[] = {
+      {0, 18, "alpha=0 disables bottom-up"},
+      {1 << 30, 18, "huge alpha switches asap"},
+      {15, 0, "beta=0 switches back after one level"},
+      {15, 1 << 30, "huge beta stays bottom-up to the end"},
+      {1 << 30, 1 << 30, "both huge"},
+  };
+  for (const Extreme& e : extremes) {
+    BFSOptions options;
+    options.num_threads = 8;
+    options.alpha = e.alpha;
+    options.beta = e.beta;
+    expect_correct("BFS_CL_H", graph, options, e.what);
+    expect_correct("BFS_WSL_H", graph, options, e.what);
+  }
+  // alpha=0 must behave exactly like top-down.
+  BFSOptions off;
+  off.num_threads = 8;
+  off.alpha = 0;
+  auto engine = make_bfs("BFS_CL_H", graph, off);
+  BFSResult result;
+  engine->run(0, result);
+  EXPECT_EQ(result.bottom_up_levels, 0u);
+}
+
+TEST(HybridDirection, ComposesWithEveryOtherOption) {
+  const CsrGraph graph = hotspot_graph();
+  BFSOptions options;
+  options.num_threads = 8;
+  options.parent_claim_dedup = true;
+  options.serial_frontier_cutoff = 8;
+  options.numa_aware = true;
+  options.num_sockets = 2;
+  options.degree_threshold = 16;
+  expect_correct("BFS_WSL_H", graph, options, "hybrid+claims+serial+numa");
+
+  BFSOptions bitmap = options;
+  bitmap.parent_claim_dedup = false;
+  bitmap.visited_bitmap_dedup = true;
+  expect_correct("BFS_WSL_H", graph, bitmap, "hybrid+bitmap");
+
+  BFSOptions no_clearing;
+  no_clearing.num_threads = 8;
+  no_clearing.clear_slots = false;
+  for (const char* algorithm : {"BFS_CL_H", "BFS_DL_H", "BFS_WL_H",
+                                "BFS_WSL_H"}) {
+    expect_correct(algorithm, graph, no_clearing, "hybrid+no_clearing");
+  }
+}
+
+TEST(HybridDirection, EdgeBalancedSegmentsCorrect) {
+  const CsrGraph graph = hotspot_graph();
+  for (const char* algorithm : {"BFS_C", "BFS_CL", "BFS_DL", "BFS_CL_H"}) {
+    BFSOptions options;
+    options.num_threads = 8;
+    options.edge_balanced_segments = true;
+    expect_correct(algorithm, graph, options, "edge_balanced");
+  }
+}
+
 // ---- combined extremes ----
 
 TEST(Combinations, EverythingOnAtOnce) {

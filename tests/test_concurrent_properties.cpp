@@ -89,7 +89,8 @@ TEST(Determinism, LevelsIdenticalAcrossRunsAndEngines) {
   options.num_threads = 8;
   std::vector<level_t> reference;
   for (const char* name : {"BFS_CL", "BFS_DL", "BFS_WL", "BFS_WSL",
-                           "PBFS", "HONG_QUEUE", "DO_BFS"}) {
+                           "BFS_CL_H", "BFS_WSL_H", "PBFS", "HONG_QUEUE",
+                           "DO_BFS"}) {
     auto engine = make_bfs(name, g, options);
     for (int run = 0; run < 3; ++run) {
       BFSResult result;
@@ -121,6 +122,12 @@ TEST(OptionFuzz, RandomOptionCombinationsStayCorrect) {
     options.parent_claim_dedup = rng.next_below(2) == 0;
     options.numa_aware = rng.next_below(2) == 0;
     options.num_sockets = 1 + static_cast<int>(rng.next_below(4));
+    options.direction_mode = rng.next_below(2) == 0
+                                 ? DirectionMode::kTopDown
+                                 : DirectionMode::kHybrid;
+    options.alpha = static_cast<int>(rng.next_below(40));
+    options.beta = static_cast<int>(rng.next_below(40));
+    options.edge_balanced_segments = rng.next_below(2) == 0;
     options.seed = rng.next();
     const auto& algorithm =
         algorithms[static_cast<std::size_t>(rng.next_below(

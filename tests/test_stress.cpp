@@ -51,7 +51,8 @@ TEST_P(LockfreeStress, RepeatedRunsDeepGraph) {
 
 INSTANTIATE_TEST_SUITE_P(OptimisticEngines, LockfreeStress,
                          ::testing::Values("BFS_CL", "BFS_DL", "BFS_WL",
-                                           "BFS_WSL"),
+                                           "BFS_WSL", "BFS_CL_H",
+                                           "BFS_WSL_H"),
                          [](const auto& param_info) { return param_info.param; });
 
 TEST(LockedStress, ExactVariantsUnderOversubscription) {

@@ -70,4 +70,44 @@ inline std::vector<NamedGraph> correctness_graph_zoo() {
   return zoo;
 }
 
+/// Graphs chosen to exercise the hybrid direction machinery: shapes
+/// where the alpha rule actually fires (dense/low-diameter), shapes
+/// where the switch interacts with unreachable vertices, and degenerate
+/// sources (zero out-degree, single vertex).
+inline std::vector<NamedGraph> hybrid_direction_zoo() {
+  std::vector<NamedGraph> zoo;
+  // Dense RMAT: two or three huge middle levels — the direction switch
+  // always fires here.
+  zoo.push_back({"rmat_dense_11", CsrGraph::from_edges(gen::rmat(11, 32, 5))});
+  // Scale-free: hotspot-heavy, low diameter.
+  zoo.push_back({"power_law_4k", CsrGraph::from_edges(gen::power_law(
+                                     4000, 40000, 2.1, 23))});
+  {
+    // Disconnected pair of dense blobs: bottom-up scans unreachable
+    // vertices every level and must never visit them.
+    EdgeList edges = gen::complete(60);
+    edges.ensure_vertices(120);
+    const EdgeList other = gen::complete(60);
+    for (const Edge& e : other.edges()) {
+      edges.add_unchecked(e.src + 60, e.dst + 60);
+    }
+    zoo.push_back({"disconnected_dense", CsrGraph::from_edges(edges)});
+  }
+  {
+    // Reverse star: every spoke points INTO the hub, which has zero
+    // out-degree. From the hub the traversal ends at level 0; from a
+    // spoke the hub is only reachable through in-edges (the transpose's
+    // fat adjacency list).
+    EdgeList edges(257);
+    for (vid_t i = 1; i < 257; ++i) edges.add_unchecked(i, 0);
+    // Ring over the spokes so they form one dense reachable mass.
+    for (vid_t i = 1; i < 257; ++i) {
+      edges.add_unchecked(i, 1 + (i % 256));
+    }
+    zoo.push_back({"reverse_star", CsrGraph::from_edges(edges)});
+  }
+  zoo.push_back({"single_vertex", CsrGraph::from_edges(EdgeList(1))});
+  return zoo;
+}
+
 }  // namespace optibfs::test
