@@ -5,136 +5,314 @@
 #include <bit>
 #include <stdexcept>
 
-#include "core/frontier_queues.hpp"
-#include "runtime/spin_barrier.hpp"
-#include "runtime/thread_team.hpp"
-
 namespace optibfs {
 
-MsBfsResult multi_source_bfs(const CsrGraph& graph,
-                             const std::vector<vid_t>& sources,
-                             const BFSOptions& options) {
-  const vid_t n = graph.num_vertices();
-  if (sources.empty() || sources.size() > 64) {
+MsBfsSession::MsBfsSession(const CsrGraph& graph, const BFSOptions& options)
+    : graph_(graph),
+      opts_(options),
+      hybrid_(options.direction_mode == DirectionMode::kHybrid &&
+              options.alpha > 0),
+      transpose_(hybrid_ ? &graph.transpose() : nullptr),
+      owned_pool_(std::make_unique<ForkJoinPool>(
+          std::max(1, options.num_threads))),
+      pool_(owned_pool_.get()),
+      p_(pool_->num_workers()),
+      seen_(graph.num_vertices()),
+      visit_(graph.num_vertices()),
+      visit_next_(graph.num_vertices()),
+      queues_(p_, graph.num_vertices()),
+      barrier_(p_),
+      explored_(static_cast<std::size_t>(p_)) {}
+
+MsBfsSession::MsBfsSession(const CsrGraph& graph, const BFSOptions& options,
+                           ForkJoinPool& pool)
+    : graph_(graph),
+      opts_(options),
+      hybrid_(options.direction_mode == DirectionMode::kHybrid &&
+              options.alpha > 0),
+      transpose_(hybrid_ ? &graph.transpose() : nullptr),
+      pool_(&pool),
+      p_(std::min(std::max(1, options.num_threads), pool.num_workers())),
+      seen_(graph.num_vertices()),
+      visit_(graph.num_vertices()),
+      visit_next_(graph.num_vertices()),
+      queues_(p_, graph.num_vertices()),
+      barrier_(p_),
+      explored_(static_cast<std::size_t>(p_)) {}
+
+void MsBfsSession::run(const std::vector<vid_t>& sources, MsBfsResult& out) {
+  const vid_t n = graph_.num_vertices();
+  if (sources.empty() ||
+      sources.size() > static_cast<std::size_t>(kMaxBatch)) {
     throw std::invalid_argument(
-        "multi_source_bfs: batch must hold 1..64 sources");
+        "MsBfsSession: batch must hold 1..64 sources");
   }
   for (const vid_t s : sources) {
     if (s >= n) {
-      throw std::out_of_range("multi_source_bfs: source out of range");
+      throw std::out_of_range("MsBfsSession: source out of range");
     }
   }
 
-  MsBfsResult result;
-  result.num_vertices = n;
-  result.num_sources = static_cast<int>(sources.size());
-  result.distance.assign(sources.size() * static_cast<std::size_t>(n),
-                         kUnvisited);
+  out.num_vertices = n;
+  out.num_sources = static_cast<int>(sources.size());
+  out.distance.assign(sources.size() * static_cast<std::size_t>(n),
+                      kUnvisited);
+  out.vertices_explored.assign(sources.size(), 0);
+  for (auto& counts : explored_) {
+    std::fill(std::begin(counts->per_source), std::end(counts->per_source),
+              std::uint64_t{0});
+  }
 
-  const int p = std::max(1, options.num_threads);
-  std::vector<std::atomic<std::uint64_t>> seen(n);
-  std::vector<std::atomic<std::uint64_t>> visit(n);
-  std::vector<std::atomic<std::uint64_t>> visit_next(n);
-  FrontierQueues queues(p, n);
-  SpinBarrier barrier(p);
-  ThreadTeam team(p);
-  std::atomic<std::int32_t> global_queue{0};
-  std::atomic<bool> more{true};
+  // Reset wave state. Only `seen_` needs clearing: the previous wave
+  // left `visit_`/`visit_next_` all-zero (header invariant) and — with
+  // the clearing trick on — every queue slot zeroed by its reader.
+  pool_->parallel_for(0, n, 4096, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t v = lo; v < hi; ++v) {
+      seen_[static_cast<std::size_t>(v)].store(0, std::memory_order_relaxed);
+    }
+  });
+  if (!opts_.clear_slots) {
+    // Ablation mode forfeits the all-slots-0 reuse invariant; scrub.
+    queues_.hard_reset();
+  }
+  global_queue_.store(0, std::memory_order_relaxed);
+  more_.store(true, std::memory_order_relaxed);
 
   // Seed all sources (each distinct vertex enqueued once; its mask
   // carries every source bit that starts there).
   for (std::size_t s = 0; s < sources.size(); ++s) {
     const vid_t v = sources[s];
     const std::uint64_t bit = std::uint64_t{1} << s;
-    seen[v].fetch_or(bit, std::memory_order_relaxed);
-    visit[v].fetch_or(bit, std::memory_order_relaxed);
-    result.distance[s * n + v] = 0;
+    seen_[v].fetch_or(bit, std::memory_order_relaxed);
+    visit_[v].fetch_or(bit, std::memory_order_relaxed);
+    out.distance[s * n + v] = 0;
   }
-  {
-    std::uint64_t enqueued_total = 0;
-    for (std::size_t s = 0; s < sources.size(); ++s) {
-      const vid_t v = sources[s];
-      bool already = false;
-      for (std::size_t prior = 0; prior < s; ++prior) {
-        if (sources[prior] == v) already = true;
-      }
-      if (!already) {
-        queues.push_out(0, v, graph.out_degree(v));
-        ++enqueued_total;
-      }
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    const vid_t v = sources[s];
+    bool already = false;
+    for (std::size_t prior = 0; prior < s; ++prior) {
+      if (sources[prior] == v) already = true;
     }
-    queues.swap_and_prepare();
-    (void)enqueued_total;
+    if (!already) queues_.push_out(0, v, graph_.out_degree(v));
   }
+  queues_.swap_and_prepare();
 
-  team.run([&](int tid) {
-    level_t depth = 0;  // lockstep via the two barriers per level
-    while (more.load(std::memory_order_acquire)) {
-      // Optimistic centralized drain (BFS_CL discipline).
-      for (;;) {
-        int k = global_queue.load(std::memory_order_relaxed);
-        if (k < 0) k = 0;
-        std::int64_t front = 0, rear = 0;
-        while (k < p) {
-          front = queues.in_front(k).load(std::memory_order_relaxed);
-          rear = queues.in_rear(k);
-          if (front < rear) break;
-          ++k;
+  // Direction bookkeeping starts top-down from the seed frontier.
+  batch_mask_ = sources.size() == 64
+                    ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << sources.size()) - 1;
+  bottom_up_level_.store(false, std::memory_order_relaxed);
+  edges_unexplored_ = graph_.num_edges();
+  frontier_edges_ = static_cast<std::uint64_t>(queues_.total_in_edges());
+  frontier_size_ = queues_.total_in();
+  bottom_up_levels_count_ = 0;
+
+  pool_->run_team(p_, [&](int tid) { run_wave(tid, out); });
+
+  out.bottom_up_levels = bottom_up_levels_count_;
+  for (const auto& counts : explored_) {
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      out.vertices_explored[s] += counts->per_source[s];
+    }
+  }
+}
+
+void MsBfsSession::run_wave(int tid, MsBfsResult& out) {
+  const vid_t n = graph_.num_vertices();
+  level_t depth = 0;  // lockstep via the two barriers per level
+  while (more_.load(std::memory_order_acquire)) {
+    if (bottom_up_level_.load(std::memory_order_acquire)) {
+      run_level_bottom_up(tid, depth, out);
+      if (barrier_.arrive_and_wait()) {
+        queues_.swap_and_prepare();
+        global_queue_.store(0, std::memory_order_relaxed);
+        // visit_ was zeroed (and counted) by the bottom-up step's
+        // retire phase, so the swap hands back an all-zero visit_next_
+        // exactly like a top-down level does.
+        std::swap(visit_, visit_next_);
+        const std::int64_t next_size = queues_.total_in();
+        more_.store(next_size > 0, std::memory_order_release);
+        prepare_direction(next_size);
+      }
+      barrier_.arrive_and_wait();
+      ++depth;
+      continue;
+    }
+    // Optimistic centralized drain (BFS_CL discipline).
+    for (;;) {
+      int k = global_queue_.load(std::memory_order_relaxed);
+      if (k < 0) k = 0;
+      std::int64_t front = 0, rear = 0;
+      while (k < p_) {
+        front = queues_.in_front(k).load(std::memory_order_relaxed);
+        rear = queues_.in_rear(k);
+        if (front < rear) break;
+        ++k;
+      }
+      if (k >= p_) break;
+      const std::int64_t remaining = rear - front;
+      const std::int64_t len =
+          opts_.segment_size > 0
+              ? std::min<std::int64_t>(opts_.segment_size, remaining)
+              : std::min<std::int64_t>(
+                    std::max<std::int64_t>(remaining / (4 * p_), 1),
+                    remaining);
+      global_queue_.store(k, std::memory_order_relaxed);
+      queues_.in_front(k).store(front + len, std::memory_order_relaxed);
+      for (std::int64_t i = front; i < front + len; ++i) {
+        const vid_t v = queues_.consume_in(k, i, opts_.clear_slots);
+        if (v == kInvalidVertex) break;
+        // Claim this vertex's current-level mask; a duplicate pop of
+        // v (optimistic overlap) reads 0 here and does nothing.
+        const std::uint64_t mask =
+            visit_[v].exchange(0, std::memory_order_relaxed);
+        if (mask == 0) continue;
+        // Per-pop convention: this pop counts once for every source
+        // whose bit it claimed (an empty-mask pop counts for nobody).
+        for (std::uint64_t bits = mask; bits != 0;) {
+          const int s = std::countr_zero(bits);
+          bits &= bits - 1;
+          ++explored_[static_cast<std::size_t>(tid)]->per_source[s];
         }
-        if (k >= p) break;
-        const std::int64_t len = std::min<std::int64_t>(
-            std::max<std::int64_t>((rear - front) / (4 * p), 1),
-            rear - front);
-        global_queue.store(k, std::memory_order_relaxed);
-        queues.in_front(k).store(front + len, std::memory_order_relaxed);
-        for (std::int64_t i = front; i < front + len; ++i) {
-          const vid_t v = queues.consume_in(k, i, /*clear=*/true);
-          if (v == kInvalidVertex) break;
-          // Claim this vertex's current-level mask; a duplicate pop of
-          // v (optimistic overlap) reads 0 here and does nothing.
-          const std::uint64_t mask =
-              visit[v].exchange(0, std::memory_order_relaxed);
-          if (mask == 0) continue;
-          for (const vid_t w : graph.out_neighbors(v)) {
-            std::uint64_t fresh =
-                mask & ~seen[w].load(std::memory_order_relaxed);
-            if (fresh == 0) continue;
-            // fetch_or arbitrates which thread owns each new bit; the
-            // owner records the distance (single writer per (s, w)).
-            const std::uint64_t before =
-                seen[w].fetch_or(fresh, std::memory_order_relaxed);
-            fresh &= ~before;
-            if (fresh == 0) continue;
-            for (std::uint64_t bits = fresh; bits != 0;) {
-              const int s = std::countr_zero(bits);
-              bits &= bits - 1;
-              result.distance[static_cast<std::size_t>(s) * n + w] =
-                  depth + 1;
-            }
-            const std::uint64_t prior_next =
-                visit_next[w].fetch_or(fresh, std::memory_order_relaxed);
-            if (prior_next == 0) {
-              queues.push_out(tid, w, graph.out_degree(w));
-            }
+        for (const vid_t w : graph_.out_neighbors(v)) {
+          std::uint64_t fresh =
+              mask & ~seen_[w].load(std::memory_order_relaxed);
+          if (fresh == 0) continue;
+          // fetch_or arbitrates which thread owns each new bit; the
+          // owner records the distance (single writer per (s, w)).
+          const std::uint64_t before =
+              seen_[w].fetch_or(fresh, std::memory_order_relaxed);
+          fresh &= ~before;
+          if (fresh == 0) continue;
+          for (std::uint64_t bits = fresh; bits != 0;) {
+            const int s = std::countr_zero(bits);
+            bits &= bits - 1;
+            out.distance[static_cast<std::size_t>(s) * n + w] = depth + 1;
+          }
+          const std::uint64_t prior_next =
+              visit_next_[w].fetch_or(fresh, std::memory_order_relaxed);
+          if (prior_next == 0) {
+            queues_.push_out(tid, w, graph_.out_degree(w));
           }
         }
       }
-      if (barrier.arrive_and_wait()) {
-        // Single-threaded window: the other workers are parked at the
-        // second barrier below and touch none of this state.
-        queues.swap_and_prepare();
-        global_queue.store(0, std::memory_order_relaxed);
-        // visit <- visit_next by swapping roles. visit is all-zero here
-        // (every processed vertex exchanged its mask away), so the swap
-        // leaves visit_next all-zero for the next level.
-        std::swap(visit, visit_next);
-        more.store(queues.total_in() > 0, std::memory_order_release);
-      }
-      barrier.arrive_and_wait();
-      ++depth;
     }
-  });
-  return result;
+    if (barrier_.arrive_and_wait()) {
+      // Single-threaded window: the other workers are parked at the
+      // second barrier below and touch none of this state.
+      queues_.swap_and_prepare();
+      global_queue_.store(0, std::memory_order_relaxed);
+      // visit <- visit_next by swapping roles. visit is all-zero here
+      // (every processed vertex exchanged its mask away), so the swap
+      // leaves visit_next all-zero for the next level.
+      std::swap(visit_, visit_next_);
+      const std::int64_t next_size = queues_.total_in();
+      more_.store(next_size > 0, std::memory_order_release);
+      prepare_direction(next_size);
+    }
+    barrier_.arrive_and_wait();
+    ++depth;
+  }
+}
+
+void MsBfsSession::prepare_direction(std::int64_t next_size) {
+  if (!hybrid_) return;
+  const bool was_bottom_up =
+      bottom_up_level_.load(std::memory_order_relaxed);
+  // Beamer bookkeeping, same rules as BFSEngineBase::prepare_direction:
+  // the finished frontier's out-edges leave the unexplored pool, then
+  // the alpha rule (with the still-growing guard) switches down and the
+  // beta rule switches back.
+  edges_unexplored_ -= std::min(edges_unexplored_, frontier_edges_);
+  frontier_edges_ = static_cast<std::uint64_t>(queues_.total_in_edges());
+  const std::int64_t prev_size = frontier_size_;
+  frontier_size_ = next_size;
+  bool bottom_up = false;
+  if (next_size > 0) {
+    if (!was_bottom_up) {
+      bottom_up = next_size > prev_size &&
+                  frontier_edges_ >
+                      edges_unexplored_ /
+                          static_cast<std::uint64_t>(opts_.alpha);
+    } else {
+      bottom_up =
+          opts_.beta > 0 &&
+          static_cast<std::uint64_t>(next_size) >=
+              static_cast<std::uint64_t>(graph_.num_vertices()) /
+                  static_cast<std::uint64_t>(opts_.beta);
+    }
+  }
+  bottom_up_level_.store(bottom_up, std::memory_order_release);
+  if (bottom_up) ++bottom_up_levels_count_;
+}
+
+void MsBfsSession::run_level_bottom_up(int tid, level_t depth,
+                                       MsBfsResult& out) {
+  const vid_t n = graph_.num_vertices();
+  // The queued frontier entries are not traversed (the frontier is read
+  // from visit_ directly) but must still be consumed so the queue pool
+  // swaps back with the all-slots-0 invariant intact. The pop count is
+  // ignored: the per-pop convention's bottom-up analog is the mask
+  // retirement below, which attributes each frontier (vertex, source)
+  // pair exactly once.
+  (void)queues_.retire_in(tid, opts_.clear_slots);
+
+  const vid_t lo = static_cast<vid_t>(
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(tid) /
+      static_cast<std::uint64_t>(p_));
+  const vid_t hi = static_cast<vid_t>(
+      static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(tid) + 1) /
+      static_cast<std::uint64_t>(p_));
+
+  // Owner-computes pull: this thread is the only writer of seen_[v],
+  // visit_next_[v], the distance entries, and its own out-queue for
+  // every v in its slice — no RMW, no optimistic races, plain relaxed
+  // accesses (the surrounding barriers order everything).
+  for (vid_t v = lo; v < hi; ++v) {
+    const std::uint64_t missing =
+        batch_mask_ & ~seen_[v].load(std::memory_order_relaxed);
+    if (missing == 0) continue;
+    std::uint64_t found = 0;
+    for (const vid_t u : transpose_->out_neighbors(v)) {
+      found |= visit_[u].load(std::memory_order_relaxed);
+      // Early exit once every missing source has reached v.
+      if ((found & missing) == missing) break;
+    }
+    const std::uint64_t fresh = found & missing;
+    if (fresh == 0) continue;
+    seen_[v].store(seen_[v].load(std::memory_order_relaxed) | fresh,
+                   std::memory_order_relaxed);
+    for (std::uint64_t bits = fresh; bits != 0;) {
+      const int s = std::countr_zero(bits);
+      bits &= bits - 1;
+      out.distance[static_cast<std::size_t>(s) * n + v] = depth + 1;
+    }
+    visit_next_[v].store(fresh, std::memory_order_relaxed);
+    queues_.push_out(tid, v, graph_.out_degree(v));
+  }
+  barrier_.arrive_and_wait();  // everyone is done reading visit_
+
+  // Retire (count + zero) this slice of the just-consumed frontier so
+  // the level-end swap keeps the all-zero invariant. Counting here is
+  // the per-pop convention's bottom-up analog: each frontier mask bit
+  // retires exactly once, on the thread that owns the vertex's slice.
+  for (vid_t v = lo; v < hi; ++v) {
+    std::uint64_t mask = visit_[v].load(std::memory_order_relaxed);
+    if (mask == 0) continue;
+    visit_[v].store(0, std::memory_order_relaxed);
+    for (std::uint64_t bits = mask; bits != 0;) {
+      const int s = std::countr_zero(bits);
+      bits &= bits - 1;
+      ++explored_[static_cast<std::size_t>(tid)]->per_source[s];
+    }
+  }
+}
+
+MsBfsResult multi_source_bfs(const CsrGraph& graph,
+                             const std::vector<vid_t>& sources,
+                             const BFSOptions& options) {
+  MsBfsSession session(graph, options);
+  return session.run(sources);
 }
 
 }  // namespace optibfs

@@ -15,13 +15,36 @@
 // atomic RMW, because "visited by which sources" is a 64-way set where
 // lost updates would change results, not just duplicate work. The
 // honest trade-off is documented in DESIGN.md.
+//
+// With BFSOptions::direction_mode == kHybrid the wave also direction-
+// optimizes: when the alpha rule fires, a level flips to an
+// owner-computes bottom-up step in which each thread scans the
+// transpose for its slice of not-fully-seen vertices and pulls masks
+// straight out of `visit` — no queue traffic, no RMW at all (each
+// vertex has exactly one writer), and per-vertex early exit once every
+// missing source bit is found. This is what lets a wave keep up with
+// the hybrid single-source engines on dense low-diameter graphs.
+//
+// Two entry points:
+//  * multi_source_bfs() — one-shot convenience (allocates everything,
+//    runs one wave, tears down).
+//  * MsBfsSession — the batch-entry API the query service uses: the
+//    visited/visit masks, frontier queue pool, and worker set (a
+//    persistent ForkJoinPool) are allocated once and reused across
+//    waves, so a high-QPS caller pays no per-wave thread create/join
+//    and no per-wave O(p*n) allocation.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/bfs_options.hpp"
+#include "core/frontier_queues.hpp"
 #include "graph/csr_graph.hpp"
+#include "runtime/cache_aligned.hpp"
+#include "runtime/fork_join_pool.hpp"
+#include "runtime/spin_barrier.hpp"
 
 namespace optibfs {
 
@@ -32,15 +55,111 @@ struct MsBfsResult {
   vid_t num_vertices = 0;
   int num_sources = 0;
 
+  /// Per-source pop counts under the library-wide per-pop convention
+  /// (BFSResult::vertices_explored): a frontier pop counts once, at the
+  /// moment it is popped, attributed to every source bit in the mask it
+  /// claims. A duplicate pop (optimistic overlap) claims an empty mask
+  /// and therefore counts for no source. Because the mask exchange lets
+  /// each (vertex, source) pair expand at most once, entry s equals the
+  /// number of vertices reachable from sources[s] — MS-BFS converts the
+  /// single-source engines' duplicate-exploration tax into mask
+  /// arbitration, and this vector is the observable proof.
+  std::vector<std::uint64_t> vertices_explored;
+
+  /// Levels traversed bottom-up (0 unless direction_mode == kHybrid).
+  std::uint64_t bottom_up_levels = 0;
+
   level_t distance_of(int source_index, vid_t v) const {
     return distance[static_cast<std::size_t>(source_index) * num_vertices +
                     v];
   }
 };
 
-/// Runs BFS from up to 64 sources simultaneously. Duplicate sources are
-/// allowed (their rows will match). Throws std::invalid_argument for an
-/// empty or oversized batch, std::out_of_range for bad vertex ids.
+/// Reusable MS-BFS runner: one allocation of the per-vertex mask arrays
+/// and queue pool, one persistent worker set, any number of waves.
+class MsBfsSession {
+ public:
+  /// Largest batch a single wave can carry (one bit per source).
+  static constexpr int kMaxBatch = 64;
+
+  /// Owns a private ForkJoinPool of options.num_threads workers.
+  MsBfsSession(const CsrGraph& graph, const BFSOptions& options);
+
+  /// Executes waves on `pool` (borrowed; must outlive the session). The
+  /// team width is min(options.num_threads, pool.num_workers()). The
+  /// pool must not run unrelated work while a wave is in flight — wave
+  /// members barrier against each other (ForkJoinPool::run_team).
+  MsBfsSession(const CsrGraph& graph, const BFSOptions& options,
+               ForkJoinPool& pool);
+
+  MsBfsSession(const MsBfsSession&) = delete;
+  MsBfsSession& operator=(const MsBfsSession&) = delete;
+
+  const CsrGraph& graph() const { return graph_; }
+  int team_width() const { return p_; }
+
+  /// Runs BFS from up to kMaxBatch sources simultaneously, reusing
+  /// out's buffers. Duplicate sources are allowed (their rows will
+  /// match). Throws std::invalid_argument for an empty or oversized
+  /// batch, std::out_of_range for bad vertex ids. Not thread-safe:
+  /// one wave at a time per session.
+  void run(const std::vector<vid_t>& sources, MsBfsResult& out);
+
+  MsBfsResult run(const std::vector<vid_t>& sources) {
+    MsBfsResult out;
+    run(sources, out);
+    return out;
+  }
+
+ private:
+  void run_wave(int tid, MsBfsResult& out);
+  void run_level_bottom_up(int tid, level_t depth, MsBfsResult& out);
+  /// Barrier-window-only: Beamer alpha/beta bookkeeping deciding the
+  /// next level's direction.
+  void prepare_direction(std::int64_t next_size);
+
+  const CsrGraph& graph_;
+  const BFSOptions opts_;
+  const bool hybrid_;  ///< direction_mode == kHybrid && alpha > 0
+  const CsrGraph* transpose_ = nullptr;  ///< cached iff hybrid_
+  std::unique_ptr<ForkJoinPool> owned_pool_;
+  ForkJoinPool* pool_;  // owned_pool_.get() or the borrowed pool
+  const int p_;
+
+  // Per-vertex source masks. `seen_` is cleared at wave start (in
+  // parallel); `visit_`/`visit_next_` rely on the end-of-wave all-zero
+  // invariant (every processed vertex exchanges its mask away, and the
+  // final level swap happens with an empty next frontier).
+  std::vector<std::atomic<std::uint64_t>> seen_;
+  std::vector<std::atomic<std::uint64_t>> visit_;
+  std::vector<std::atomic<std::uint64_t>> visit_next_;
+
+  FrontierQueues queues_;
+  SpinBarrier barrier_;
+  std::atomic<std::int32_t> global_queue_{0};
+  std::atomic<bool> more_{false};
+
+  // Direction state. The flag is written in the single-threaded barrier
+  // window and read by every worker after the second barrier; the
+  // bookkeeping fields have a single writer (the window thread).
+  std::atomic<bool> bottom_up_level_{false};
+  std::uint64_t batch_mask_ = 0;  ///< low num_sources bits set
+  std::uint64_t edges_unexplored_ = 0;
+  std::uint64_t frontier_edges_ = 0;
+  std::int64_t frontier_size_ = 0;
+  std::uint64_t bottom_up_levels_count_ = 0;
+
+  /// Per-thread, per-source pop counters (per-pop convention), merged
+  /// into MsBfsResult::vertices_explored after the wave.
+  struct ExploredCounts {
+    std::uint64_t per_source[kMaxBatch] = {};
+  };
+  std::vector<CacheAligned<ExploredCounts>> explored_;
+};
+
+/// One-shot convenience wrapper: builds a temporary session (private
+/// worker pool) and runs a single wave. See MsBfsSession for the
+/// reusable batch-entry API.
 MsBfsResult multi_source_bfs(const CsrGraph& graph,
                              const std::vector<vid_t>& sources,
                              const BFSOptions& options);

@@ -31,3 +31,4 @@
 #include "harness/source_sampler.hpp"  // IWYU pragma: export
 #include "harness/timing.hpp"      // IWYU pragma: export
 #include "harness/verifier.hpp"    // IWYU pragma: export
+#include "service/bfs_service.hpp" // IWYU pragma: export

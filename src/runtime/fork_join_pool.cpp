@@ -109,6 +109,29 @@ void ForkJoinPool::parallel_for_impl(
   group.wait();
 }
 
+void ForkJoinPool::run_team(int team_size,
+                            const std::function<void(int)>& body) {
+  if (team_size < 1 || team_size > num_workers_) {
+    throw std::invalid_argument(
+        "ForkJoinPool::run_team: team size must be in [1, num_workers]");
+  }
+  const auto region = [this, team_size, &body] {
+    TaskGroup group(*this);
+    for (int tid = 1; tid < team_size; ++tid) {
+      group.run([&body, tid] { body(tid); });
+    }
+    // The caller's activation doubles as member 0, so team_size workers
+    // (this one + team_size-1 thieves) cover the whole team.
+    body(0);
+    group.wait();
+  };
+  if (current_worker_id() >= 0) {
+    region();
+  } else {
+    run(region);
+  }
+}
+
 void ForkJoinPool::spawn_task(Task* task) {
   const int id = current_worker_id();
   if (id >= 0) {

@@ -76,6 +76,20 @@ class ForkJoinPool {
   void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                     const std::function<void(std::int64_t, std::int64_t)>& fn);
 
+  /// Team-session mode: executes body(tid) for tid in [0, team_size)
+  /// with all `team_size` activations running concurrently, like
+  /// ThreadTeam::run but on this pool's persistent workers. This is what
+  /// lets a long-lived session (the BFS query service's MS-BFS waves)
+  /// reuse one worker set across many lockstep parallel regions instead
+  /// of paying thread create/join per query batch.
+  ///
+  /// Requirements: team_size <= num_workers() (each activation occupies
+  /// a worker for its whole duration — the bodies may barrier against
+  /// each other, so they cannot share a worker), no other work running
+  /// on the pool concurrently, and body must not throw. Callable from
+  /// inside or outside the pool; blocks until every activation returns.
+  void run_team(int team_size, const std::function<void(int)>& body);
+
  private:
   struct Task {
     std::function<void()> fn;

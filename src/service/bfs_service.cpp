@@ -1,0 +1,392 @@
+#include "service/bfs_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/registry.hpp"
+
+namespace optibfs {
+namespace {
+
+ServiceConfig sanitized(ServiceConfig config) {
+  config.num_threads = std::max(1, config.num_threads);
+  config.max_batch =
+      std::clamp(config.max_batch, 1, MsBfsSession::kMaxBatch);
+  return config;
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+BfsService::BfsService(ServiceConfig config)
+    : config_(sanitized(std::move(config))),
+      pool_(std::make_unique<ForkJoinPool>(config_.num_threads)),
+      cache_(config_.cache_bytes),
+      scheduler_([this] { scheduler_loop(); }) {}
+
+BfsService::~BfsService() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+std::uint64_t BfsService::register_graph(
+    std::shared_ptr<const CsrGraph> graph) {
+  if (!graph) {
+    throw std::invalid_argument("BfsService::register_graph: null graph");
+  }
+  // Build the expensive pieces outside the lock: the fallback engine
+  // spins its worker team, and materializing the transpose here keeps
+  // the lazy-build mutex off the path-query path.
+  auto ctx = std::make_shared<GraphContext>();
+  ctx->graph = std::move(graph);
+  BFSOptions opts = config_.bfs;
+  opts.num_threads = config_.num_threads;
+  ctx->single_engine =
+      make_bfs(config_.single_source_engine, *ctx->graph, opts);
+  // Waves direction-optimize like the (default BFS_CL_H) fallback
+  // engine; set config.bfs.alpha = 0 to force top-down-only waves.
+  BFSOptions wave_opts = opts;
+  wave_opts.direction_mode = DirectionMode::kHybrid;
+  ctx->session =
+      std::make_unique<MsBfsSession>(*ctx->graph, wave_opts, *pool_);
+  if (ctx->graph->num_vertices() > 0) ctx->graph->transpose();
+
+  std::vector<Pending> flushed;
+  std::uint64_t version = 0;
+  {
+    std::lock_guard lock(mutex_);
+    version = ++next_version_;
+    ctx->version = version;
+    ctx_ = std::move(ctx);
+    flushed.reserve(queue_.size());
+    for (auto& pending : queue_) flushed.push_back(std::move(pending));
+    queue_.clear();
+  }
+  cache_.invalidate_before(version);
+  for (auto& pending : flushed) {
+    QueryResult result;
+    result.status = QueryStatus::kStaleGraph;
+    complete(pending, std::move(result));
+  }
+  return version;
+}
+
+std::uint64_t BfsService::graph_version() const {
+  std::lock_guard lock(mutex_);
+  return ctx_ ? ctx_->version : 0;
+}
+
+std::size_t BfsService::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+ServiceStats BfsService::stats() const {
+  ServiceStats snapshot;
+  {
+    std::lock_guard lock(stats_mutex_);
+    snapshot = counters_;
+    latencies_.fill(snapshot);
+  }
+  snapshot.cache_entries = cache_.entries();
+  snapshot.cache_bytes = cache_.bytes();
+  snapshot.cache_evictions = cache_.evictions();
+  return snapshot;
+}
+
+QueryResult BfsService::distance(vid_t source, vid_t target) {
+  Query q;
+  q.kind = QueryKind::kDistance;
+  q.source = source;
+  q.target = target;
+  return query(q);
+}
+
+QueryResult BfsService::path(vid_t source, vid_t target) {
+  Query q;
+  q.kind = QueryKind::kPath;
+  q.source = source;
+  q.target = target;
+  return query(q);
+}
+
+QueryResult BfsService::level_set(vid_t source, level_t depth) {
+  Query q;
+  q.kind = QueryKind::kLevelSet;
+  q.source = source;
+  q.depth = depth;
+  return query(q);
+}
+
+std::future<QueryResult> BfsService::submit(const Query& query) {
+  Pending pending;
+  pending.query = query;
+  pending.submitted = Clock::now();
+  auto future = pending.promise.get_future();
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++counters_.submitted;
+  }
+
+  std::shared_ptr<GraphContext> ctx;
+  {
+    std::lock_guard lock(mutex_);
+    ctx = ctx_;
+  }
+
+  const vid_t n = ctx ? ctx->graph->num_vertices() : 0;
+  bool invalid = !ctx || query.source >= n;
+  if (!invalid) {
+    switch (query.kind) {
+      case QueryKind::kDistance:
+        invalid = query.target != kInvalidVertex && query.target >= n;
+        break;
+      case QueryKind::kPath:
+        invalid = query.target >= n;
+        break;
+      case QueryKind::kLevelSet:
+        invalid = query.depth < 0;
+        break;
+    }
+  }
+  if (invalid) {
+    QueryResult result;
+    result.status = QueryStatus::kInvalid;
+    complete(pending, std::move(result));
+    return future;
+  }
+
+  // Cache fast path: a repeat source never touches the scheduler.
+  if (auto cached = cache_.lookup(ctx->version, query.source)) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++counters_.cache_hits;
+    }
+    complete(pending,
+             finalize(query, *ctx, std::move(cached), /*cache_hit=*/true));
+    return future;
+  }
+
+  const double timeout =
+      query.timeout_ms < 0 ? config_.default_timeout_ms : query.timeout_ms;
+  pending.version = ctx->version;
+  if (timeout >= 0) {
+    pending.has_deadline = true;
+    pending.deadline =
+        pending.submitted +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(timeout));
+  }
+
+  QueryStatus refusal = QueryStatus::kOk;
+  {
+    std::lock_guard lock(mutex_);
+    if (shutdown_) {
+      refusal = QueryStatus::kShutdown;
+    } else if (queue_.size() >= config_.max_queue) {
+      refusal = QueryStatus::kRejectedQueueFull;
+    } else {
+      queue_.push_back(std::move(pending));
+    }
+  }
+  if (refusal == QueryStatus::kOk) {
+    cv_.notify_one();
+    return future;
+  }
+  QueryResult result;
+  result.status = refusal;
+  complete(pending, std::move(result));
+  return future;
+}
+
+void BfsService::scheduler_loop() {
+  for (;;) {
+    std::vector<Pending> expired, stale, batch;
+    std::shared_ptr<GraphContext> ctx;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) break;
+      ctx = ctx_;
+      const auto now = Clock::now();
+      // One pass over the queue: expire deadlines, flush version
+      // mismatches (belt and braces — register_graph already flushes),
+      // and coalesce the rest into <= max_batch distinct sources.
+      // Queries whose source is already in the batch ride along for
+      // free regardless of the width cap.
+      std::deque<Pending> remain;
+      std::vector<vid_t> sources;
+      for (auto& pending : queue_) {
+        if (!ctx || pending.version != ctx->version) {
+          stale.push_back(std::move(pending));
+        } else if (pending.has_deadline && pending.deadline <= now) {
+          expired.push_back(std::move(pending));
+        } else if (std::find(sources.begin(), sources.end(),
+                             pending.query.source) != sources.end()) {
+          batch.push_back(std::move(pending));
+        } else if (sources.size() <
+                   static_cast<std::size_t>(config_.max_batch)) {
+          sources.push_back(pending.query.source);
+          batch.push_back(std::move(pending));
+        } else {
+          remain.push_back(std::move(pending));
+        }
+      }
+      queue_.swap(remain);
+    }
+    for (auto& pending : stale) {
+      QueryResult result;
+      result.status = QueryStatus::kStaleGraph;
+      complete(pending, std::move(result));
+    }
+    for (auto& pending : expired) {
+      QueryResult result;
+      result.status = QueryStatus::kTimeout;
+      complete(pending, std::move(result));
+    }
+    if (!batch.empty()) execute_batch(ctx, batch);
+  }
+
+  // Shutdown: every still-queued query completes (futures never hang).
+  std::deque<Pending> leftover;
+  {
+    std::lock_guard lock(mutex_);
+    leftover.swap(queue_);
+  }
+  for (auto& pending : leftover) {
+    QueryResult result;
+    result.status = QueryStatus::kShutdown;
+    complete(pending, std::move(result));
+  }
+}
+
+void BfsService::execute_batch(const std::shared_ptr<GraphContext>& ctx,
+                               std::vector<Pending>& batch) {
+  const vid_t n = ctx->graph->num_vertices();
+  std::vector<vid_t> sources;
+  sources.reserve(batch.size());
+  for (const Pending& pending : batch) {
+    if (std::find(sources.begin(), sources.end(), pending.query.source) ==
+        sources.end()) {
+      sources.push_back(pending.query.source);
+    }
+  }
+
+  std::vector<std::shared_ptr<const std::vector<level_t>>> levels(
+      sources.size());
+  if (sources.size() == 1) {
+    // Wave of one: the single-source hybrid engine is strictly cheaper
+    // than a one-bit MS-BFS (no mask arbitration, direction switching).
+    ctx->single_engine->run(sources[0], scratch_single_);
+    levels[0] =
+        std::make_shared<const std::vector<level_t>>(scratch_single_.level);
+    std::lock_guard lock(stats_mutex_);
+    ++counters_.single_dispatches;
+    ++counters_.batch_histogram[1];
+  } else {
+    ctx->session->run(sources, scratch_wave_);
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      const auto* row =
+          scratch_wave_.distance.data() + s * static_cast<std::size_t>(n);
+      levels[s] = std::make_shared<const std::vector<level_t>>(row, row + n);
+    }
+    std::lock_guard lock(stats_mutex_);
+    ++counters_.waves;
+    ++counters_.batch_histogram[sources.size()];
+  }
+
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    cache_.insert(ctx->version, sources[s], levels[s]);
+  }
+  for (auto& pending : batch) {
+    const std::size_t slot = static_cast<std::size_t>(
+        std::find(sources.begin(), sources.end(), pending.query.source) -
+        sources.begin());
+    complete(pending, finalize(pending.query, *ctx, levels[slot],
+                               /*cache_hit=*/false));
+  }
+}
+
+QueryResult BfsService::finalize(
+    const Query& query, const GraphContext& ctx,
+    std::shared_ptr<const std::vector<level_t>> levels,
+    bool cache_hit) const {
+  QueryResult result;
+  result.status = QueryStatus::kOk;
+  result.cache_hit = cache_hit;
+  result.graph_version = ctx.version;
+  const std::vector<level_t>& lv = *levels;
+  switch (query.kind) {
+    case QueryKind::kDistance:
+      if (query.target != kInvalidVertex) result.distance = lv[query.target];
+      break;
+    case QueryKind::kPath: {
+      result.distance = lv[query.target];
+      if (result.distance != kUnvisited) {
+        // Walk backwards over the transpose: any in-neighbor one level
+        // closer is a valid predecessor (the engines' arbitrary-parent
+        // rule, applied lazily at query time).
+        const CsrGraph& tr = ctx.graph->transpose();
+        std::vector<vid_t> reversed{query.target};
+        vid_t v = query.target;
+        for (level_t l = result.distance; l > 0; --l) {
+          for (const vid_t u : tr.out_neighbors(v)) {
+            if (lv[u] == l - 1) {
+              v = u;
+              break;
+            }
+          }
+          reversed.push_back(v);
+        }
+        result.path.assign(reversed.rbegin(), reversed.rend());
+      }
+      break;
+    }
+    case QueryKind::kLevelSet:
+      for (vid_t v = 0; v < static_cast<vid_t>(lv.size()); ++v) {
+        if (lv[v] == query.depth) result.members.push_back(v);
+      }
+      break;
+  }
+  result.levels = std::move(levels);
+  return result;
+}
+
+void BfsService::complete(Pending& pending, QueryResult result) {
+  result.latency_ms = ms_since(pending.submitted);
+  {
+    std::lock_guard lock(stats_mutex_);
+    switch (result.status) {
+      case QueryStatus::kOk:
+        ++counters_.completed;
+        latencies_.record(result.latency_ms);
+        break;
+      case QueryStatus::kRejectedQueueFull:
+        ++counters_.rejected;
+        break;
+      case QueryStatus::kTimeout:
+        ++counters_.timed_out;
+        break;
+      case QueryStatus::kStaleGraph:
+        ++counters_.stale_graph;
+        break;
+      case QueryStatus::kShutdown:
+        ++counters_.shutdown_flushed;
+        break;
+      case QueryStatus::kInvalid:
+        break;
+    }
+  }
+  pending.promise.set_value(std::move(result));
+}
+
+}  // namespace optibfs

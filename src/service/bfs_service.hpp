@@ -1,0 +1,218 @@
+// BFS query service: a batching scheduler over the optimistic engines.
+//
+// The library's engines answer one source at a time; a service fronting
+// "millions of users" sees a stream of cheap point queries instead —
+// distance(src), path(src, dst), level-set(src) — and paying a full
+// engine dispatch per query wastes the property that makes BFS batching
+// work: concurrent traversals of the same graph overlap heavily, and
+// MS-BFS (core/msbfs) shares their adjacency scans at a cost of one
+// mask word per vertex.
+//
+// BfsService therefore decouples admission from execution:
+//
+//   callers --submit()--> bounded queue --scheduler--> MS-BFS wave
+//                                       (coalesce <=W)  on a persistent
+//                                                       ForkJoinPool
+//
+// * Admission: a bounded queue with backpressure (kRejectedQueueFull
+//   once full) and a per-query deadline that bounds *queue wait* —
+//   a query still waiting when its deadline passes completes with
+//   kTimeout instead of occupying a wave slot.
+// * Batching: the scheduler drains the queue, coalescing queries into
+//   at most `max_batch` (<= 64) distinct sources per MS-BFS wave;
+//   duplicate-source queries share one wave slot and one result array.
+//   A batch that degenerates to a single distinct source skips MS-BFS
+//   and runs on a persistent single-source hybrid engine (BFS_CL_H by
+//   default) instead, which is strictly cheaper for batch width 1.
+// * Execution: waves run as team sessions on one long-lived
+//   ForkJoinPool (ForkJoinPool::run_team) — no thread create/join per
+//   query or per wave.
+// * Caching: answered level arrays go into a versioned LRU byte-budget
+//   cache (service/result_cache); a repeat query for a cached source is
+//   answered at submit time without touching the scheduler.
+// * Re-registration: register_graph() bumps the graph version, flushes
+//   still-queued queries as kStaleGraph, and invalidates the cache —
+//   queries never observe a graph other than the one they were admitted
+//   against.
+//
+// Every count the scheduler makes (batch-width histogram, cache hit
+// rate, latency percentiles) is exported through ServiceStats /
+// stats().to_json() onto the benches' --json path.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bfs_engine.hpp"
+#include "core/bfs_options.hpp"
+#include "core/msbfs.hpp"
+#include "graph/csr_graph.hpp"
+#include "runtime/fork_join_pool.hpp"
+#include "service/result_cache.hpp"
+#include "service/service_stats.hpp"
+
+namespace optibfs {
+
+enum class QueryKind {
+  kDistance,  ///< hops source -> target (or the full array if no target)
+  kPath,      ///< one shortest path source -> target
+  kLevelSet,  ///< every vertex at exactly `depth` hops from source
+};
+
+enum class QueryStatus {
+  kOk,
+  kRejectedQueueFull,  ///< backpressure: admission queue at capacity
+  kTimeout,            ///< deadline expired while queued
+  kStaleGraph,         ///< graph re-registered before the query ran
+  kShutdown,           ///< service destroyed with the query still queued
+  kInvalid,            ///< no graph registered / vertex out of range
+};
+
+struct Query {
+  QueryKind kind = QueryKind::kDistance;
+  vid_t source = 0;
+  /// kDistance / kPath target. kInvalidVertex on kDistance means "full
+  /// distance array only" (the result's `levels` field).
+  vid_t target = kInvalidVertex;
+  level_t depth = 0;  ///< kLevelSet ring depth
+  /// Queue-wait budget in ms: < 0 inherits ServiceConfig default, 0
+  /// expires immediately unless served from cache (load-shed probe),
+  /// > 0 bounds the time the query may wait for a wave slot.
+  double timeout_ms = -1.0;
+};
+
+struct QueryResult {
+  QueryStatus status = QueryStatus::kInvalid;
+  /// kDistance/kPath: hops source -> target (kUnvisited if unreachable
+  /// or no target was given).
+  level_t distance = kUnvisited;
+  /// kPath: source..target inclusive; empty if unreachable.
+  std::vector<vid_t> path;
+  /// kLevelSet: ascending vertex ids at exactly `depth` hops.
+  std::vector<vid_t> members;
+  /// Full level array from the query's source (shared with the cache
+  /// and with coalesced queries of the same source). Set iff kOk.
+  std::shared_ptr<const std::vector<level_t>> levels;
+  bool cache_hit = false;
+  std::uint64_t graph_version = 0;
+  double latency_ms = 0.0;
+
+  bool ok() const { return status == QueryStatus::kOk; }
+};
+
+struct ServiceConfig {
+  /// Workers in the persistent pool (wave team width) and in the
+  /// single-source fallback engine.
+  int num_threads = 4;
+  /// W: max distinct sources coalesced into one MS-BFS wave, clamped to
+  /// [1, MsBfsSession::kMaxBatch]. 1 degenerates to one-query-at-a-time
+  /// dispatch (the bench baseline).
+  int max_batch = 64;
+  /// Admission-queue bound; submissions beyond it are rejected
+  /// (kRejectedQueueFull). 0 rejects everything not served by cache.
+  std::size_t max_queue = 1024;
+  /// Default queue-wait deadline (ms); < 0 = no deadline.
+  double default_timeout_ms = -1.0;
+  /// Result-cache byte budget; 0 disables caching.
+  std::size_t cache_bytes = std::size_t{64} << 20;
+  /// Registry name of the batch-of-1 fallback engine.
+  std::string single_source_engine = "BFS_CL_H";
+  /// Engine/wave tuning knobs (num_threads is overridden by
+  /// `num_threads` above).
+  BFSOptions bfs;
+};
+
+class BfsService {
+ public:
+  explicit BfsService(ServiceConfig config = {});
+  ~BfsService();
+
+  BfsService(const BfsService&) = delete;
+  BfsService& operator=(const BfsService&) = delete;
+
+  /// Registers (or replaces) the served graph. Returns the new graph
+  /// version. Queries still queued against the previous graph complete
+  /// with kStaleGraph; cached results for it are invalidated.
+  std::uint64_t register_graph(std::shared_ptr<const CsrGraph> graph);
+
+  std::uint64_t graph_version() const;
+
+  /// Asynchronous entry point: validates and enqueues (or serves from
+  /// cache / rejects) and returns a future that always completes.
+  std::future<QueryResult> submit(const Query& query);
+
+  /// Blocking conveniences.
+  QueryResult query(const Query& q) { return submit(q).get(); }
+  QueryResult distance(vid_t source, vid_t target = kInvalidVertex);
+  QueryResult path(vid_t source, vid_t target);
+  QueryResult level_set(vid_t source, level_t depth);
+
+  /// Queries currently waiting for a wave slot.
+  std::size_t pending() const;
+
+  ServiceStats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    Query query;
+    std::promise<QueryResult> promise;
+    std::uint64_t version = 0;
+    Clock::time_point submitted;
+    bool has_deadline = false;
+    Clock::time_point deadline;
+  };
+
+  /// Everything tied to one registered graph. The scheduler takes a
+  /// shared_ptr snapshot per batch, so register_graph can swap the
+  /// context mid-wave without racing the wave (the old context stays
+  /// alive until the wave drops its reference).
+  struct GraphContext {
+    std::shared_ptr<const CsrGraph> graph;
+    std::uint64_t version = 0;
+    std::unique_ptr<ParallelBFS> single_engine;
+    std::unique_ptr<MsBfsSession> session;
+  };
+
+  void scheduler_loop();
+  void execute_batch(const std::shared_ptr<GraphContext>& ctx,
+                     std::vector<Pending>& batch);
+  QueryResult finalize(const Query& query, const GraphContext& ctx,
+                       std::shared_ptr<const std::vector<level_t>> levels,
+                       bool cache_hit) const;
+  void complete(Pending& pending, QueryResult result);
+
+  ServiceConfig config_;
+  std::unique_ptr<ForkJoinPool> pool_;  // outlives every GraphContext
+  ResultCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  std::shared_ptr<GraphContext> ctx_;
+  std::uint64_t next_version_ = 0;
+  bool shutdown_ = false;
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats counters_;  ///< counter fields only; latency/cache filled on demand
+  LatencyReservoir latencies_;
+
+  // Scheduler-thread-only scratch: result buffers reused across
+  // dispatches so a query costs no full-size allocation beyond its
+  // shared level array.
+  BFSResult scratch_single_;
+  MsBfsResult scratch_wave_;
+
+  std::thread scheduler_;  ///< last member: joined before state teardown
+};
+
+}  // namespace optibfs

@@ -1,0 +1,136 @@
+// Observability for the BFS query service.
+//
+// ServiceStats is a plain snapshot the service hands out under its own
+// locking; LatencyReservoir is the bounded sample store behind the
+// p50/p99 figures (a fixed ring — old samples age out, so the
+// percentiles track recent traffic without unbounded memory). The JSON
+// rendering feeds the same machine-readable path the benches use
+// (bench_common.hpp --json / OPTIBFS_JSON).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace optibfs {
+
+struct ServiceStats {
+  // ---- admission / completion counters ----
+  std::uint64_t submitted = 0;       ///< every submit() call
+  std::uint64_t completed = 0;       ///< answered with kOk
+  std::uint64_t cache_hits = 0;      ///< served from the result cache
+  std::uint64_t rejected = 0;        ///< backpressure (queue full)
+  std::uint64_t timed_out = 0;       ///< deadline expired while queued
+  std::uint64_t stale_graph = 0;     ///< flushed by a graph swap
+  std::uint64_t shutdown_flushed = 0;///< flushed by service teardown
+
+  // ---- dispatch shape ----
+  std::uint64_t waves = 0;             ///< MS-BFS waves executed
+  std::uint64_t single_dispatches = 0; ///< batches of 1 (hybrid engine)
+  /// batch_histogram[w] = number of batches of exactly w distinct
+  /// sources (index 0 unused; max wave width is 64).
+  std::array<std::uint64_t, 65> batch_histogram{};
+
+  // ---- latency over recent completions (reservoir) ----
+  std::uint64_t latency_samples = 0;
+  double mean_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+
+  // ---- result cache ----
+  std::uint64_t cache_entries = 0;
+  std::uint64_t cache_bytes = 0;
+  std::uint64_t cache_evictions = 0;
+
+  double mean_batch_width() const {
+    std::uint64_t batches = 0, queries = 0;
+    for (std::size_t w = 1; w < batch_histogram.size(); ++w) {
+      batches += batch_histogram[w];
+      queries += batch_histogram[w] * w;
+    }
+    return batches == 0 ? 0.0
+                        : static_cast<double>(queries) /
+                              static_cast<double>(batches);
+  }
+
+  double cache_hit_rate() const {
+    return submitted == 0 ? 0.0
+                          : static_cast<double>(cache_hits) /
+                                static_cast<double>(submitted);
+  }
+
+  /// Renders the snapshot as a JSON object (no trailing newline) for
+  /// the benches' machine-readable output path.
+  std::string to_json() const {
+    std::ostringstream out;
+    out << "{\"submitted\": " << submitted << ", \"completed\": " << completed
+        << ", \"cache_hits\": " << cache_hits << ", \"rejected\": " << rejected
+        << ", \"timed_out\": " << timed_out
+        << ", \"stale_graph\": " << stale_graph
+        << ", \"waves\": " << waves
+        << ", \"single_dispatches\": " << single_dispatches
+        << ", \"mean_batch_width\": " << mean_batch_width()
+        << ", \"cache_hit_rate\": " << cache_hit_rate()
+        << ", \"mean_latency_ms\": " << mean_latency_ms
+        << ", \"p50_latency_ms\": " << p50_latency_ms
+        << ", \"p99_latency_ms\": " << p99_latency_ms
+        << ", \"max_latency_ms\": " << max_latency_ms
+        << ", \"cache_entries\": " << cache_entries
+        << ", \"cache_bytes\": " << cache_bytes
+        << ", \"batch_histogram\": {";
+    bool first = true;
+    for (std::size_t w = 1; w < batch_histogram.size(); ++w) {
+      if (batch_histogram[w] == 0) continue;
+      out << (first ? "" : ", ") << "\"" << w
+          << "\": " << batch_histogram[w];
+      first = false;
+    }
+    out << "}}";
+    return out.str();
+  }
+};
+
+/// Fixed-capacity latency ring. record() is O(1); fill() sorts a copy
+/// of the live samples to extract percentiles (snapshot-time cost only).
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(std::size_t capacity = 8192)
+      : samples_(capacity, 0.0) {}
+
+  void record(double ms) {
+    samples_[next_] = ms;
+    next_ = (next_ + 1) % samples_.size();
+    ++count_;
+    sum_ += ms;
+    max_ = std::max(max_, ms);
+  }
+
+  void fill(ServiceStats& stats) const {
+    stats.latency_samples = count_;
+    stats.max_latency_ms = max_;
+    stats.mean_latency_ms =
+        count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    const std::size_t live =
+        std::min<std::uint64_t>(count_, samples_.size());
+    if (live == 0) return;
+    std::vector<double> sorted(samples_.begin(),
+                               samples_.begin() +
+                                   static_cast<std::ptrdiff_t>(live));
+    std::sort(sorted.begin(), sorted.end());
+    stats.p50_latency_ms = sorted[(live - 1) / 2];
+    stats.p99_latency_ms = sorted[(live - 1) * 99 / 100];
+  }
+
+ private:
+  std::vector<double> samples_;
+  std::size_t next_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace optibfs

@@ -15,10 +15,11 @@ BFSOptions opts(int threads = 4) {
   return options;
 }
 
-void expect_matches_serial(const CsrGraph& g,
-                           const std::vector<vid_t>& sources, int threads) {
-  const MsBfsResult batch = multi_source_bfs(g, sources, opts(threads));
+void expect_result_matches_serial(const CsrGraph& g,
+                                  const std::vector<vid_t>& sources,
+                                  const MsBfsResult& batch) {
   ASSERT_EQ(batch.num_sources, static_cast<int>(sources.size()));
+  ASSERT_EQ(batch.vertices_explored.size(), sources.size());
   for (std::size_t s = 0; s < sources.size(); ++s) {
     const BFSResult reference = bfs_serial(g, sources[s]);
     for (vid_t v = 0; v < g.num_vertices(); ++v) {
@@ -27,7 +28,19 @@ void expect_matches_serial(const CsrGraph& g,
           << "source index " << s << " (vertex " << sources[s]
           << "), target " << v;
     }
+    // Per-pop convention: each (vertex, source) pair expands at most
+    // once (the mask exchange arbitrates), so per-source pops must
+    // equal the source's reachable-set size exactly — MS-BFS has no
+    // per-source duplicate-exploration tax to blur this.
+    EXPECT_EQ(batch.vertices_explored[s], reference.vertices_visited)
+        << "source index " << s << " (vertex " << sources[s] << ")";
   }
+}
+
+void expect_matches_serial(const CsrGraph& g,
+                           const std::vector<vid_t>& sources, int threads) {
+  const MsBfsResult batch = multi_source_bfs(g, sources, opts(threads));
+  expect_result_matches_serial(g, sources, batch);
 }
 
 TEST(MsBfs, SingleSourceEqualsPlainBfs) {
@@ -66,6 +79,93 @@ TEST(MsBfs, RejectsBadBatches) {
   EXPECT_THROW(multi_source_bfs(g, std::vector<vid_t>(65, 0), opts()),
                std::invalid_argument);
   EXPECT_THROW(multi_source_bfs(g, {99}, opts()), std::out_of_range);
+}
+
+TEST(MsBfs, SessionReusesBuffersAcrossWaves) {
+  // The batch-entry API the query service uses: one allocation, one
+  // worker set, many waves. Wave N+1 must be exact even though it reuses
+  // wave N's mask arrays and queue pool.
+  const CsrGraph g = CsrGraph::from_edges(gen::rmat(10, 8, 21));
+  MsBfsSession session(g, opts(4));
+  MsBfsResult out;
+
+  const auto wave1 = sample_sources(g, 16, 5);
+  session.run(wave1, out);
+  expect_result_matches_serial(g, wave1, out);
+
+  const auto wave2 = sample_sources(g, 64, 6);  // full width
+  session.run(wave2, out);
+  expect_result_matches_serial(g, wave2, out);
+
+  const std::vector<vid_t> wave3{wave1.front()};  // width 1
+  session.run(wave3, out);
+  expect_result_matches_serial(g, wave3, out);
+
+  EXPECT_THROW(session.run({}, out), std::invalid_argument);
+  EXPECT_THROW(session.run({g.num_vertices()}, out), std::out_of_range);
+}
+
+TEST(MsBfs, SessionOnBorrowedPool) {
+  // Several sessions sharing one persistent pool (the service layout):
+  // the pool outlives each session and is reused serially between them.
+  const CsrGraph g = CsrGraph::from_edges(gen::grid2d(24, 24));
+  ForkJoinPool pool(4);
+  for (const std::uint64_t seed : {1ULL, 2ULL}) {
+    MsBfsSession session(g, opts(4), pool);
+    EXPECT_EQ(session.team_width(), 4);
+    const auto sources = sample_sources(g, 8, seed);
+    expect_result_matches_serial(g, sources, session.run(sources));
+  }
+}
+
+TEST(MsBfs, SessionClampsTeamToPoolWidth) {
+  const CsrGraph g = CsrGraph::from_edges(gen::path(64));
+  ForkJoinPool pool(2);
+  MsBfsSession session(g, opts(/*threads=*/8), pool);
+  EXPECT_EQ(session.team_width(), 2);
+  expect_result_matches_serial(g, {0, 63}, session.run({0, 63}));
+}
+
+TEST(MsBfs, SessionHonorsOptionPlumbing) {
+  // Fixed segment size and the clearing-trick ablation ride through the
+  // session untouched; results stay exact either way.
+  const CsrGraph g = CsrGraph::from_edges(gen::power_law(2000, 16000, 2.2, 9));
+  const auto sources = sample_sources(g, 12, 13);
+
+  BFSOptions fixed = opts(4);
+  fixed.segment_size = 3;
+  MsBfsSession fixed_session(g, fixed);
+  expect_result_matches_serial(g, sources, fixed_session.run(sources));
+
+  BFSOptions no_clear = opts(4);
+  no_clear.clear_slots = false;
+  MsBfsSession ablated(g, no_clear);
+  expect_result_matches_serial(g, sources, ablated.run(sources));
+  // A second wave exercises the hard-reset path reuse needs when the
+  // all-slots-0 invariant is forfeited.
+  expect_result_matches_serial(g, sources, ablated.run(sources));
+}
+
+TEST(MsBfs, HybridWaveDirectionOptimizes) {
+  // kHybrid flips dense-frontier levels to the owner-computes bottom-up
+  // pull; distances, per-source pop counts, and cross-wave buffer reuse
+  // must all stay exact through the direction switches.
+  const CsrGraph g = CsrGraph::from_edges(gen::rmat(12, 16, 33));
+  BFSOptions hybrid = opts(4);
+  hybrid.direction_mode = DirectionMode::kHybrid;
+  MsBfsSession session(g, hybrid);
+  const auto sources = sample_sources(g, 32, 5);
+  MsBfsResult out;
+  session.run(sources, out);
+  expect_result_matches_serial(g, sources, out);
+  EXPECT_GT(out.bottom_up_levels, 0u)
+      << "alpha rule never fired on a dense low-diameter RMAT";
+
+  // A second wave reuses mask arrays and queues left by bottom-up
+  // retirement, and a disjoint source set must come out exact too.
+  const auto wave2 = sample_sources(g, 16, 99);
+  session.run(wave2, out);
+  expect_result_matches_serial(g, wave2, out);
 }
 
 TEST(MsBfs, SharedScansBeatRepeatedBfsOnWork) {
