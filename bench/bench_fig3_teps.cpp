@@ -16,6 +16,7 @@
 
 #include "bench_common.hpp"
 #include "core/registry.hpp"
+#include "harness/json_writer.hpp"
 
 namespace {
 
@@ -88,14 +89,14 @@ int main(int argc, char** argv) {
   const std::vector<std::string> scale_free{"wikipedia", "rmat_sparse",
                                             "rmat_dense"};
   std::ostringstream summary;
-  summary << "{\"scale_free_graphs\": [";
-  for (std::size_t i = 0; i < scale_free.size(); ++i) {
-    summary << (i ? ", " : "") << '"' << scale_free[i] << '"';
-  }
-  summary << "], \"hybrid_speedup\": {";
+  JsonWriter sw(summary);
+  sw.begin_object();
+  sw.key("scale_free_graphs").begin_array();
+  for (const std::string& graph : scale_free) sw.value(graph);
+  sw.end_array();
+  sw.key("hybrid_speedup").begin_object();
   std::cout << "\nHybrid direction optimization, harmonic-mean TEPS over"
                " the scale-free subset:\n";
-  bool first = true;
   for (const char* base : {"BFS_CL", "BFS_DL", "BFS_WL", "BFS_WSL"}) {
     const std::string hybrid = std::string(base) + "_H";
     const double td = harmonic_mean_teps(cells, base, scale_free);
@@ -103,10 +104,10 @@ int main(int argc, char** argv) {
     const double speedup = td > 0.0 ? h / td : 0.0;
     std::cout << "  " << hybrid << ": " << h / 1e6 << " MTEPS vs " << base
               << " " << td / 1e6 << " MTEPS  ->  " << speedup << "x\n";
-    summary << (first ? "" : ", ") << '"' << hybrid << "\": " << speedup;
-    first = false;
+    sw.key(hybrid).value(speedup);
   }
-  summary << "}}";
+  sw.end_object();
+  sw.end_object();
 
   std::cout << "\nPaper shape: our best lock-free variant posts the top "
                "TEPS on every real-world graph, with the largest margin "

@@ -23,9 +23,11 @@
 #include <future>
 #include <iostream>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "harness/json_writer.hpp"
 #include "harness/source_sampler.hpp"
 #include "service/bfs_service.hpp"
 
@@ -51,7 +53,7 @@ int main(int argc, char** argv) {
   Table table({"W", "wall ms", "q/s", "mean width", "p50 ms", "p99 ms",
                "speedup"});
   std::vector<ExperimentCell> cells;
-  std::ostringstream qps_json;
+  std::vector<std::pair<int, double>> qps_per_width;
   double baseline_qps = 0.0, qps_w8 = 0.0;
   std::string stats_w8_json;
 
@@ -110,8 +112,7 @@ int main(int argc, char** argv) {
     cell.measurement.mean_teps = qps;  // queries/s, see header comment
     cells.push_back(cell);
 
-    qps_json << (width == 1 ? "" : ", ") << "\"w" << width
-             << "\": " << qps;
+    qps_per_width.emplace_back(width, qps);
   }
 
   std::cout << '\n';
@@ -123,11 +124,18 @@ int main(int argc, char** argv) {
                "the classic batching latency/throughput trade.\n";
 
   std::ostringstream summary;
-  summary << "{\"queries\": " << queries << ", \"threads\": " << threads
-          << ", \"qps\": {" << qps_json.str() << "}"
-          << ", \"speedup_w8_vs_w1\": "
-          << qps_w8 / std::max(1e-9, baseline_qps)
-          << ", \"stats_w8\": " << stats_w8_json << "}";
+  JsonWriter sw(summary);
+  sw.begin_object();
+  sw.key("queries").value(queries);
+  sw.key("threads").value(threads);
+  sw.key("qps").begin_object();
+  for (const auto& [width, qps] : qps_per_width) {
+    sw.key("w" + std::to_string(width)).value(qps);
+  }
+  sw.end_object();
+  sw.key("speedup_w8_vs_w1").value(qps_w8 / std::max(1e-9, baseline_qps));
+  sw.key("stats_w8").raw(stats_w8_json);
+  sw.end_object();
   bench::maybe_write_json("service", argc, argv, cells, summary.str());
   return 0;
 }

@@ -10,12 +10,14 @@
 //   ./bfs_cli --list
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "harness/table.hpp"
 #include "optibfs.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace {
 
@@ -46,6 +48,9 @@ using namespace optibfs;
       "  --seed N         generator/policy seed (default 1)\n"
       "  --verify         validate every run against the serial oracle\n"
       "  --stats          print steal/duplicate statistics\n"
+      "  --trace PATH     write a Chrome trace-event JSON of the runs\n"
+      "                   (open in ui.perfetto.dev or about://tracing;\n"
+      "                   needs a build with OPTIBFS_TELEMETRY=ON)\n"
       "  --list           print algorithm names and exit\n";
   std::exit(code);
 }
@@ -123,6 +128,7 @@ int main(int argc, char** argv) {
   int sources_count = 8;
   bool verify = false;
   bool stats = false;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -149,6 +155,7 @@ int main(int argc, char** argv) {
     else if (arg == "--seed") options.seed = std::strtoull(next().c_str(), nullptr, 10);
     else if (arg == "--verify") verify = true;
     else if (arg == "--stats") stats = true;
+    else if (arg == "--trace") trace_path = next();
     else if (arg == "--list") {
       for (const auto& name : all_algorithms()) std::cout << name << '\n';
       return 0;
@@ -165,6 +172,12 @@ int main(int argc, char** argv) {
   if (graph.num_vertices() == 0) {
     std::cerr << "empty graph\n";
     return 1;
+  }
+
+  std::unique_ptr<telemetry::FlightRecorder> recorder;
+  if (!trace_path.empty()) {
+    recorder = std::make_unique<telemetry::FlightRecorder>();
+    options.telemetry = recorder.get();
   }
 
   auto engine = make_bfs(algorithm, graph, options);
@@ -186,6 +199,17 @@ int main(int argc, char** argv) {
               << " victim-idle, " << s.failed_segment_too_small
               << " too-small, " << s.failed_stale_segment << " stale, "
               << s.failed_invalid_segment << " invalid\n";
+  }
+  if (recorder) {
+    if (recorder->write_chrome_trace(trace_path)) {
+      std::cout << "wrote " << trace_path
+                << " (load in ui.perfetto.dev)\n"
+                << "counters: " << recorder->counters_json() << "\n";
+    } else {
+      std::cerr << "could not write " << trace_path
+                << " (is this an OPTIBFS_TELEMETRY=OFF build?)\n";
+      return 1;
+    }
   }
   return 0;
 }

@@ -8,21 +8,29 @@
 // width histogram, cache hit rate, and latency percentiles — the same
 // numbers bench_service exports as JSON.
 //
-//   ./bfs_service_demo [scale] [threads] [clients]
+//   ./bfs_service_demo [scale] [threads] [clients] [trace.json]
+//
+// With a fourth argument (and an OPTIBFS_TELEMETRY=ON build) the run
+// also writes a Chrome trace: per-query queue-wait and execute spans on
+// the "service.scheduler" track, the MS-BFS wave/level spans beneath.
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <random>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "optibfs.hpp"
+#include "telemetry/recorder.hpp"
 
 int main(int argc, char** argv) {
   using namespace optibfs;
   const int scale = argc > 1 ? std::atoi(argv[1]) : 14;
   const int threads = argc > 2 ? std::atoi(argv[2]) : 4;
   const int clients = argc > 3 ? std::atoi(argv[3]) : 4;
+  const std::string trace_path = argc > 4 ? argv[4] : "";
   constexpr int kQueriesPerClient = 64;
 
   std::cout << "Graph: RMAT scale " << scale << " (Graph500 parameters)\n";
@@ -32,6 +40,11 @@ int main(int argc, char** argv) {
   ServiceConfig config;
   config.num_threads = threads;
   config.max_batch = 16;
+  std::unique_ptr<telemetry::FlightRecorder> recorder;
+  if (!trace_path.empty()) {
+    recorder = std::make_unique<telemetry::FlightRecorder>();
+    config.bfs.telemetry = recorder.get();
+  }
   BfsService service(config);
   service.register_graph(graph);
 
@@ -110,5 +123,16 @@ int main(int argc, char** argv) {
                "sources — the service turns a stream of point queries "
                "into the bulk traversal the optimistic engines are "
                "built for.\n";
+
+  if (recorder) {
+    if (recorder->write_chrome_trace(trace_path)) {
+      std::cout << "\nwrote " << trace_path
+                << " (load in ui.perfetto.dev)\n";
+    } else {
+      std::cerr << "\ncould not write " << trace_path
+                << " (is this an OPTIBFS_TELEMETRY=OFF build?)\n";
+      return 1;
+    }
+  }
   return failed == 0 ? 0 : 1;
 }

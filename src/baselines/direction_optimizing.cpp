@@ -46,6 +46,7 @@ void DirectionOptimizingBFS::run(vid_t source, BFSResult& out) {
   out.vertices_explored = 0;
   out.edges_scanned = 0;
   out.steal_stats = {};
+  out.counters = {};
   out.claim_skips = 0;
 
   frontier_.clear();
@@ -206,6 +207,8 @@ void DirectionOptimizingBFS::run(vid_t source, BFSResult& out) {
   for (const auto& c : counters_) {
     out.vertices_explored += c.value.vertices;
     out.edges_scanned += c.value.edges;
+    out.counters[telemetry::kVerticesExplored] += c.value.vertices;
+    out.counters[telemetry::kEdgesScanned] += c.value.edges;
   }
 }
 

@@ -81,6 +81,7 @@ void HongBFS::run(vid_t source, BFSResult& out) {
   out.vertices_explored = 0;
   out.edges_scanned = 0;
   out.steal_stats = {};
+  out.counters = {};
   out.claim_skips = 0;
 
   frontier_.clear();
@@ -222,6 +223,8 @@ void HongBFS::run(vid_t source, BFSResult& out) {
   for (const auto& c : counters_) {
     out.vertices_explored += c.value.vertices;
     out.edges_scanned += c.value.edges;
+    out.counters[telemetry::kVerticesExplored] += c.value.vertices;
+    out.counters[telemetry::kEdgesScanned] += c.value.edges;
   }
 }
 

@@ -51,6 +51,7 @@ void PBFS::run(vid_t source, BFSResult& out) {
   out.vertices_explored = 0;
   out.edges_scanned = 0;
   out.steal_stats = {};
+  out.counters = {};
   out.claim_skips = 0;
 
   ForkJoinPool& pool = impl_->pool;
@@ -145,6 +146,8 @@ void PBFS::run(vid_t source, BFSResult& out) {
   for (const auto& c : impl_->counters) {
     out.vertices_explored += c.value.vertices;
     out.edges_scanned += c.value.edges;
+    out.counters[telemetry::kVerticesExplored] += c.value.vertices;
+    out.counters[telemetry::kEdgesScanned] += c.value.edges;
   }
 }
 

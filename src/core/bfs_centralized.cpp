@@ -4,6 +4,9 @@
 
 namespace optibfs {
 
+using enum telemetry::Counter;
+using enum telemetry::EventName;
+
 // ---------------------------------------------------------------------------
 // BFS_C
 // ---------------------------------------------------------------------------
@@ -18,6 +21,7 @@ void CentralizedBFS::on_level_prepared() {
 }
 
 void CentralizedBFS::consume_level(int tid, level_t level) {
+  ThreadState& st = state(tid);
   for (;;) {
     int q = 0;
     std::int64_t begin = 0;
@@ -44,9 +48,13 @@ void CentralizedBFS::consume_level(int tid, level_t level) {
       remaining_ -= len;
       global_lock_.unlock();
     }
+    ++st.ctr[kSegmentsClaimed];
+    const std::uint64_t seg_t0 = st.trace.now();
     for (std::int64_t i = begin; i < end; ++i) {
       process_slot(tid, q, i, level);
     }
+    st.trace.span(kEvSegmentClaim, seg_t0,
+                  static_cast<std::uint64_t>(end - begin));
   }
 }
 
@@ -83,6 +91,7 @@ std::int64_t CentralizedLockfreeBFS::pick_segment(
 }
 
 void CentralizedLockfreeBFS::consume_level(int tid, level_t level) {
+  ThreadState& st = state(tid);
   for (;;) {
     // --- optimistic fetch (paper §IV-A2): no lock, no RMW ---
     int k = global_queue_.load(std::memory_order_relaxed);
@@ -105,9 +114,12 @@ void CentralizedLockfreeBFS::consume_level(int tid, level_t level) {
     global_queue_.store(k, std::memory_order_relaxed);
     queues_.in_front(k).store(front + len, std::memory_order_relaxed);
 
+    ++st.ctr[kSegmentsClaimed];
+    const std::uint64_t seg_t0 = st.trace.now();
     for (std::int64_t i = front; i < front + len; ++i) {
       if (!process_slot(tid, k, i, level)) break;  // hit a 0: consumed
     }
+    st.trace.span(kEvSegmentClaim, seg_t0, static_cast<std::uint64_t>(len));
   }
 }
 
@@ -171,9 +183,13 @@ bool DecentralizedLockfreeBFS::drain_one_segment(int tid, int pool_id,
       std::min(segment_size(rear - front), rear - front);
   pool.cursor.store(k, std::memory_order_relaxed);
   queues_.in_front(queue).store(front + len, std::memory_order_relaxed);
+  ThreadState& st = state(tid);
+  ++st.ctr[kSegmentsClaimed];
+  const std::uint64_t seg_t0 = st.trace.now();
   for (std::int64_t i = front; i < front + len; ++i) {
     if (!process_slot(tid, queue, i, level)) break;
   }
+  st.trace.span(kEvSegmentClaim, seg_t0, static_cast<std::uint64_t>(len));
   return true;
 }
 

@@ -6,6 +6,10 @@
 #include <utility>
 
 namespace optibfs {
+
+using enum telemetry::Counter;
+using enum telemetry::EventName;
+
 namespace {
 
 /// Contiguous slice of [0, n) for thread tid of p.
@@ -26,6 +30,7 @@ BFSEngineBase::BFSEngineBase(std::string name, const CsrGraph& graph,
       queues_(p_, graph.num_vertices() == 0 ? 1 : graph.num_vertices()),
       barrier_(p_),
       ts_(static_cast<std::size_t>(p_)),
+      counters_(p_),
       // Hybrid engines advertise the registry's `_H` suffix so name()
       // round-trips through make_bfs (opts_ is initialized before name_).
       name_(opts_.direction_mode == DirectionMode::kHybrid
@@ -110,7 +115,13 @@ int BFSEngineBase::pick_victim(int tid, bool prefer_local) {
 void BFSEngineBase::discover(int tid, vid_t from, vid_t w,
                              level_t next_level) {
   std::atomic_ref<level_t> lvl(out_->level[w]);
-  if (lvl.load(std::memory_order_relaxed) != kUnvisited) return;
+  if (lvl.load(std::memory_order_relaxed) != kUnvisited) {
+    // The common case on late levels: w already carries a level. This
+    // is the per-edge "wasted work" the paper's optimism trades for
+    // lock freedom; counting it costs one thread-private increment.
+    ++state(tid).ctr[kRevisits];
+    return;
+  }
   if (!visited_bits_.empty()) {
     // §IV-D atomic-bitmap alternative (Baseline2's claim): exactly one
     // discoverer wins the fetch_or, so w enters exactly one queue.
@@ -142,29 +153,34 @@ void BFSEngineBase::visit_neighbor_range(int tid, vid_t v,
   for (std::size_t i = lo; i < hi; ++i) {
     discover(tid, v, nbrs[i], next_level);
   }
-  state(tid).edges_scanned += hi - lo;
+  state(tid).ctr[kEdgesScanned] += hi - lo;
 }
 
 bool BFSEngineBase::process_slot(int tid, int q, std::int64_t index,
                                  level_t level) {
   const vid_t v = queues_.consume_in(q, index, opts_.clear_slots);
-  if (v == kInvalidVertex) return false;
   ThreadState& st = state(tid);
+  if (v == kInvalidVertex) {
+    // Clearing trick hit: the slot was already consumed (overlapping or
+    // stale segment). The caller aborts its segment on this signal.
+    ++st.ctr[kZeroSlotAborts];
+    return false;
+  }
   if (!claim_.empty() &&
       claim_[v].load(std::memory_order_relaxed) != q) {
     // §IV-D: another queue holds the claimed copy of v; skip this one.
-    ++st.claim_skips;
+    ++st.ctr[kClaimSkips];
     return true;
   }
   if (scale_free() && graph_.out_degree(v) > degree_threshold_) {
     // A deferred hotspot counts as explored here, for the thread that
     // popped it — not once per phase-2 explorer — keeping the per-pop
     // vertices_explored convention uniform across all drain paths.
-    ++st.vertices_explored;
+    ++st.ctr[kVerticesExplored];
     st.hotspots.push_back(v);
     return true;
   }
-  ++st.vertices_explored;
+  ++st.ctr[kVerticesExplored];
   visit_neighbors(tid, v, level + 1);
   return true;
 }
@@ -193,12 +209,21 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
     queues_.hard_reset();
   }
 
+  if (opts_.telemetry != nullptr && !trace_slots_acquired_) {
+    // Bind one event-ring slot per worker, once per engine lifetime
+    // (setup-time mutex; never touched again on hot paths).
+    for (int t = 0; t < p_; ++t) {
+      state(t).trace.attach(*opts_.telemetry,
+                            std::string(name()) + ".t" + std::to_string(t));
+    }
+    trace_slots_acquired_ = true;
+  }
+  const std::uint64_t run_t0 = state(0).trace.now();
+
   team_.run([&](int tid) {
     ThreadState& st = state(tid);
-    st.stats = {};
-    st.vertices_explored = 0;
-    st.edges_scanned = 0;
-    st.claim_skips = 0;
+    counters_.reset_slot(tid);
+    st.ctr = counters_.slab(tid);
     st.visited_in_slice = 0;
     st.max_level_in_slice = 0;
     st.hotspots.clear();
@@ -236,8 +261,6 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
       more_levels_.store(true, std::memory_order_release);
       serial_next_level_.store(opts_.serial_frontier_cutoff > 0,
                                std::memory_order_release);
-      serial_levels_count_ = 0;
-      bottom_up_levels_count_ = 0;
       edges_unexplored_ = graph_.num_edges();
       frontier_edges_ = 0;
       frontier_size_ = 0;
@@ -254,19 +277,29 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
 
     level_t level = 0;
     while (more_levels_.load(std::memory_order_acquire)) {
-      if (bottom_up_level_.load(std::memory_order_acquire)) {
+      const bool bottom_up = bottom_up_level_.load(std::memory_order_acquire);
+      const bool serial =
+          !bottom_up && serial_next_level_.load(std::memory_order_acquire);
+      const std::uint64_t level_t0 = st.trace.now();
+      if (bottom_up) {
         consume_level_bottom_up(tid, level);
-      } else if (serial_next_level_.load(std::memory_order_acquire)) {
+      } else if (serial) {
         // Hybrid shortcut: a frontier this small is cheaper to drain on
         // one thread than to dispatch; the others head to the barrier.
-        if (tid == 0) {
-          drain_level_serially(tid, level);
-          ++serial_levels_count_;
-        }
+        if (tid == 0) drain_level_serially(tid, level);
       } else {
         consume_level(tid, level);
       }
-      if (barrier_.arrive_and_wait()) {
+      if (tid == 0) {
+        ++st.ctr[bottom_up ? kLevelsBottomUp
+                           : serial ? kLevelsSerial : kLevelsTopDown];
+      }
+      if (!serial || tid == 0) {
+        st.trace.span(bottom_up ? kEvLevelBottomUp
+                                : serial ? kEvLevelSerial : kEvLevel,
+                      level_t0, level);
+      }
+      if (barrier_.arrive_and_wait(&st.ctr[kBarrierSpins])) {
         queues_.swap_and_prepare();
         const std::int64_t next_size = queues_.total_in();
         more_levels_.store(next_size > 0, std::memory_order_release);
@@ -277,12 +310,17 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
         frontier_mean_degree_ = std::max<std::int64_t>(
             1, queues_.total_in_edges() / std::max<std::int64_t>(1, next_size));
         prepare_direction(next_size);
+        if (bottom_up_level_.load(std::memory_order_relaxed) != bottom_up) {
+          st.trace.instant(
+              kEvDirectionFlip,
+              bottom_up_level_.load(std::memory_order_relaxed) ? 1 : 0);
+        }
         if (opts_.record_level_sizes && next_size > 0) {
           out.level_sizes.push_back(static_cast<std::uint64_t>(next_size));
         }
         on_level_prepared();
       }
-      barrier_.arrive_and_wait();
+      barrier_.arrive_and_wait(&st.ctr[kBarrierSpins]);
       ++level;
     }
 
@@ -298,15 +336,27 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
   for (int t = 0; t < p_; ++t) {
     const ThreadState& st = state(t);
     out.vertices_visited += st.visited_in_slice;
-    out.vertices_explored += st.vertices_explored;
-    out.edges_scanned += st.edges_scanned;
-    out.claim_skips += st.claim_skips;
-    out.steal_stats += st.stats;
     max_level = std::max(max_level, st.max_level_in_slice);
   }
   out.num_levels = max_level + 1;
-  out.serial_levels = serial_levels_count_;
-  out.bottom_up_levels = bottom_up_levels_count_;
+
+  // One aggregation path: the team has joined, so the per-thread
+  // plain-store slabs are quiescent and the sum is exact.
+  telemetry::CounterSnapshot snap = counters_.aggregate();
+  out.vertices_explored = snap[kVerticesExplored];
+  out.edges_scanned = snap[kEdgesScanned];
+  out.claim_skips = snap[kClaimSkips];
+  out.steal_stats = StealStats::from(snap);
+  out.serial_levels = snap[kLevelsSerial];
+  out.bottom_up_levels = snap[kLevelsBottomUp];
+  // A duplicate pop is indistinguishable from a first pop at the pop
+  // site (that is the point of optimism); derive it here instead.
+  snap[kDuplicatePops] = out.duplicate_explorations();
+  out.counters = snap;
+  if (opts_.telemetry != nullptr) {
+    state(0).trace.span(kEvRun, run_t0, source);
+    opts_.telemetry->add_counters(snap);
+  }
   out_ = nullptr;
 }
 
@@ -344,7 +394,6 @@ void BFSEngineBase::prepare_direction(std::int64_t next_size) {
   }
   bottom_up_level_.store(bottom_up, std::memory_order_release);
   if (bottom_up) {
-    ++bottom_up_levels_count_;
     // The serial shortcut never fires on a bottom-up level: the whole
     // point of going bottom-up is that the frontier is huge.
     serial_next_level_.store(false, std::memory_order_release);
@@ -357,7 +406,7 @@ void BFSEngineBase::consume_level_bottom_up(int tid, level_t level) {
   // must still be consumed — clearing keeps the all-slots-0 swap
   // invariant the optimistic drains rely on — and counted (each live
   // entry retires exactly once, the per-pop convention's analog).
-  st.vertices_explored +=
+  st.ctr[kVerticesExplored] +=
       static_cast<std::uint64_t>(queues_.retire_in(tid, opts_.clear_slots));
 
   const vid_t n = graph_.num_vertices();
@@ -380,7 +429,8 @@ void BFSEngineBase::consume_level_bottom_up(int tid, level_t level) {
     }
     frontier_bits_[w].store(bits, std::memory_order_relaxed);
   }
-  barrier_.arrive_and_wait();  // publish every thread's bitmap words
+  // publish every thread's bitmap words
+  barrier_.arrive_and_wait(&st.ctr[kBarrierSpins]);
 
   // Owner-computes scan: this thread is the only writer of level[v],
   // parent[v], and its own out-queue for every v in its slice, so the
@@ -416,7 +466,7 @@ void BFSEngineBase::consume_level_bottom_up(int tid, level_t level) {
       }
     }
   }
-  st.edges_scanned += edges;
+  st.ctr[kEdgesScanned] += edges;
 }
 
 void BFSEngineBase::drain_level_serially(int tid, level_t level) {
@@ -425,24 +475,28 @@ void BFSEngineBase::drain_level_serially(int tid, level_t level) {
     const std::int64_t rear = queues_.in_rear(q);
     for (std::int64_t i = 0; i < rear; ++i) {
       const vid_t v = queues_.consume_in(q, i, opts_.clear_slots);
-      if (v == kInvalidVertex) continue;  // duplicate from a prior level
+      if (v == kInvalidVertex) {
+        ++st.ctr[kZeroSlotAborts];  // duplicate from a prior level
+        continue;
+      }
       if (!claim_.empty() &&
           claim_[v].load(std::memory_order_relaxed) != q) {
-        ++st.claim_skips;
+        ++st.ctr[kClaimSkips];
         continue;
       }
       // Hotspots are explored inline: with one thread there is nothing
       // to split a fat adjacency list across.
-      ++st.vertices_explored;
+      ++st.ctr[kVerticesExplored];
       visit_neighbors(tid, v, level + 1);
     }
   }
 }
 
 void BFSEngineBase::explore_hotspots(int tid, level_t level) {
+  std::uint64_t* ctr = state(tid).ctr;
   // Phase boundary: every thread has finished phase 1, so the
   // per-thread hotspot vectors are stable; one thread gathers them.
-  if (barrier_.arrive_and_wait()) {
+  if (barrier_.arrive_and_wait(&ctr[kBarrierSpins])) {
     level_hotspots_.clear();
     for (int t = 0; t < p_; ++t) {
       ThreadState& st = state(t);
@@ -451,7 +505,7 @@ void BFSEngineBase::explore_hotspots(int tid, level_t level) {
       st.hotspots.clear();
     }
   }
-  barrier_.arrive_and_wait();
+  barrier_.arrive_and_wait(&ctr[kBarrierSpins]);
   if (level_hotspots_.empty()) return;
 
   if (opts_.phase2 == Phase2Mode::kChunked) {
@@ -512,12 +566,12 @@ bool BFSEngineBase::steal_adjacency_range(int tid) {
   for (int attempt = 0; attempt < budget; ++attempt) {
     const int victim = pick_victim(tid, attempt * 2 < budget);
     if (victim == tid) {
-      st.stats.record(StealOutcome::kVictimIdle);
+      ++st.ctr[kStealFailVictimIdle];
       continue;
     }
     ThreadState& vs = state(victim);
     if (!vs.has_work.load(std::memory_order_relaxed)) {
-      st.stats.record(StealOutcome::kVictimIdle);
+      ++st.ctr[kStealFailVictimIdle];
       continue;
     }
     const vid_t hv = hotspot_vertex_[static_cast<std::size_t>(victim)]->load(
@@ -526,15 +580,15 @@ bool BFSEngineBase::steal_adjacency_range(int tid) {
     const std::int64_t r = vs.seg_rear.load(std::memory_order_relaxed);
     if (hv >= graph_.num_vertices() ||
         r > static_cast<std::int64_t>(graph_.out_degree(hv)) || f < 0) {
-      st.stats.record(StealOutcome::kInvalidSegment);
+      ++st.ctr[kStealFailInvalidSegment];
       continue;
     }
     if (f >= r) {
-      st.stats.record(StealOutcome::kVictimIdle);
+      ++st.ctr[kStealFailVictimIdle];
       continue;
     }
     if (r - f < 2) {
-      st.stats.record(StealOutcome::kSegmentTooSmall);
+      ++st.ctr[kStealFailSegmentTooSmall];
       continue;
     }
     const std::int64_t mid = f + (r - f) / 2;
@@ -544,7 +598,7 @@ bool BFSEngineBase::steal_adjacency_range(int tid) {
     st.seg_front.store(mid, std::memory_order_relaxed);
     st.seg_rear.store(r, std::memory_order_relaxed);
     st.has_work.store(true, std::memory_order_relaxed);
-    st.stats.record(StealOutcome::kSuccess);
+    ++st.ctr[kStealSuccess];
     return true;
   }
   return false;

@@ -39,6 +39,8 @@
 #include "runtime/spin_lock.hpp"
 #include "runtime/thread_team.hpp"
 #include "runtime/topology.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace optibfs {
 
@@ -84,10 +86,13 @@ class BFSEngineBase : public ParallelBFS {
     SpinLock lock;                            ///< lock-based variants only
 
     // ---- private to the owning thread ----
-    StealStats stats;
-    std::uint64_t vertices_explored = 0;
-    std::uint64_t edges_scanned = 0;
-    std::uint64_t claim_skips = 0;
+    /// The thread's flight-recorder counter slab (counters_.slab(tid),
+    /// re-pointed at the start of every run). All per-thread statistics
+    /// — explored/scanned tallies, steal outcomes, barrier spins — are
+    /// plain `++ctr[telemetry::kFoo]` bumps into this slab, aggregated
+    /// once after the team joins.
+    std::uint64_t* ctr = nullptr;
+    telemetry::ThreadTrace trace;         ///< event ring handle (may be idle)
     std::uint64_t visited_in_slice = 0;   ///< result-assembly partial
     level_t max_level_in_slice = 0;
     std::vector<vid_t> hotspots;          ///< scale-free phase-1 deferrals
@@ -161,6 +166,7 @@ class BFSEngineBase : public ParallelBFS {
   FrontierQueues queues_;
   SpinBarrier barrier_;
   std::vector<CacheAligned<ThreadState>> ts_;
+  telemetry::CounterRegistry counters_;  ///< one slab per worker
 
   ThreadState& state(int tid) { return ts_[static_cast<std::size_t>(tid)].value; }
 
@@ -199,7 +205,7 @@ class BFSEngineBase : public ParallelBFS {
   // ---- level-loop shared state (written between barriers) ----
   std::atomic<bool> more_levels_{false};
   std::atomic<bool> serial_next_level_{false};
-  std::uint64_t serial_levels_count_ = 0;  ///< written by one thread only
+  bool trace_slots_acquired_ = false;  ///< per-thread rings bound once
   BFSResult* out_ = nullptr;  ///< valid during run()
 
   // §IV-D parent-claim array (allocated only when the option is on).
@@ -226,7 +232,6 @@ class BFSEngineBase : public ParallelBFS {
   std::uint64_t edges_unexplored_ = 0;
   std::uint64_t frontier_edges_ = 0;
   std::int64_t frontier_size_ = 0;  ///< previous level, for the growth check
-  std::uint64_t bottom_up_levels_count_ = 0;
   std::int64_t frontier_mean_degree_ = 1;
 
  protected:

@@ -7,6 +7,10 @@
 
 namespace optibfs {
 
+namespace telemetry {
+class FlightRecorder;
+}
+
 /// Level traversal direction policy for the optimistic engine family.
 enum class DirectionMode {
   /// Classic level-synchronous top-down expansion (the paper's mode).
@@ -127,6 +131,14 @@ struct BFSOptions {
 
   /// Seed for the randomized policies (victim and pool selection).
   std::uint64_t seed = 1;
+
+  /// Optional flight recorder (telemetry/recorder.hpp). When non-null,
+  /// engines / MS-BFS sessions / the query service acquire per-thread
+  /// event-ring slots from it at setup time and fold their end-of-run
+  /// counter snapshots into its totals. The recorder must outlive every
+  /// engine constructed with these options. Ignored (harmlessly) by
+  /// builds configured with OPTIBFS_TELEMETRY=OFF.
+  telemetry::FlightRecorder* telemetry = nullptr;
 };
 
 }  // namespace optibfs

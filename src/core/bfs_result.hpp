@@ -6,6 +6,7 @@
 
 #include "core/steal_stats.hpp"
 #include "graph/types.hpp"
+#include "telemetry/counters.hpp"
 
 namespace optibfs {
 
@@ -62,6 +63,13 @@ struct BFSResult {
   /// Levels traversed bottom-up (0 unless
   /// BFSOptions::direction_mode == DirectionMode::kHybrid).
   std::uint64_t bottom_up_levels = 0;
+
+  /// Full flight-recorder counter snapshot for the run. Every scalar
+  /// above also appears here under its registry name; duplicate_pops is
+  /// filled with duplicate_explorations() at aggregation time (a
+  /// duplicate pop is not directly observable at the pop site — see
+  /// DESIGN.md section 5).
+  telemetry::CounterSnapshot counters;
 };
 
 }  // namespace optibfs

@@ -17,6 +17,7 @@ void bfs_serial(const CsrGraph& g, vid_t source, BFSResult& out) {
   out.vertices_explored = 0;
   out.edges_scanned = 0;
   out.steal_stats = {};
+  out.counters = {};
   out.claim_skips = 0;
 
   // Flat vector as FIFO: every vertex enters at most once, so capacity n
@@ -30,8 +31,10 @@ void bfs_serial(const CsrGraph& g, vid_t source, BFSResult& out) {
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const vid_t v = queue[head];
     ++out.vertices_explored;
+    ++out.counters[telemetry::kVerticesExplored];
     const auto nbrs = g.out_neighbors(v);
     out.edges_scanned += nbrs.size();
+    out.counters[telemetry::kEdgesScanned] += nbrs.size();
     for (vid_t w : nbrs) {
       if (out.level[w] == kUnvisited) {
         out.level[w] = out.level[v] + 1;

@@ -5,6 +5,9 @@
 
 namespace optibfs {
 
+using enum telemetry::Counter;
+using enum telemetry::EventName;
+
 std::string WorkStealingBFS::variant_name(bool use_locks,
                                           bool scale_free_mode) {
   if (scale_free_mode) return use_locks ? "BFS_WS" : "BFS_WSL";
@@ -36,9 +39,16 @@ void WorkStealingBFS::on_level_prepared() {
 }
 
 void WorkStealingBFS::consume_level(int tid, level_t level) {
+  ThreadState& st = state(tid);
   for (;;) {
     drain_own_segment(tid, level);
-    if (!steal(tid)) break;
+    // One steal round = up to MAX_STEAL victim probes; the span's arg
+    // records whether it landed work (failed final rounds make the
+    // level's termination-detection cost visible in the trace).
+    const std::uint64_t steal_t0 = st.trace.now();
+    const bool stole = steal(tid);
+    st.trace.span(kEvStealRound, steal_t0, stole ? 1 : 0);
+    if (!stole) break;
   }
 
   if (scale_free()) explore_hotspots(tid, level);
@@ -63,6 +73,7 @@ void WorkStealingBFS::drain_own_segment(int tid, level_t level) {
       st.seg_front.store(f + len, std::memory_order_relaxed);
       const int q = st.seg_queue.load(std::memory_order_relaxed);
       st.lock.unlock();
+      ++st.ctr[kSegmentsClaimed];
       for (std::int64_t i = f; i < f + len; ++i) {
         process_slot(tid, q, i, level);
       }
@@ -95,7 +106,7 @@ bool WorkStealingBFS::steal(int tid) {
   for (int attempt = 0; attempt < budget; ++attempt) {
     const int victim = pick_victim(tid, attempt * 2 < budget);
     if (victim == tid) {
-      st.stats.record(StealOutcome::kVictimIdle);
+      ++st.ctr[kStealFailVictimIdle];
       continue;
     }
     const bool ok = use_locks_ ? try_steal_locked(tid, victim)
@@ -109,7 +120,7 @@ bool WorkStealingBFS::try_steal_locked(int tid, int victim) {
   ThreadState& st = state(tid);
   ThreadState& vs = state(victim);
   if (!vs.lock.try_lock()) {
-    st.stats.record(StealOutcome::kVictimLocked);
+    ++st.ctr[kStealFailVictimLocked];
     return false;
   }
   const std::int64_t f = vs.seg_front.load(std::memory_order_relaxed);
@@ -117,12 +128,12 @@ bool WorkStealingBFS::try_steal_locked(int tid, int victim) {
   const bool has_work = vs.has_work.load(std::memory_order_relaxed);
   if (!has_work || f >= r) {
     vs.lock.unlock();
-    st.stats.record(StealOutcome::kVictimIdle);
+    ++st.ctr[kStealFailVictimIdle];
     return false;
   }
   if (r - f < 2) {
     vs.lock.unlock();
-    st.stats.record(StealOutcome::kSegmentTooSmall);
+    ++st.ctr[kStealFailSegmentTooSmall];
     return false;
   }
   const std::int64_t mid = f + (r - f) / 2;
@@ -136,7 +147,7 @@ bool WorkStealingBFS::try_steal_locked(int tid, int victim) {
   st.seg_rear.store(r, std::memory_order_relaxed);
   st.has_work.store(true, std::memory_order_relaxed);
   st.lock.unlock();
-  st.stats.record(StealOutcome::kSuccess);
+  ++st.ctr[kStealSuccess];
   return true;
 }
 
@@ -150,17 +161,17 @@ bool WorkStealingBFS::try_steal_lockfree(int tid, int victim) {
   const std::int64_t f = vs.seg_front.load(std::memory_order_relaxed);
   const std::int64_t r = vs.seg_rear.load(std::memory_order_relaxed);
   if (!vs.has_work.load(std::memory_order_relaxed)) {
-    st.stats.record(StealOutcome::kVictimIdle);
+    ++st.ctr[kStealFailVictimIdle];
     return false;
   }
   // Paper's sanity check: f' < r' <= Qin[q'].r (plus q' in range, which
   // the paper gets implicitly from its array layout).
   if (q < 0 || q >= p_ || f < 0 || !(f < r && r <= queues_.in_rear(q))) {
-    st.stats.record(StealOutcome::kInvalidSegment);
+    ++st.ctr[kStealFailInvalidSegment];
     return false;
   }
   if (r - f < 2) {
-    st.stats.record(StealOutcome::kSegmentTooSmall);
+    ++st.ctr[kStealFailSegmentTooSmall];
     return false;
   }
   const std::int64_t mid = f + (r - f) / 2;
@@ -168,7 +179,7 @@ bool WorkStealingBFS::try_steal_lockfree(int tid, int victim) {
   // may have raced ahead (its front is stale in our snapshot). Peeking
   // the first stolen slot detects that cheaply.
   if (queues_.peek_in(q, mid) == kInvalidVertex) {
-    st.stats.record(StealOutcome::kStaleSegment);
+    ++st.ctr[kStealFailStaleSegment];
     return false;
   }
   // Plain store into the victim's rear. If our snapshot was torn this
@@ -180,7 +191,7 @@ bool WorkStealingBFS::try_steal_lockfree(int tid, int victim) {
   st.seg_front.store(mid, std::memory_order_relaxed);
   st.seg_rear.store(r, std::memory_order_relaxed);
   st.has_work.store(true, std::memory_order_relaxed);
-  st.stats.record(StealOutcome::kSuccess);
+  ++st.ctr[kStealSuccess];
   return true;
 }
 

@@ -4,8 +4,12 @@
 #include <atomic>
 #include <bit>
 #include <stdexcept>
+#include <string>
 
 namespace optibfs {
+
+using enum telemetry::Counter;
+using enum telemetry::EventName;
 
 MsBfsSession::MsBfsSession(const CsrGraph& graph, const BFSOptions& options)
     : graph_(graph),
@@ -22,7 +26,9 @@ MsBfsSession::MsBfsSession(const CsrGraph& graph, const BFSOptions& options)
       visit_next_(graph.num_vertices()),
       queues_(p_, graph.num_vertices()),
       barrier_(p_),
-      explored_(static_cast<std::size_t>(p_)) {}
+      explored_(static_cast<std::size_t>(p_)),
+      counters_(p_),
+      traces_(static_cast<std::size_t>(p_)) {}
 
 MsBfsSession::MsBfsSession(const CsrGraph& graph, const BFSOptions& options,
                            ForkJoinPool& pool)
@@ -38,7 +44,9 @@ MsBfsSession::MsBfsSession(const CsrGraph& graph, const BFSOptions& options,
       visit_next_(graph.num_vertices()),
       queues_(p_, graph.num_vertices()),
       barrier_(p_),
-      explored_(static_cast<std::size_t>(p_)) {}
+      explored_(static_cast<std::size_t>(p_)),
+      counters_(p_),
+      traces_(static_cast<std::size_t>(p_)) {}
 
 void MsBfsSession::run(const std::vector<vid_t>& sources, MsBfsResult& out) {
   const vid_t n = graph_.num_vertices();
@@ -52,6 +60,17 @@ void MsBfsSession::run(const std::vector<vid_t>& sources, MsBfsResult& out) {
       throw std::out_of_range("MsBfsSession: source out of range");
     }
   }
+
+  if (opts_.telemetry != nullptr && !trace_slots_acquired_) {
+    wave_trace_.attach(*opts_.telemetry, "msbfs.wave");
+    for (int t = 0; t < p_; ++t) {
+      traces_[static_cast<std::size_t>(t)].attach(
+          *opts_.telemetry, "msbfs.t" + std::to_string(t));
+    }
+    trace_slots_acquired_ = true;
+  }
+  const std::uint64_t wave_t0 = wave_trace_.now();
+  counters_.reset();  // single-threaded: the team is not running yet
 
   out.num_vertices = n;
   out.num_sources = static_cast<int>(sources.size());
@@ -115,15 +134,31 @@ void MsBfsSession::run(const std::vector<vid_t>& sources, MsBfsResult& out) {
       out.vertices_explored[s] += counts->per_source[s];
     }
   }
+
+  // Team joined: the plain-store slabs are quiescent.
+  telemetry::CounterSnapshot snap = counters_.aggregate();
+  snap[kWaves] = 1;
+  snap[kWaveSources] = static_cast<std::uint64_t>(sources.size());
+  out.counters = snap;
+  if (opts_.telemetry != nullptr) {
+    wave_trace_.span(kEvWave, wave_t0,
+                     static_cast<std::uint64_t>(sources.size()));
+    opts_.telemetry->add_counters(snap);
+  }
 }
 
 void MsBfsSession::run_wave(int tid, MsBfsResult& out) {
   const vid_t n = graph_.num_vertices();
+  std::uint64_t* ctr = counters_.slab(tid);
+  telemetry::ThreadTrace& trace = traces_[static_cast<std::size_t>(tid)];
   level_t depth = 0;  // lockstep via the two barriers per level
   while (more_.load(std::memory_order_acquire)) {
     if (bottom_up_level_.load(std::memory_order_acquire)) {
+      if (tid == 0) ++ctr[kLevelsBottomUp];
+      const std::uint64_t level_t0 = trace.now();
       run_level_bottom_up(tid, depth, out);
-      if (barrier_.arrive_and_wait()) {
+      trace.span(kEvLevelBottomUp, level_t0, depth);
+      if (barrier_.arrive_and_wait(&ctr[kBarrierSpins])) {
         queues_.swap_and_prepare();
         global_queue_.store(0, std::memory_order_relaxed);
         // visit_ was zeroed (and counted) by the bottom-up step's
@@ -133,11 +168,16 @@ void MsBfsSession::run_wave(int tid, MsBfsResult& out) {
         const std::int64_t next_size = queues_.total_in();
         more_.store(next_size > 0, std::memory_order_release);
         prepare_direction(next_size);
+        if (!bottom_up_level_.load(std::memory_order_relaxed)) {
+          trace.instant(kEvDirectionFlip, 0);
+        }
       }
-      barrier_.arrive_and_wait();
+      barrier_.arrive_and_wait(&ctr[kBarrierSpins]);
       ++depth;
       continue;
     }
+    if (tid == 0) ++ctr[kLevelsTopDown];
+    const std::uint64_t level_t0 = trace.now();
     // Optimistic centralized drain (BFS_CL discipline).
     for (;;) {
       int k = global_queue_.load(std::memory_order_relaxed);
@@ -159,14 +199,25 @@ void MsBfsSession::run_wave(int tid, MsBfsResult& out) {
                     remaining);
       global_queue_.store(k, std::memory_order_relaxed);
       queues_.in_front(k).store(front + len, std::memory_order_relaxed);
+      ++ctr[kSegmentsClaimed];
       for (std::int64_t i = front; i < front + len; ++i) {
         const vid_t v = queues_.consume_in(k, i, opts_.clear_slots);
-        if (v == kInvalidVertex) break;
+        if (v == kInvalidVertex) {
+          ++ctr[kZeroSlotAborts];
+          break;
+        }
         // Claim this vertex's current-level mask; a duplicate pop of
-        // v (optimistic overlap) reads 0 here and does nothing.
+        // v (optimistic overlap) reads 0 here and does nothing. Unlike
+        // the single-source engines, MS-BFS observes a duplicate pop
+        // directly: the mask exchange tells it apart from a first pop.
         const std::uint64_t mask =
             visit_[v].exchange(0, std::memory_order_relaxed);
-        if (mask == 0) continue;
+        if (mask == 0) {
+          ++ctr[kDuplicatePops];
+          continue;
+        }
+        ++ctr[kVerticesExplored];
+        ctr[kEdgesScanned] += graph_.out_neighbors(v).size();
         // Per-pop convention: this pop counts once for every source
         // whose bit it claimed (an empty-mask pop counts for nobody).
         for (std::uint64_t bits = mask; bits != 0;) {
@@ -197,7 +248,8 @@ void MsBfsSession::run_wave(int tid, MsBfsResult& out) {
         }
       }
     }
-    if (barrier_.arrive_and_wait()) {
+    trace.span(kEvLevel, level_t0, depth);
+    if (barrier_.arrive_and_wait(&ctr[kBarrierSpins])) {
       // Single-threaded window: the other workers are parked at the
       // second barrier below and touch none of this state.
       queues_.swap_and_prepare();
@@ -208,9 +260,15 @@ void MsBfsSession::run_wave(int tid, MsBfsResult& out) {
       std::swap(visit_, visit_next_);
       const std::int64_t next_size = queues_.total_in();
       more_.store(next_size > 0, std::memory_order_release);
+      const bool was_bottom_up =
+          bottom_up_level_.load(std::memory_order_relaxed);
       prepare_direction(next_size);
+      if (bottom_up_level_.load(std::memory_order_relaxed) !=
+          was_bottom_up) {
+        trace.instant(kEvDirectionFlip, 1);
+      }
     }
-    barrier_.arrive_and_wait();
+    barrier_.arrive_and_wait(&ctr[kBarrierSpins]);
     ++depth;
   }
 }
@@ -249,6 +307,7 @@ void MsBfsSession::prepare_direction(std::int64_t next_size) {
 void MsBfsSession::run_level_bottom_up(int tid, level_t depth,
                                        MsBfsResult& out) {
   const vid_t n = graph_.num_vertices();
+  std::uint64_t* ctr = counters_.slab(tid);
   // The queued frontier entries are not traversed (the frontier is read
   // from visit_ directly) but must still be consumed so the queue pool
   // swaps back with the all-slots-0 invariant intact. The pop count is
@@ -273,11 +332,14 @@ void MsBfsSession::run_level_bottom_up(int tid, level_t depth,
         batch_mask_ & ~seen_[v].load(std::memory_order_relaxed);
     if (missing == 0) continue;
     std::uint64_t found = 0;
+    std::uint64_t edges = 0;
     for (const vid_t u : transpose_->out_neighbors(v)) {
       found |= visit_[u].load(std::memory_order_relaxed);
+      ++edges;
       // Early exit once every missing source has reached v.
       if ((found & missing) == missing) break;
     }
+    ctr[kEdgesScanned] += edges;
     const std::uint64_t fresh = found & missing;
     if (fresh == 0) continue;
     seen_[v].store(seen_[v].load(std::memory_order_relaxed) | fresh,
@@ -290,7 +352,7 @@ void MsBfsSession::run_level_bottom_up(int tid, level_t depth,
     visit_next_[v].store(fresh, std::memory_order_relaxed);
     queues_.push_out(tid, v, graph_.out_degree(v));
   }
-  barrier_.arrive_and_wait();  // everyone is done reading visit_
+  barrier_.arrive_and_wait(&ctr[kBarrierSpins]);  // done reading visit_
 
   // Retire (count + zero) this slice of the just-consumed frontier so
   // the level-end swap keeps the all-zero invariant. Counting here is
@@ -300,6 +362,7 @@ void MsBfsSession::run_level_bottom_up(int tid, level_t depth,
     std::uint64_t mask = visit_[v].load(std::memory_order_relaxed);
     if (mask == 0) continue;
     visit_[v].store(0, std::memory_order_relaxed);
+    ++ctr[kVerticesExplored];
     for (std::uint64_t bits = mask; bits != 0;) {
       const int s = std::countr_zero(bits);
       bits &= bits - 1;

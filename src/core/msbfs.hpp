@@ -45,6 +45,8 @@
 #include "runtime/cache_aligned.hpp"
 #include "runtime/fork_join_pool.hpp"
 #include "runtime/spin_barrier.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace optibfs {
 
@@ -68,6 +70,13 @@ struct MsBfsResult {
 
   /// Levels traversed bottom-up (0 unless direction_mode == kHybrid).
   std::uint64_t bottom_up_levels = 0;
+
+  /// Flight-recorder counter snapshot for this wave. vertices_explored
+  /// here is at *vertex* granularity (a pop that claims a non-empty
+  /// mask counts once, however many source bits it carries);
+  /// duplicate_pops counts the empty-mask pops, which MS-BFS — unlike
+  /// the single-source engines — can observe directly at the pop site.
+  telemetry::CounterSnapshot counters;
 
   level_t distance_of(int source_index, vid_t v) const {
     return distance[static_cast<std::size_t>(source_index) * num_vertices +
@@ -155,6 +164,13 @@ class MsBfsSession {
     std::uint64_t per_source[kMaxBatch] = {};
   };
   std::vector<CacheAligned<ExploredCounts>> explored_;
+
+  // Flight recorder: per-thread counter slabs (aggregated after the
+  // team joins) and event-ring handles (bound on first traced wave).
+  telemetry::CounterRegistry counters_;
+  std::vector<telemetry::ThreadTrace> traces_;
+  telemetry::ThreadTrace wave_trace_;  ///< caller-side whole-wave spans
+  bool trace_slots_acquired_ = false;
 };
 
 /// One-shot convenience wrapper: builds a temporary session (private

@@ -1,7 +1,17 @@
 // Steal-attempt and duplicate-exploration statistics (paper Table VI).
+//
+// Since the telemetry subsystem landed, the recording side lives in the
+// flight-recorder counter registry (telemetry/counters.hpp): engines
+// bump per-thread plain-store counter slabs, one slot per steal
+// outcome. StealStats is now a thin *view* — the Table VI shape that
+// benches and tests consume — built from an aggregated snapshot via
+// StealStats::from(). There is exactly one set of counter names and one
+// aggregation path.
 #pragma once
 
 #include <cstdint>
+
+#include "telemetry/counters.hpp"
 
 namespace optibfs {
 
@@ -17,9 +27,24 @@ enum class StealOutcome {
   kInvalidSegment, ///< sanity check f' < r' <= Qin[q'].r failed
 };
 
-/// Plain counters; one instance lives per worker thread (cache-aligned
-/// by the engine) and instances are summed after the run, so no member
-/// needs to be atomic.
+/// Registry counter recording one steal outcome: engines do
+/// `++slab[steal_counter(outcome)]`.
+inline telemetry::Counter steal_counter(StealOutcome outcome) {
+  switch (outcome) {
+    case StealOutcome::kSuccess: return telemetry::kStealSuccess;
+    case StealOutcome::kVictimLocked: return telemetry::kStealFailVictimLocked;
+    case StealOutcome::kVictimIdle: return telemetry::kStealFailVictimIdle;
+    case StealOutcome::kSegmentTooSmall:
+      return telemetry::kStealFailSegmentTooSmall;
+    case StealOutcome::kStaleSegment:
+      return telemetry::kStealFailStaleSegment;
+    case StealOutcome::kInvalidSegment:
+      return telemetry::kStealFailInvalidSegment;
+  }
+  return telemetry::kStealFailVictimIdle;  // unreachable
+}
+
+/// Table VI view over an aggregated counter snapshot.
 struct StealStats {
   std::uint64_t successful = 0;
   std::uint64_t failed_victim_locked = 0;
@@ -28,15 +53,15 @@ struct StealStats {
   std::uint64_t failed_stale_segment = 0;
   std::uint64_t failed_invalid_segment = 0;
 
-  void record(StealOutcome outcome) {
-    switch (outcome) {
-      case StealOutcome::kSuccess: ++successful; break;
-      case StealOutcome::kVictimLocked: ++failed_victim_locked; break;
-      case StealOutcome::kVictimIdle: ++failed_victim_idle; break;
-      case StealOutcome::kSegmentTooSmall: ++failed_segment_too_small; break;
-      case StealOutcome::kStaleSegment: ++failed_stale_segment; break;
-      case StealOutcome::kInvalidSegment: ++failed_invalid_segment; break;
-    }
+  static StealStats from(const telemetry::CounterSnapshot& c) {
+    StealStats s;
+    s.successful = c[telemetry::kStealSuccess];
+    s.failed_victim_locked = c[telemetry::kStealFailVictimLocked];
+    s.failed_victim_idle = c[telemetry::kStealFailVictimIdle];
+    s.failed_segment_too_small = c[telemetry::kStealFailSegmentTooSmall];
+    s.failed_stale_segment = c[telemetry::kStealFailStaleSegment];
+    s.failed_invalid_segment = c[telemetry::kStealFailInvalidSegment];
+    return s;
   }
 
   std::uint64_t total_failed() const {

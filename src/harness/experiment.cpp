@@ -4,48 +4,42 @@
 #include <fstream>
 
 #include "core/registry.hpp"
+#include "harness/json_writer.hpp"
 #include "harness/source_sampler.hpp"
 
 namespace optibfs {
-namespace {
-
-/// Minimal JSON string escaping — bench/graph/algorithm names are plain
-/// ASCII identifiers, so quotes and backslashes are all that can bite.
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
-}  // namespace
 
 bool write_cells_json(const std::string& path, const std::string& bench_name,
                       const std::vector<ExperimentCell>& cells,
                       const std::string& summary_json) {
   std::ofstream out(path);
   if (!out) return false;
-  out << "{\n  \"bench\": \"" << json_escape(bench_name) << "\",\n"
-      << "  \"summary\": "
-      << (summary_json.empty() ? std::string("{}") : summary_json) << ",\n"
-      << "  \"cells\": [";
-  bool first = true;
+  JsonWriter w(out);
+  w.begin_object();
+  write_result_header(w);
+  w.key("bench").value(bench_name);
+  w.key("summary").raw(summary_json);
+  w.key("cells").begin_array();
   for (const ExperimentCell& cell : cells) {
     const RunMeasurement& m = cell.measurement;
-    out << (first ? "\n" : ",\n")
-        << "    {\"graph\": \"" << json_escape(cell.graph)
-        << "\", \"algorithm\": \"" << json_escape(cell.algorithm)
-        << "\", \"threads\": " << cell.threads
-        << ", \"sources\": " << m.sources << ", \"mean_ms\": " << m.mean_ms
-        << ", \"min_ms\": " << m.min_ms << ", \"max_ms\": " << m.max_ms
-        << ", \"mean_teps\": " << m.mean_teps
-        << ", \"mean_duplicates\": " << m.mean_duplicates << "}";
-    first = false;
+    w.begin_object();
+    w.key("graph").value(cell.graph);
+    w.key("algorithm").value(cell.algorithm);
+    w.key("threads").value(cell.threads);
+    w.key("sources").value(m.sources);
+    w.key("mean_ms").value(m.mean_ms);
+    w.key("min_ms").value(m.min_ms);
+    w.key("max_ms").value(m.max_ms);
+    w.key("mean_teps").value(m.mean_teps);
+    w.key("mean_duplicates").value(m.mean_duplicates);
+    // Flight-recorder totals over all of the cell's sources (nonzero
+    // counters only, so top-down-only cells stay compact).
+    w.key("counters").raw(m.counters.to_json());
+    w.end_object();
   }
-  out << "\n  ]\n}\n";
+  w.end_array();
+  w.end_object();
+  out << "\n";
   return static_cast<bool>(out);
 }
 

@@ -1,0 +1,124 @@
+#include "harness/json_writer.hpp"
+
+#include "harness/machine_info.hpp"
+
+namespace optibfs {
+
+std::string JsonWriter::escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void JsonWriter::pre_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!stack_.empty() && stack_.back().count++ > 0) out_ << ", ";
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  out_ << '{';
+  stack_.push_back({/*is_object=*/true, 0});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  stack_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  out_ << '[';
+  stack_.push_back({/*is_object=*/false, 0});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  stack_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (!stack_.empty() && stack_.back().count++ > 0) out_ << ", ";
+  out_ << '"' << escape(name) << "\": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  pre_value();
+  out_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  pre_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(const std::string& json) {
+  pre_value();
+  out_ << (json.empty() ? "{}" : json);
+  return *this;
+}
+
+void write_result_header(JsonWriter& w) {
+  w.key("schema_version").value(std::int64_t{2});
+  const MachineInfo machine = detect_machine();
+  w.key("machine").begin_object();
+  w.key("cpu").value(machine.cpu_model);
+  w.key("logical_cpus").value(machine.logical_cpus);
+  w.key("ram_mb").value(static_cast<std::int64_t>(machine.total_ram_mb));
+  w.key("os").value(machine.os);
+  w.end_object();
+  w.key("build").begin_object();
+#if defined(__clang__)
+  w.key("compiler").value(std::string("clang ") + __clang_version__);
+#elif defined(__GNUC__)
+  w.key("compiler").value(std::string("gcc ") + __VERSION__);
+#else
+  w.key("compiler").value("unknown");
+#endif
+#if defined(NDEBUG)
+  w.key("build_type").value("release");
+#else
+  w.key("build_type").value("debug");
+#endif
+#if defined(OPTIBFS_TELEMETRY)
+  w.key("telemetry").value(true);
+#else
+  w.key("telemetry").value(false);
+#endif
+  w.end_object();
+}
+
+}  // namespace optibfs

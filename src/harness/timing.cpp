@@ -49,6 +49,7 @@ RunMeasurement measure_bfs(ParallelBFS& bfs, const CsrGraph& graph,
     }
     total_duplicates += static_cast<double>(result.duplicate_explorations());
     agg.steal_stats += result.steal_stats;
+    agg.counters += result.counters;
   }
 
   const auto count = static_cast<double>(sources.size());

@@ -40,6 +40,9 @@ struct RunMeasurement {
   double mean_duplicates = 0.0;
   /// Steal statistics summed over all sources (Table VI).
   StealStats steal_stats;
+  /// Flight-recorder counter totals summed over all sources (the full
+  /// waste/decision breakdown behind the two fields above).
+  telemetry::CounterSnapshot counters;
 };
 
 /// Runs `bfs` from every source in `sources` and aggregates. When

@@ -1,5 +1,6 @@
 #include "runtime/fork_join_pool.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace optibfs {
@@ -11,7 +12,8 @@ thread_local int tls_worker_id = -1;
 
 }  // namespace
 
-ForkJoinPool::ForkJoinPool(int num_workers) : num_workers_(num_workers) {
+ForkJoinPool::ForkJoinPool(int num_workers)
+    : num_workers_(num_workers), counters_(std::max(1, num_workers)) {
   if (num_workers < 1) {
     throw std::invalid_argument("ForkJoinPool: need at least one worker");
   }
@@ -115,6 +117,7 @@ void ForkJoinPool::run_team(int team_size,
     throw std::invalid_argument(
         "ForkJoinPool::run_team: team size must be in [1, num_workers]");
   }
+  team_sessions_.fetch_add(1, std::memory_order_relaxed);
   const auto region = [this, team_size, &body] {
     TaskGroup group(*this);
     for (int tid = 1; tid < team_size; ++tid) {
@@ -144,7 +147,15 @@ void ForkJoinPool::spawn_task(Task* task) {
   wake_if_idle();
 }
 
-void ForkJoinPool::execute(Task* task) {
+telemetry::CounterSnapshot ForkJoinPool::telemetry_counters() const {
+  telemetry::CounterSnapshot snap = counters_.aggregate();
+  snap[telemetry::kPoolTeamSessions] =
+      team_sessions_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void ForkJoinPool::execute(int worker_id, Task* task) {
+  counters_.bump_relaxed(worker_id, telemetry::kPoolTasksExecuted);
   task->fn();
   std::atomic<std::int64_t>* pending = task->pending;
   delete task;
@@ -157,7 +168,7 @@ void ForkJoinPool::execute(Task* task) {
 bool ForkJoinPool::try_run_one(int worker_id) {
   Worker& self = *workers_[static_cast<std::size_t>(worker_id)];
   if (auto task = self.deque.pop()) {
-    execute(*task);
+    execute(worker_id, *task);
     return true;
   }
   // Random victims first (the Cilk discipline), then one deterministic
@@ -168,14 +179,14 @@ bool ForkJoinPool::try_run_one(int worker_id) {
         self.rng.next_below(static_cast<std::uint64_t>(num_workers_)));
     if (static_cast<int>(victim) == worker_id) continue;
     if (auto task = workers_[victim]->deque.steal()) {
-      execute(*task);
+      execute(worker_id, *task);
       return true;
     }
   }
   for (int victim = 0; victim < num_workers_; ++victim) {
     if (victim == worker_id) continue;
     if (auto task = workers_[static_cast<std::size_t>(victim)]->deque.steal()) {
-      execute(*task);
+      execute(worker_id, *task);
       return true;
     }
   }
@@ -190,7 +201,7 @@ bool ForkJoinPool::try_run_one(int worker_id) {
       }
     }
     if (task != nullptr) {
-      execute(task);
+      execute(worker_id, task);
       return true;
     }
   }

@@ -25,6 +25,7 @@
 #include "runtime/cache_aligned.hpp"
 #include "runtime/chase_lev_deque.hpp"
 #include "runtime/rng.hpp"
+#include "telemetry/counters.hpp"
 
 namespace optibfs {
 
@@ -90,6 +91,13 @@ class ForkJoinPool {
   /// inside or outside the pool; blocks until every activation returns.
   void run_team(int team_size, const std::function<void(int)>& body);
 
+  /// Flight-recorder view of the scheduler: tasks executed per worker
+  /// plus team sessions run. Unlike the BFS engines, the pool has no
+  /// quiescent aggregation point (workers are always live), so its
+  /// counters use relaxed atomic bumps — the pool is infrastructure,
+  /// outside the paper's no-RMW traversal discipline.
+  telemetry::CounterSnapshot telemetry_counters() const;
+
  private:
   struct Task {
     std::function<void()> fn;
@@ -105,7 +113,7 @@ class ForkJoinPool {
   void worker_loop(int id);
   /// One attempt to find and execute a task. Returns true if one ran.
   bool try_run_one(int worker_id);
-  void execute(Task* task);
+  void execute(int worker_id, Task* task);
   void spawn_task(Task* task);
   void wake_if_idle();
 
@@ -126,6 +134,9 @@ class ForkJoinPool {
   std::atomic<bool> shutting_down_{false};
   std::atomic<int> num_idle_{0};
   std::atomic<std::uint64_t> wake_epoch_{0};
+
+  telemetry::CounterRegistry counters_;  // relaxed-bump, see telemetry_counters()
+  std::atomic<std::uint64_t> team_sessions_{0};
 };
 
 }  // namespace optibfs

@@ -4,7 +4,7 @@
 
 namespace optibfs {
 
-bool SpinBarrier::arrive_and_wait() {
+bool SpinBarrier::arrive_and_wait(std::uint64_t* spin_count) {
   const std::uint64_t my_generation =
       generation_.load(std::memory_order_acquire);
   const int position = arrived_.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -25,6 +25,7 @@ bool SpinBarrier::arrive_and_wait() {
       generation_.wait(my_generation, std::memory_order_acquire);
     }
   }
+  if (spin_count != nullptr) *spin_count += static_cast<std::uint64_t>(spins);
   return false;
 }
 

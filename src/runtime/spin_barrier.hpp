@@ -28,7 +28,10 @@ class SpinBarrier {
   /// Blocks until all `num_threads` participants have arrived.
   /// Returns true for exactly one participant per phase (the last
   /// arriver), which callers use to run a serial epilogue (queue swap).
-  bool arrive_and_wait();
+  /// When `spin_count` is non-null the caller's busy-wait iterations
+  /// are accumulated into it (a flight-recorder counter slot: the
+  /// pointee is thread-private, so a plain add suffices).
+  bool arrive_and_wait(std::uint64_t* spin_count = nullptr);
 
   int num_threads() const { return num_threads_; }
 

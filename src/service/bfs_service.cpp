@@ -6,6 +6,10 @@
 #include "core/registry.hpp"
 
 namespace optibfs {
+
+using enum telemetry::Counter;
+using enum telemetry::EventName;
+
 namespace {
 
 ServiceConfig sanitized(ServiceConfig config) {
@@ -94,7 +98,8 @@ ServiceStats BfsService::stats() const {
   ServiceStats snapshot;
   {
     std::lock_guard lock(stats_mutex_);
-    snapshot = counters_;
+    snapshot = ServiceStats::from(query_counters_.aggregate());
+    snapshot.batch_histogram = batch_histogram_;
     latencies_.fill(snapshot);
   }
   snapshot.cache_entries = cache_.entries();
@@ -134,7 +139,7 @@ std::future<QueryResult> BfsService::submit(const Query& query) {
   auto future = pending.promise.get_future();
   {
     std::lock_guard lock(stats_mutex_);
-    ++counters_.submitted;
+    ++query_counters_.slab(0)[kQueriesSubmitted];
   }
 
   std::shared_ptr<GraphContext> ctx;
@@ -169,7 +174,7 @@ std::future<QueryResult> BfsService::submit(const Query& query) {
   if (auto cached = cache_.lookup(ctx->version, query.source)) {
     {
       std::lock_guard lock(stats_mutex_);
-      ++counters_.cache_hits;
+      ++query_counters_.slab(0)[kQueriesCacheHit];
     }
     complete(pending,
              finalize(query, *ctx, std::move(cached), /*cache_hit=*/true));
@@ -209,6 +214,12 @@ std::future<QueryResult> BfsService::submit(const Query& query) {
 }
 
 void BfsService::scheduler_loop() {
+  // Attach here, on the scheduler thread itself, so the handle has a
+  // single writer for its whole life (the constructor's init list
+  // starts this thread before the body could attach safely).
+  if (config_.bfs.telemetry != nullptr) {
+    sched_trace_.attach(*config_.bfs.telemetry, "service.scheduler");
+  }
   for (;;) {
     std::vector<Pending> expired, stale, batch;
     std::shared_ptr<GraphContext> ctx;
@@ -271,6 +282,8 @@ void BfsService::scheduler_loop() {
 
 void BfsService::execute_batch(const std::shared_ptr<GraphContext>& ctx,
                                std::vector<Pending>& batch) {
+  const auto dispatch_start = Clock::now();
+  const std::uint64_t dispatch_t0 = sched_trace_.now();
   const vid_t n = ctx->graph->num_vertices();
   std::vector<vid_t> sources;
   sources.reserve(batch.size());
@@ -290,8 +303,8 @@ void BfsService::execute_batch(const std::shared_ptr<GraphContext>& ctx,
     levels[0] =
         std::make_shared<const std::vector<level_t>>(scratch_single_.level);
     std::lock_guard lock(stats_mutex_);
-    ++counters_.single_dispatches;
-    ++counters_.batch_histogram[1];
+    ++query_counters_.slab(0)[kSingleDispatches];
+    ++batch_histogram_[1];
   } else {
     ctx->session->run(sources, scratch_wave_);
     for (std::size_t s = 0; s < sources.size(); ++s) {
@@ -300,8 +313,8 @@ void BfsService::execute_batch(const std::shared_ptr<GraphContext>& ctx,
       levels[s] = std::make_shared<const std::vector<level_t>>(row, row + n);
     }
     std::lock_guard lock(stats_mutex_);
-    ++counters_.waves;
-    ++counters_.batch_histogram[sources.size()];
+    ++query_counters_.slab(0)[kWaves];
+    ++batch_histogram_[sources.size()];
   }
 
   for (std::size_t s = 0; s < sources.size(); ++s) {
@@ -311,9 +324,19 @@ void BfsService::execute_batch(const std::shared_ptr<GraphContext>& ctx,
     const std::size_t slot = static_cast<std::size_t>(
         std::find(sources.begin(), sources.end(), pending.query.source) -
         sources.begin());
+    // Per-query latency breakdown: time queued waiting for a wave slot
+    // vs time inside the dispatch (arg = the query's source).
+    sched_trace_.span_between(kEvQueueWait, pending.submitted,
+                              dispatch_start, pending.query.source);
     complete(pending, finalize(pending.query, *ctx, levels[slot],
                                /*cache_hit=*/false));
+    if (sched_trace_.attached()) {
+      sched_trace_.span_between(kEvExecute, dispatch_start, Clock::now(),
+                                pending.query.source);
+    }
   }
+  sched_trace_.span(kEvBatchDispatch, dispatch_t0,
+                    static_cast<std::uint64_t>(sources.size()));
 }
 
 QueryResult BfsService::finalize(
@@ -365,22 +388,23 @@ void BfsService::complete(Pending& pending, QueryResult result) {
   result.latency_ms = ms_since(pending.submitted);
   {
     std::lock_guard lock(stats_mutex_);
+    std::uint64_t* ctr = query_counters_.slab(0);
     switch (result.status) {
       case QueryStatus::kOk:
-        ++counters_.completed;
+        ++ctr[kQueriesCompleted];
         latencies_.record(result.latency_ms);
         break;
       case QueryStatus::kRejectedQueueFull:
-        ++counters_.rejected;
+        ++ctr[kQueriesRejected];
         break;
       case QueryStatus::kTimeout:
-        ++counters_.timed_out;
+        ++ctr[kQueriesTimedOut];
         break;
       case QueryStatus::kStaleGraph:
-        ++counters_.stale_graph;
+        ++ctr[kQueriesStaleGraph];
         break;
       case QueryStatus::kShutdown:
-        ++counters_.shutdown_flushed;
+        ++ctr[kQueriesShutdownFlushed];
         break;
       case QueryStatus::kInvalid:
         break;

@@ -40,6 +40,7 @@
 // stats().to_json() onto the benches' --json path.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -203,8 +204,17 @@ class BfsService {
   bool shutdown_ = false;
 
   mutable std::mutex stats_mutex_;
-  ServiceStats counters_;  ///< counter fields only; latency/cache filled on demand
+  /// One-slab flight-recorder registry, bumped under stats_mutex_;
+  /// stats() renders it back through ServiceStats::from() so the
+  /// service and the engines share one counter vocabulary.
+  telemetry::CounterRegistry query_counters_{1};
+  std::array<std::uint64_t, 65> batch_histogram_{};
   LatencyReservoir latencies_;
+
+  /// Scheduler-thread-only trace handle ("service.scheduler" slot):
+  /// batch-dispatch spans plus per-query queue-wait/execute spans.
+  /// Attached lazily at scheduler start from config_.bfs.telemetry.
+  telemetry::ThreadTrace sched_trace_;
 
   // Scheduler-thread-only scratch: result buffers reused across
   // dispatches so a query costs no full-size allocation beyond its

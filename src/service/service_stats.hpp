@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/counters.hpp"
+
 namespace optibfs {
 
 struct ServiceStats {
@@ -45,6 +47,24 @@ struct ServiceStats {
   std::uint64_t cache_entries = 0;
   std::uint64_t cache_bytes = 0;
   std::uint64_t cache_evictions = 0;
+
+  /// Thin view over the flight-recorder counter snapshot: the service
+  /// bumps telemetry counters (one slab under its stats lock) and this
+  /// is the single place mapping them back to the report fields. The
+  /// histogram, latency, and cache blocks are filled by the caller.
+  static ServiceStats from(const telemetry::CounterSnapshot& c) {
+    ServiceStats s;
+    s.submitted = c[telemetry::kQueriesSubmitted];
+    s.completed = c[telemetry::kQueriesCompleted];
+    s.cache_hits = c[telemetry::kQueriesCacheHit];
+    s.rejected = c[telemetry::kQueriesRejected];
+    s.timed_out = c[telemetry::kQueriesTimedOut];
+    s.stale_graph = c[telemetry::kQueriesStaleGraph];
+    s.shutdown_flushed = c[telemetry::kQueriesShutdownFlushed];
+    s.waves = c[telemetry::kWaves];
+    s.single_dispatches = c[telemetry::kSingleDispatches];
+    return s;
+  }
 
   double mean_batch_width() const {
     std::uint64_t batches = 0, queries = 0;

@@ -1,0 +1,85 @@
+#include "telemetry/chrome_trace.hpp"
+
+#if defined(OPTIBFS_TELEMETRY)
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "telemetry/recorder.hpp"
+#include "telemetry/trace.hpp"
+
+namespace optibfs::telemetry {
+namespace {
+
+// Ring slot names are engine-chosen identifiers, but escape defensively
+// so a hostile name cannot break the JSON.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Chrome traces use microsecond timestamps; keep nanosecond precision
+// with a fractional part.
+void emit_us(std::ofstream& os, std::uint64_t ns) {
+  os << ns / 1000 << '.' << (ns % 1000) / 100 << (ns % 100) / 10 << ns % 10;
+}
+
+}  // namespace
+
+bool write_chrome_trace(const FlightRecorder& rec, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const int slots = rec.num_slots();
+  for (int slot = 0; slot < slots; ++slot) {
+    // tid 0 is reserved-looking in some viewers; number threads from 1.
+    const int tid = slot + 1;
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << escape(rec.slot_name(slot)) << "\"}}";
+    const TraceRing* ring = rec.slot_ring(slot);
+    if (ring == nullptr) continue;
+    for (const TraceEvent& ev : ring->events()) {
+      os << ",\n{\"ph\":\"" << (ev.instant ? 'i' : 'X')
+         << "\",\"pid\":1,\"tid\":" << tid << ",\"name\":\""
+         << event_name(ev.name) << "\",\"ts\":";
+      emit_us(os, ev.start_ns);
+      if (ev.instant) {
+        os << ",\"s\":\"t\"";
+      } else {
+        os << ",\"dur\":";
+        emit_us(os, ev.dur_ns);
+      }
+      os << ",\"args\":{\"arg\":" << ev.arg << "}}";
+    }
+  }
+  os << "\n],\"otherData\":{\"counters\":" << rec.counters().to_json()
+     << "}}\n";
+  return static_cast<bool>(os);
+}
+
+}  // namespace optibfs::telemetry
+
+#endif  // OPTIBFS_TELEMETRY

@@ -1,0 +1,26 @@
+// Chrome trace-event JSON exporter (the `--trace out.json` format).
+//
+// Emits the "JSON object format" of the Chrome trace-event spec: a
+// top-level object whose "traceEvents" array holds one "X" (complete)
+// or "i" (instant) event per recorded TraceEvent, plus "M" metadata
+// events naming each thread after its ring slot. Timestamps are
+// microseconds since the recorder epoch, which is what Perfetto and
+// about://tracing expect. The recorder's merged counter totals ride
+// along under "otherData" (ignored by viewers, handy for scripts).
+#pragma once
+
+#if defined(OPTIBFS_TELEMETRY)
+
+#include <string>
+
+namespace optibfs::telemetry {
+
+class FlightRecorder;
+
+/// Writes `rec`'s rings to `path`. Call only at quiescent points (after
+/// the instrumented runs have joined). Returns false on I/O failure.
+bool write_chrome_trace(const FlightRecorder& rec, const std::string& path);
+
+}  // namespace optibfs::telemetry
+
+#endif  // OPTIBFS_TELEMETRY

@@ -1,0 +1,34 @@
+#include "telemetry/counters.hpp"
+
+#include <sstream>
+
+namespace optibfs::telemetry {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+#define OPTIBFS_COUNTER_NAME(id, name) \
+  case id:                             \
+    return name;
+    OPTIBFS_COUNTER_LIST(OPTIBFS_COUNTER_NAME)
+#undef OPTIBFS_COUNTER_NAME
+    case kNumCounters:
+      break;
+  }
+  return "unknown";
+}
+
+std::string CounterSnapshot::to_json(bool include_zero) const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (std::uint32_t i = 0; i < kNumCounters; ++i) {
+    if (values[i] == 0 && !include_zero) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << counter_name(static_cast<Counter>(i)) << "\":" << values[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace optibfs::telemetry

@@ -1,0 +1,84 @@
+#include "telemetry/recorder.hpp"
+
+#if defined(OPTIBFS_TELEMETRY)
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/chrome_trace.hpp"
+
+namespace optibfs::telemetry {
+
+struct FlightRecorder::Impl {
+  explicit Impl(RecorderConfig c) : config(c) {}
+
+  RecorderConfig config;
+  mutable std::mutex mutex;
+  struct Slot {
+    std::string name;
+    std::unique_ptr<TraceRing> ring;  // unique_ptr: stable across growth
+  };
+  std::vector<Slot> slots;
+  CounterSnapshot totals;
+};
+
+FlightRecorder::FlightRecorder(RecorderConfig config)
+    : impl_(new Impl(config)), epoch_(std::chrono::steady_clock::now()) {}
+
+FlightRecorder::~FlightRecorder() { delete impl_; }
+
+int FlightRecorder::acquire_slot(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->slots.size() >= impl_->config.max_slots) return -1;
+  impl_->slots.push_back(
+      {name, std::make_unique<TraceRing>(impl_->config.ring_capacity)});
+  return static_cast<int>(impl_->slots.size()) - 1;
+}
+
+TraceRing* FlightRecorder::slot_ring(int slot) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (slot < 0 || slot >= static_cast<int>(impl_->slots.size()))
+    return nullptr;
+  return impl_->slots[static_cast<std::size_t>(slot)].ring.get();
+}
+
+const TraceRing* FlightRecorder::slot_ring(int slot) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (slot < 0 || slot >= static_cast<int>(impl_->slots.size()))
+    return nullptr;
+  return impl_->slots[static_cast<std::size_t>(slot)].ring.get();
+}
+
+std::string FlightRecorder::slot_name(int slot) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (slot < 0 || slot >= static_cast<int>(impl_->slots.size())) return {};
+  return impl_->slots[static_cast<std::size_t>(slot)].name;
+}
+
+int FlightRecorder::num_slots() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return static_cast<int>(impl_->slots.size());
+}
+
+void FlightRecorder::add_counters(const CounterSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->totals += snapshot;
+}
+
+CounterSnapshot FlightRecorder::counters() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  CounterSnapshot out = impl_->totals;
+  std::uint64_t dropped = 0;
+  for (const Impl::Slot& s : impl_->slots) dropped += s.ring->dropped();
+  out[kTraceEventsDropped] = dropped;
+  return out;
+}
+
+bool FlightRecorder::write_chrome_trace(const std::string& path) const {
+  return telemetry::write_chrome_trace(*this, path);
+}
+
+}  // namespace optibfs::telemetry
+
+#endif  // OPTIBFS_TELEMETRY

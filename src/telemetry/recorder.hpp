@@ -1,0 +1,177 @@
+// FlightRecorder — the session object tying the telemetry subsystem
+// together, plus ThreadTrace, the per-thread recording handle.
+//
+// Ownership model: a driver (bfs_cli --trace, bfs_service_demo, a
+// test) creates one FlightRecorder and hands its address to
+// BFSOptions::telemetry. Engines/sessions/services that see a non-null
+// pointer acquire one ring slot per worker thread (setup-time,
+// mutex-guarded — never on a hot path) and then record through
+// ThreadTrace with plain stores only. At the end the driver exports a
+// Chrome-trace JSON (write_chrome_trace) and/or the merged counter
+// totals (counters_json).
+//
+// When OPTIBFS_TELEMETRY is not defined, this header swaps in inline
+// no-op stubs with identical signatures: call sites compile unchanged,
+// the optimizer deletes them, and the library contains no tracing
+// symbols (tests/check_no_telemetry_symbols.cmake enforces this).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "telemetry/counters.hpp"
+#include "telemetry/trace.hpp"
+
+namespace optibfs::telemetry {
+
+struct RecorderConfig {
+  /// Events each thread slot can hold before wraparound drops the
+  /// oldest (accounted in the trace_events_dropped counter).
+  std::uint32_t ring_capacity = 8192;
+  /// Hard cap on acquired slots; acquire_slot returns -1 beyond it.
+  std::uint32_t max_slots = 256;
+};
+
+#if defined(OPTIBFS_TELEMETRY)
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(RecorderConfig config = {});
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+  ~FlightRecorder();
+
+  /// Registers a named per-thread ring and returns its slot id, or -1
+  /// when max_slots is exhausted. Mutex-guarded; call at setup time
+  /// (engine construction / first run), never per level.
+  int acquire_slot(const std::string& name);
+
+  /// Stable for the recorder's lifetime; nullptr for slot -1.
+  TraceRing* slot_ring(int slot);
+  const TraceRing* slot_ring(int slot) const;
+  std::string slot_name(int slot) const;
+  int num_slots() const;
+
+  /// All timestamps are nanoseconds since this instant.
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+
+  /// Folds a finished run's counter snapshot into the recorder totals
+  /// (mutex-guarded; called once per run, not on hot paths).
+  void add_counters(const CounterSnapshot& snapshot);
+
+  /// Totals across add_counters calls, with trace_events_dropped
+  /// refreshed from the rings.
+  CounterSnapshot counters() const;
+  std::string counters_json() const { return counters().to_json(); }
+
+  /// Writes the Chrome trace-event JSON (load in ui.perfetto.dev or
+  /// about://tracing). Returns false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Per-thread recording handle: a raw ring pointer plus the recorder
+/// epoch. All methods are plain stores / plain reads; when unattached
+/// (no recorder, or slots exhausted) every call is a cheap no-op that
+/// does not even read the clock.
+class ThreadTrace {
+ public:
+  ThreadTrace() = default;
+
+  /// Acquires a slot from `rec` (setup-time). Safe to call with the
+  /// same recorder repeatedly — later calls re-acquire a fresh slot, so
+  /// engines guard with an attached() check.
+  void attach(FlightRecorder& rec, const std::string& name) {
+    const int slot = rec.acquire_slot(name);
+    ring_ = rec.slot_ring(slot);
+    epoch_ = rec.epoch();
+  }
+
+  void detach() { ring_ = nullptr; }
+  bool attached() const { return ring_ != nullptr; }
+
+  /// Nanoseconds since the recorder epoch; 0 when unattached (callers
+  /// pass it straight back into span()).
+  std::uint64_t now() const {
+    if (!ring_) return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Records [start_ns, now()] as a complete event.
+  void span(EventName name, std::uint64_t start_ns, std::uint64_t arg = 0) {
+    if (!ring_) return;
+    const std::uint64_t end = now();
+    ring_->push({start_ns, end > start_ns ? end - start_ns : 0, arg, name,
+                 /*instant=*/false});
+  }
+
+  /// Records a span between two externally captured steady-clock
+  /// points (e.g. service submit -> dispatch).
+  void span_between(EventName name,
+                    std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end,
+                    std::uint64_t arg = 0) {
+    if (!ring_) return;
+    const auto to_ns = [this](std::chrono::steady_clock::time_point t) {
+      const auto d =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch_)
+              .count();
+      return d > 0 ? static_cast<std::uint64_t>(d) : std::uint64_t{0};
+    };
+    const std::uint64_t s = to_ns(start), e = to_ns(end);
+    ring_->push({s, e > s ? e - s : 0, arg, name, /*instant=*/false});
+  }
+
+  void instant(EventName name, std::uint64_t arg = 0) {
+    if (!ring_) return;
+    ring_->push({now(), 0, arg, name, /*instant=*/true});
+  }
+
+ private:
+  TraceRing* ring_ = nullptr;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+#else  // !OPTIBFS_TELEMETRY — inline no-op stubs, no library symbols.
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(RecorderConfig = {}) {}
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  int acquire_slot(const std::string&) { return -1; }
+  std::string slot_name(int) const { return {}; }
+  int num_slots() const { return 0; }
+  std::chrono::steady_clock::time_point epoch() const { return {}; }
+  void add_counters(const CounterSnapshot&) {}
+  CounterSnapshot counters() const { return {}; }
+  std::string counters_json() const { return "{}"; }
+  bool write_chrome_trace(const std::string&) const { return false; }
+};
+
+class ThreadTrace {
+ public:
+  ThreadTrace() = default;
+  void attach(FlightRecorder&, const std::string&) {}
+  void detach() {}
+  bool attached() const { return false; }
+  std::uint64_t now() const { return 0; }
+  void span(EventName, std::uint64_t, std::uint64_t = 0) {}
+  void span_between(EventName, std::chrono::steady_clock::time_point,
+                    std::chrono::steady_clock::time_point,
+                    std::uint64_t = 0) {}
+  void instant(EventName, std::uint64_t = 0) {}
+};
+
+#endif  // OPTIBFS_TELEMETRY
+
+}  // namespace optibfs::telemetry

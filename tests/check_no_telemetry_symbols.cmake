@@ -1,0 +1,41 @@
+# Enforces the OPTIBFS_TELEMETRY=OFF zero-overhead contract: with the
+# flag off, telemetry/recorder.hpp provides inline no-op stubs and the
+# real recorder/exporter translation units are not compiled, so the
+# library archive must not define any tracing symbol. Run as
+#   cmake -DLIBRARY=<liboptibfs.a> [-DNM=<nm>] -P check_no_telemetry_symbols.cmake
+# (registered automatically as ctest "telemetry/no_symbols_when_off"
+# in OFF-configured trees).
+if(NOT LIBRARY)
+  message(FATAL_ERROR "pass -DLIBRARY=<path to liboptibfs archive>")
+endif()
+if(NOT NM)
+  set(NM nm)
+endif()
+
+execute_process(
+  COMMAND ${NM} --defined-only -C ${LIBRARY}
+  OUTPUT_VARIABLE symbols
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${NM} failed on ${LIBRARY} (rc=${rc})")
+endif()
+
+set(leaks "")
+foreach(marker
+    "telemetry::FlightRecorder"
+    "telemetry::TraceRing"
+    "telemetry::ThreadTrace"
+    "write_chrome_trace")
+  string(FIND "${symbols}" "${marker}" at)
+  if(NOT at EQUAL -1)
+    list(APPEND leaks "${marker}")
+  endif()
+endforeach()
+
+if(leaks)
+  message(FATAL_ERROR
+    "OPTIBFS_TELEMETRY=OFF build still defines tracing symbols: ${leaks}. "
+    "The compile-time gate in src/telemetry/recorder.hpp or "
+    "src/CMakeLists.txt has leaked.")
+endif()
+message(STATUS "ok: ${LIBRARY} defines no tracing symbols")

@@ -10,15 +10,20 @@
 namespace optibfs {
 namespace {
 
-TEST(StealStats, RecordRoutesToTheRightCounter) {
-  StealStats stats;
-  stats.record(StealOutcome::kSuccess);
-  stats.record(StealOutcome::kVictimLocked);
-  stats.record(StealOutcome::kVictimIdle);
-  stats.record(StealOutcome::kVictimIdle);
-  stats.record(StealOutcome::kSegmentTooSmall);
-  stats.record(StealOutcome::kStaleSegment);
-  stats.record(StealOutcome::kInvalidSegment);
+// Recording goes through the flight-recorder counter registry: engines
+// bump slab[steal_counter(outcome)] and StealStats::from() builds the
+// Table VI view from the aggregated snapshot.
+TEST(StealStats, CounterRoutingAndViewConstruction) {
+  telemetry::CounterRegistry registry(1);
+  std::uint64_t* slab = registry.slab(0);
+  ++slab[steal_counter(StealOutcome::kSuccess)];
+  ++slab[steal_counter(StealOutcome::kVictimLocked)];
+  ++slab[steal_counter(StealOutcome::kVictimIdle)];
+  ++slab[steal_counter(StealOutcome::kVictimIdle)];
+  ++slab[steal_counter(StealOutcome::kSegmentTooSmall)];
+  ++slab[steal_counter(StealOutcome::kStaleSegment)];
+  ++slab[steal_counter(StealOutcome::kInvalidSegment)];
+  const StealStats stats = StealStats::from(registry.aggregate());
   EXPECT_EQ(stats.successful, 1u);
   EXPECT_EQ(stats.failed_victim_locked, 1u);
   EXPECT_EQ(stats.failed_victim_idle, 2u);
@@ -30,14 +35,19 @@ TEST(StealStats, RecordRoutesToTheRightCounter) {
 }
 
 TEST(StealStats, AdditionAggregates) {
-  StealStats a, b;
-  a.record(StealOutcome::kSuccess);
-  b.record(StealOutcome::kSuccess);
-  b.record(StealOutcome::kStaleSegment);
-  a += b;
+  telemetry::CounterRegistry registry(2);
+  ++registry.slab(0)[steal_counter(StealOutcome::kSuccess)];
+  ++registry.slab(1)[steal_counter(StealOutcome::kSuccess)];
+  ++registry.slab(1)[steal_counter(StealOutcome::kStaleSegment)];
+  StealStats a = StealStats::from(registry.aggregate());
   EXPECT_EQ(a.successful, 2u);
   EXPECT_EQ(a.failed_stale_segment, 1u);
   EXPECT_EQ(a.total_attempts(), 3u);
+  // The view still sums (benches accumulate across runs).
+  StealStats b = a;
+  b += a;
+  EXPECT_EQ(b.successful, 4u);
+  EXPECT_EQ(b.total_attempts(), 6u);
 }
 
 // Accounting invariant on real runs: totals always reconcile, the lock
