@@ -39,6 +39,7 @@ void DirectionOptimizingBFS::run(vid_t source, BFSResult& out) {
   if (source >= n) {
     throw std::out_of_range("DirectionOptimizingBFS::run: bad source");
   }
+  source = graph_.to_internal(source);  // results remapped back at the end
   out.level.resize(n);
   out.parent.resize(n);
   out.num_levels = 0;
@@ -210,6 +211,7 @@ void DirectionOptimizingBFS::run(vid_t source, BFSResult& out) {
     out.counters[telemetry::kVerticesExplored] += c.value.vertices;
     out.counters[telemetry::kEdgesScanned] += c.value.edges;
   }
+  remap_result_to_original(graph_, out);
 }
 
 }  // namespace optibfs

@@ -74,6 +74,7 @@ void HongBFS::run(vid_t source, BFSResult& out) {
   if (source >= n) {
     throw std::out_of_range("HongBFS::run: source out of range");
   }
+  source = graph_.to_internal(source);  // results remapped back at the end
   out.level.resize(n);
   out.parent.resize(n);
   out.num_levels = 0;
@@ -226,6 +227,7 @@ void HongBFS::run(vid_t source, BFSResult& out) {
     out.counters[telemetry::kVerticesExplored] += c.value.vertices;
     out.counters[telemetry::kEdgesScanned] += c.value.edges;
   }
+  remap_result_to_original(graph_, out);
 }
 
 }  // namespace optibfs

@@ -48,8 +48,13 @@ BFSEngineBase::BFSEngineBase(std::string name, const CsrGraph& graph,
     // Materialize (and cache) the transpose up front so no hot path ever
     // touches the lazy-build lock; shared with the DO_BFS baseline.
     transpose_ = &graph_.transpose();
-    frontier_bits_ = std::vector<std::atomic<std::uint64_t>>(
-        (static_cast<std::size_t>(graph_.num_vertices()) + 63) / 64);
+    const std::size_t words =
+        (static_cast<std::size_t>(graph_.num_vertices()) + 63) / 64;
+    frontier_bits_ = std::vector<std::atomic<std::uint64_t>>(words);
+    if (opts_.bottom_up_word_scan) {
+      unvisited_words_.assign(words, 0);
+      discovered_words_.assign(words, 0);
+    }
   }
 }
 
@@ -114,8 +119,11 @@ int BFSEngineBase::pick_victim(int tid, bool prefer_local) {
 
 void BFSEngineBase::discover(int tid, vid_t from, vid_t w,
                              level_t next_level) {
-  std::atomic_ref<level_t> lvl(out_->level[w]);
-  if (lvl.load(std::memory_order_relaxed) != kUnvisited) {
+  // Arena probe: w is visited this run iff its stamp carries the
+  // current epoch — stamps from earlier runs read as unvisited with no
+  // wipe having happened (scratch_arena.hpp).
+  std::atomic_ref<stamp_t> lvl(stamped_level_[w]);
+  if (stamp_epoch(lvl.load(std::memory_order_relaxed)) == epoch_) {
     // The common case on late levels: w already carries a level. This
     // is the per-edge "wasted work" the paper's optimism trades for
     // lock freedom; counting it costs one thread-private increment.
@@ -131,12 +139,14 @@ void BFSEngineBase::discover(int tid, vid_t from, vid_t w,
       return;
     }
   }
-  // Two racing discoverers both store the same level (both hold a
+  // Two racing discoverers both store the same stamp (both hold a
   // level-(next-1) parent), so the double-store is benign; the parent
   // is the paper's "arbitrary concurrent write" — either value is a
-  // valid BFS parent.
-  lvl.store(next_level, std::memory_order_relaxed);
-  std::atomic_ref<vid_t>(out_->parent[w])
+  // valid BFS parent. The stamp is one 64-bit word, so a racing reader
+  // sees either the old epoch or the complete new (epoch, level) pair,
+  // never a torn mix.
+  lvl.store(pack_stamp(epoch_, next_level), std::memory_order_relaxed);
+  std::atomic_ref<vid_t>(parent_scratch_[w])
       .store(from, std::memory_order_relaxed);
   if (!claim_.empty()) {
     claim_[w].store(tid, std::memory_order_relaxed);
@@ -150,8 +160,21 @@ void BFSEngineBase::visit_neighbor_range(int tid, vid_t v,
   const auto nbrs = graph_.out_neighbors(v);
   hi = std::min(hi, nbrs.size());
   if (lo >= hi) return;
-  for (std::size_t i = lo; i < hi; ++i) {
-    discover(tid, v, nbrs[i], next_level);
+  const auto dist = static_cast<std::size_t>(
+      opts_.prefetch_distance > 0 ? opts_.prefetch_distance : 0);
+  if (dist > 0) {
+    // Locality layer: get the random stamped_level_ probe for the
+    // neighbor `dist` ahead in flight while discover() works on the
+    // current one. Pure hint — correctness is untouched.
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (i + dist < hi) __builtin_prefetch(&stamped_level_[nbrs[i + dist]]);
+      discover(tid, v, nbrs[i], next_level);
+    }
+    if (hi - lo > dist) state(tid).ctr[kPrefetchIssued] += hi - lo - dist;
+  } else {
+    for (std::size_t i = lo; i < hi; ++i) {
+      discover(tid, v, nbrs[i], next_level);
+    }
   }
   state(tid).ctr[kEdgesScanned] += hi - lo;
 }
@@ -190,8 +213,35 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
   if (source >= n) {
     throw std::out_of_range("ParallelBFS::run: source out of range");
   }
+  // Sources arrive in original IDs; the whole traversal below runs in
+  // the graph's internal (possibly reordered) ID space, and the final
+  // materialize pass scatters back. src == source when not reordered.
+  const vid_t src = graph_.to_internal(source);
+
+  // Arena bookkeeping: a run that finds every buffer already sized is a
+  // "reuse" — the zero-allocation steady state the service relies on.
+  const bool grew = stamped_level_.size() < n ||
+                    out.level.capacity() < n || out.parent.capacity() < n;
+  if (stamped_level_.size() < n) {
+    stamped_level_.assign(n, 0);  // stamp 0 = epoch 0, never current
+    parent_scratch_.resize(n);
+  }
   out.level.resize(n);
   out.parent.resize(n);
+  if (grew) {
+    ++arena_.allocations;
+  } else {
+    ++arena_.reuses;
+  }
+  // Bumping the epoch is the entire "wipe": stamps from earlier runs
+  // now decode as unvisited. On the (once per ~4e9 runs) wrap the
+  // sentinel epoch 0 would become current, so wipe for real.
+  if (++epoch_ == 0) {
+    std::fill(stamped_level_.begin(), stamped_level_.end(), stamp_t{0});
+    epoch_ = 1;
+    ++arena_.epoch_wraps;
+  }
+
   out.num_levels = 0;
   out.vertices_visited = 0;
   out.vertices_explored = 0;
@@ -232,10 +282,13 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
                         static_cast<std::uint64_t>(tid) * 7919 + source);
 
     const auto [lo, hi] = slice(n, tid, p_);
-    for (vid_t v = lo; v < hi; ++v) {
-      out.level[v] = kUnvisited;
-      out.parent[v] = kInvalidVertex;
-      if (!claim_.empty()) claim_[v].store(-1, std::memory_order_relaxed);
+    // No level/parent wipe: the epoch bump above already invalidated
+    // every stamp. Only the optional §IV-D structures still need their
+    // per-run reset.
+    if (!claim_.empty()) {
+      for (vid_t v = lo; v < hi; ++v) {
+        claim_[v].store(-1, std::memory_order_relaxed);
+      }
     }
     if (!visited_bits_.empty()) {
       const std::size_t words = visited_bits_.size();
@@ -250,14 +303,14 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
     barrier_.arrive_and_wait();
 
     if (tid == 0) {
-      out.level[source] = 0;
-      out.parent[source] = source;
-      if (!claim_.empty()) claim_[source].store(0, std::memory_order_relaxed);
+      stamped_level_[src] = pack_stamp(epoch_, 0);
+      parent_scratch_[src] = src;
+      if (!claim_.empty()) claim_[src].store(0, std::memory_order_relaxed);
       if (!visited_bits_.empty()) {
-        visited_bits_[source >> 6].store(std::uint64_t{1} << (source & 63),
-                                         std::memory_order_relaxed);
+        visited_bits_[src >> 6].store(std::uint64_t{1} << (src & 63),
+                                      std::memory_order_relaxed);
       }
-      queues_.seed(source, graph_.out_degree(source));
+      queues_.seed(src, graph_.out_degree(src));
       more_levels_.store(true, std::memory_order_release);
       serial_next_level_.store(opts_.serial_frontier_cutoff > 0,
                                std::memory_order_release);
@@ -324,10 +377,25 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
       ++level;
     }
 
+    // Materialize pass: decode stamps, count the visited slice, and
+    // scatter into `out` in original IDs — the single O(n) pass that
+    // replaced both the old init wipe and the old final count. The last
+    // level barrier already separated every traversal store from these
+    // plain reads; writes are race-free because inv_perm is a bijection
+    // (each original slot has exactly one writer).
+    const vid_t* inv =
+        graph_.inv_perm().empty() ? nullptr : graph_.inv_perm().data();
     for (vid_t v = lo; v < hi; ++v) {
-      if (out.level[v] != kUnvisited) {
+      const level_t l = stamp_to_level(stamped_level_[v], epoch_);
+      const vid_t orig = inv != nullptr ? inv[v] : v;
+      out.level[orig] = l;
+      if (l != kUnvisited) {
         ++st.visited_in_slice;
-        st.max_level_in_slice = std::max(st.max_level_in_slice, out.level[v]);
+        st.max_level_in_slice = std::max(st.max_level_in_slice, l);
+        const vid_t par = parent_scratch_[v];
+        out.parent[orig] = inv != nullptr ? inv[par] : par;
+      } else {
+        out.parent[orig] = kInvalidVertex;
       }
     }
   });
@@ -350,8 +418,11 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
   out.serial_levels = snap[kLevelsSerial];
   out.bottom_up_levels = snap[kLevelsBottomUp];
   // A duplicate pop is indistinguishable from a first pop at the pop
-  // site (that is the point of optimism); derive it here instead.
+  // site (that is the point of optimism); derive it here instead. The
+  // arena verdict is likewise only known at run entry, before the
+  // per-thread slabs were reset, so it lands here too.
   snap[kDuplicatePops] = out.duplicate_explorations();
+  snap[kScratchReuses] = grew ? 0 : 1;
   out.counters = snap;
   if (opts_.telemetry != nullptr) {
     state(0).trace.span(kEvRun, run_t0, source);
@@ -393,6 +464,12 @@ void BFSEngineBase::prepare_direction(std::int64_t next_size) {
     }
   }
   bottom_up_level_.store(bottom_up, std::memory_order_release);
+  // The word-scan bitmaps describe the frontier only across an
+  // *unbroken* run of bottom-up levels: a top-down (or serial) level
+  // discovers through discover(), which does not maintain them.
+  unvisited_valid_.store(
+      opts_.bottom_up_word_scan && was_bottom_up && bottom_up,
+      std::memory_order_release);
   if (bottom_up) {
     // The serial shortcut never fires on a bottom-up level: the whole
     // point of going bottom-up is that the frontier is huge.
@@ -415,58 +492,140 @@ void BFSEngineBase::consume_level_bottom_up(int tid, level_t level) {
                           static_cast<std::size_t>(p_);
   const std::size_t whi = words * (static_cast<std::size_t>(tid) + 1) /
                           static_cast<std::size_t>(p_);
+  const bool word_scan = opts_.bottom_up_word_scan;
   // Build the frontier bitmap. Slices are word-granular, so no two
   // threads ever touch the same word: plain relaxed stores, no RMW.
-  for (std::size_t w = wlo; w < whi; ++w) {
-    const vid_t base = static_cast<vid_t>(w * 64);
-    const vid_t limit = std::min<vid_t>(n, base + 64);
-    std::uint64_t bits = 0;
-    for (vid_t v = base; v < limit; ++v) {
-      if (std::atomic_ref<level_t>(out_->level[v])
-              .load(std::memory_order_relaxed) == level) {
-        bits |= std::uint64_t{1} << (v - base);
-      }
+  if (word_scan && unvisited_valid_.load(std::memory_order_acquire)) {
+    // Fast path on an unbroken run of bottom-up levels: last level's
+    // scan already recorded exactly who it discovered, so the frontier
+    // bitmap is a straight word copy — zero stamped_level_ probes.
+    for (std::size_t w = wlo; w < whi; ++w) {
+      frontier_bits_[w].store(discovered_words_[w],
+                              std::memory_order_relaxed);
     }
-    frontier_bits_[w].store(bits, std::memory_order_relaxed);
+  } else {
+    const stamp_t want = pack_stamp(epoch_, level);
+    for (std::size_t w = wlo; w < whi; ++w) {
+      const vid_t base = static_cast<vid_t>(w * 64);
+      const vid_t limit = std::min<vid_t>(n, base + 64);
+      std::uint64_t fbits = 0;
+      std::uint64_t ubits = 0;
+      for (vid_t v = base; v < limit; ++v) {
+        // One packed load answers both questions: frontier membership
+        // is a whole-word compare, unvisited is an epoch mismatch.
+        const stamp_t s = std::atomic_ref<stamp_t>(stamped_level_[v])
+                              .load(std::memory_order_relaxed);
+        if (s == want) {
+          fbits |= std::uint64_t{1} << (v - base);
+        } else if (stamp_epoch(s) != epoch_) {
+          ubits |= std::uint64_t{1} << (v - base);
+        }
+      }
+      frontier_bits_[w].store(fbits, std::memory_order_relaxed);
+      // unvisited_words_ is plain storage: word w has exactly one
+      // owner (this thread) in the build pass AND the scan pass, so
+      // no other thread ever touches it.
+      if (word_scan) unvisited_words_[w] = ubits;
+    }
   }
   // publish every thread's bitmap words
   barrier_.arrive_and_wait(&st.ctr[kBarrierSpins]);
 
-  // Owner-computes scan: this thread is the only writer of level[v],
-  // parent[v], and its own out-queue for every v in its slice, so the
-  // races the top-down engines tolerate simply do not exist here.
+  // Owner-computes scan: this thread is the only writer of the stamp,
+  // parent_scratch_[v], and its own out-queue for every v in its slice,
+  // so the races the top-down engines tolerate simply do not exist here.
   std::uint64_t edges = 0;
-  for (std::size_t w = wlo; w < whi; ++w) {
-    const vid_t base = static_cast<vid_t>(w * 64);
-    const vid_t limit = std::min<vid_t>(n, base + 64);
-    for (vid_t v = base; v < limit; ++v) {
-      if (std::atomic_ref<level_t>(out_->level[v])
-              .load(std::memory_order_relaxed) != kUnvisited) {
+  std::uint64_t words_skipped = 0;
+  std::uint64_t prefetches = 0;
+  const auto dist = static_cast<std::size_t>(
+      opts_.prefetch_distance > 0 ? opts_.prefetch_distance : 0);
+  if (word_scan) {
+    // Word-scan: whole words of finished/unreached vertices cost one
+    // load + compare instead of 64 stamp probes; survivors iterate
+    // set bits only. Discoveries are recorded into discovered_words_
+    // (next level's frontier) and cleared from unvisited_words_.
+    for (std::size_t w = wlo; w < whi; ++w) {
+      const std::uint64_t ubits = unvisited_words_[w];
+      if (ubits == 0) {
+        ++words_skipped;
+        discovered_words_[w] = 0;
         continue;
       }
-      for (const vid_t u : transpose_->out_neighbors(v)) {
-        ++edges;
-        if ((frontier_bits_[u >> 6].load(std::memory_order_relaxed) >>
-             (u & 63)) &
-            1) {
-          std::atomic_ref<level_t>(out_->level[v])
-              .store(level + 1, std::memory_order_relaxed);
-          std::atomic_ref<vid_t>(out_->parent[v])
-              .store(u, std::memory_order_relaxed);
-          if (!claim_.empty()) {
-            claim_[v].store(tid, std::memory_order_relaxed);
+      std::uint64_t dbits = 0;
+      for (std::uint64_t rest = ubits; rest != 0; rest &= rest - 1) {
+        const vid_t v = static_cast<vid_t>(
+            w * 64 + static_cast<std::size_t>(std::countr_zero(rest)));
+        const auto nbrs = transpose_->out_neighbors(v);
+        for (std::size_t j = 0; j < nbrs.size(); ++j) {
+          if (dist > 0 && j + dist < nbrs.size()) {
+            __builtin_prefetch(&frontier_bits_[nbrs[j + dist] >> 6]);
+            ++prefetches;
           }
-          // Refill Qout through the normal path so a switch back to
-          // top-down (and work-stealing) resumes seamlessly. No
-          // visited-bitmap update needed: discover() checks level[]
-          // before the bitmap, so v can never be re-discovered.
-          queues_.push_out(tid, v, graph_.out_degree(v));
-          break;  // first frontier in-neighbor wins; rest are redundant
+          const vid_t u = nbrs[j];
+          ++edges;
+          if ((frontier_bits_[u >> 6].load(std::memory_order_relaxed) >>
+               (u & 63)) &
+              1) {
+            std::atomic_ref<stamp_t>(stamped_level_[v])
+                .store(pack_stamp(epoch_, level + 1),
+                       std::memory_order_relaxed);
+            std::atomic_ref<vid_t>(parent_scratch_[v])
+                .store(u, std::memory_order_relaxed);
+            if (!claim_.empty()) {
+              claim_[v].store(tid, std::memory_order_relaxed);
+            }
+            // Refill Qout through the normal path so a switch back to
+            // top-down (and work-stealing) resumes seamlessly. No
+            // visited-bitmap update needed: discover() checks the
+            // stamp before the bitmap, so v can never be re-discovered.
+            queues_.push_out(tid, v, graph_.out_degree(v));
+            dbits |= std::uint64_t{1} << (v & 63);
+            break;  // first frontier in-neighbor wins; rest redundant
+          }
+        }
+      }
+      discovered_words_[w] = dbits;
+      unvisited_words_[w] = ubits & ~dbits;
+    }
+  } else {
+    // Ablation baseline: probe every vertex's stamp directly.
+    for (std::size_t w = wlo; w < whi; ++w) {
+      const vid_t base = static_cast<vid_t>(w * 64);
+      const vid_t limit = std::min<vid_t>(n, base + 64);
+      for (vid_t v = base; v < limit; ++v) {
+        if (stamp_epoch(std::atomic_ref<stamp_t>(stamped_level_[v])
+                            .load(std::memory_order_relaxed)) == epoch_) {
+          continue;
+        }
+        const auto nbrs = transpose_->out_neighbors(v);
+        for (std::size_t j = 0; j < nbrs.size(); ++j) {
+          if (dist > 0 && j + dist < nbrs.size()) {
+            __builtin_prefetch(&frontier_bits_[nbrs[j + dist] >> 6]);
+            ++prefetches;
+          }
+          const vid_t u = nbrs[j];
+          ++edges;
+          if ((frontier_bits_[u >> 6].load(std::memory_order_relaxed) >>
+               (u & 63)) &
+              1) {
+            std::atomic_ref<stamp_t>(stamped_level_[v])
+                .store(pack_stamp(epoch_, level + 1),
+                       std::memory_order_relaxed);
+            std::atomic_ref<vid_t>(parent_scratch_[v])
+                .store(u, std::memory_order_relaxed);
+            if (!claim_.empty()) {
+              claim_[v].store(tid, std::memory_order_relaxed);
+            }
+            queues_.push_out(tid, v, graph_.out_degree(v));
+            break;
+          }
         }
       }
     }
   }
   st.ctr[kEdgesScanned] += edges;
+  st.ctr[kBottomUpWordsSkipped] += words_skipped;
+  if (prefetches > 0) st.ctr[kPrefetchIssued] += prefetches;
 }
 
 void BFSEngineBase::drain_level_serially(int tid, level_t level) {

@@ -31,6 +31,7 @@
 #include "core/bfs_options.hpp"
 #include "core/bfs_result.hpp"
 #include "core/frontier_queues.hpp"
+#include "core/scratch_arena.hpp"
 #include "core/steal_stats.hpp"
 #include "graph/csr_graph.hpp"
 #include "runtime/cache_aligned.hpp"
@@ -63,6 +64,11 @@ class ParallelBFS {
   virtual std::string_view name() const = 0;
 
   virtual const BFSOptions& options() const = 0;
+
+  /// Scratch-arena accounting for implementations that reuse per-graph
+  /// buffers across runs (the optimistic engine family, MS-BFS). The
+  /// default — serial oracle, baselines — reports nothing.
+  virtual ArenaStats arena_stats() const { return {}; }
 };
 
 class BFSEngineBase : public ParallelBFS {
@@ -70,6 +76,7 @@ class BFSEngineBase : public ParallelBFS {
   void run(vid_t source, BFSResult& out) final;
   std::string_view name() const final { return name_; }
   const BFSOptions& options() const final { return opts_; }
+  ArenaStats arena_stats() const final { return arena_; }
 
  protected:
   BFSEngineBase(std::string name, const CsrGraph& graph, BFSOptions opts);
@@ -208,6 +215,18 @@ class BFSEngineBase : public ParallelBFS {
   bool trace_slots_acquired_ = false;  ///< per-thread rings bound once
   BFSResult* out_ = nullptr;  ///< valid during run()
 
+  // ---- scratch arena (DESIGN.md §3.1a): zero-alloc reruns ----
+  // Traversal works entirely on these engine-owned buffers in the
+  // graph's *internal* ID space; the final materialize pass decodes
+  // stamps, counts the visited slice, and scatters level/parent into
+  // `out` in *original* IDs — one O(n) pass where the old scheme spent
+  // two (init wipe + final count). Sized lazily on first run, then
+  // reused forever (ArenaStats audits this).
+  std::vector<stamp_t> stamped_level_;  ///< packed (epoch, level) words
+  std::vector<vid_t> parent_scratch_;   ///< internal-ID parents
+  std::uint32_t epoch_ = 0;             ///< current run's stamp epoch
+  ArenaStats arena_;
+
   // §IV-D parent-claim array (allocated only when the option is on).
   std::vector<std::atomic<std::int32_t>> claim_;
 
@@ -227,6 +246,19 @@ class BFSEngineBase : public ParallelBFS {
   /// barrier publishes them) — word granularity is what removes the
   /// fetch_or the direction-optimizing baseline needs.
   std::vector<std::atomic<std::uint64_t>> frontier_bits_;
+  /// Word-scan summary bitmaps (bottom_up_word_scan; DESIGN.md §3.1a).
+  /// Bit v of word v/64 set = v still unvisited / discovered this
+  /// bottom-up level. Strictly thread-private at word granularity: the
+  /// word-aligned slice owner is the only thread that ever reads or
+  /// writes a word, in every pass, so these are plain (non-atomic)
+  /// vectors — stricter even than the benign-race discipline the rest
+  /// of the engine runs under.
+  std::vector<std::uint64_t> unvisited_words_;
+  std::vector<std::uint64_t> discovered_words_;
+  /// True while unvisited_words_/discovered_words_ describe the current
+  /// frontier (consecutive word-scan bottom-up levels). Single writer:
+  /// the barrier-window thread in prepare_direction.
+  std::atomic<bool> unvisited_valid_{false};
   std::atomic<bool> bottom_up_level_{false};  ///< set in barrier window
   // Alpha/beta bookkeeping; single writer (the barrier-window thread).
   std::uint64_t edges_unexplored_ = 0;

@@ -124,6 +124,22 @@ struct BFSOptions {
   /// serial/parallel hybrid, applied to our engines). 0 disables.
   std::int64_t serial_frontier_cutoff = 0;
 
+  /// Software-prefetch lookahead for the locality layer (DESIGN.md
+  /// §3.1a): while scanning a neighbor range, issue
+  /// `__builtin_prefetch(&level[nbrs[i + prefetch_distance]])` so the
+  /// random level-array probe is in flight before the discover touches
+  /// it; the bottom-up transpose pull prefetches the same way. 0
+  /// disables (the ablation baseline). Typical useful values: 4-16.
+  int prefetch_distance = 0;
+
+  /// Bottom-up word-scan: consult the 64-vertices-per-word unvisited
+  /// summary bitmap so `consume_level_bottom_up` skips whole words of
+  /// finished/unreached vertices instead of probing level[] per vertex.
+  /// Maintained with plain stores on thread-owned words (stricter than
+  /// the clearing trick's benign races). On by default; the flag exists
+  /// for the bench_locality ablation.
+  bool bottom_up_word_scan = true;
+
   /// Record the frontier size of every level into
   /// BFSResult::level_sizes (tiny cost; off by default to keep
   /// measurement allocations stable).

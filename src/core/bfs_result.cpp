@@ -1,0 +1,27 @@
+#include "core/bfs_result.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace optibfs {
+
+void remap_result_to_original(const CsrGraph& g, BFSResult& out) {
+  if (!g.is_reordered()) return;
+  const vid_t n = g.num_vertices();
+  // A permutation scatter cannot run in place; the temporaries make this
+  // an allocating path, which is why the zero-alloc engine family remaps
+  // inside its own materialize pass instead of calling this.
+  std::vector<level_t> level(out.level.begin(), out.level.end());
+  std::vector<vid_t> parent(out.parent.begin(), out.parent.end());
+  const auto inv = g.inv_perm();
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t orig = inv[v];
+    out.level[orig] = level[v];
+    const vid_t p = parent[v];
+    out.parent[orig] = p == kInvalidVertex ? kInvalidVertex : inv[p];
+  }
+}
+
+}  // namespace optibfs

@@ -10,6 +10,8 @@
 
 namespace optibfs {
 
+class CsrGraph;
+
 struct BFSResult {
   /// level[v] = BFS distance from the source, kUnvisited if unreachable.
   std::vector<level_t> level;
@@ -71,5 +73,14 @@ struct BFSResult {
   /// DESIGN.md section 5).
   telemetry::CounterSnapshot counters;
 };
+
+/// Library-wide convention: BFS sources and results are always in the
+/// *original* vertex-ID space, even when the graph was relabeled by
+/// CsrGraph::reorder. The optimistic engine family remaps on the fly
+/// during its final result-materialize pass; the serial oracle and the
+/// baselines compute in internal IDs and call this helper at the end of
+/// run() to scatter level/parent back to original IDs (no-op, and no
+/// allocation, when `g` carries no permutation).
+void remap_result_to_original(const CsrGraph& g, BFSResult& out);
 
 }  // namespace optibfs

@@ -10,6 +10,9 @@ void bfs_serial(const CsrGraph& g, vid_t source, BFSResult& out) {
   if (source >= n) {
     throw std::out_of_range("bfs_serial: source out of range");
   }
+  // Library convention (bfs_result.hpp): sources/results are in the
+  // original ID space; traverse internally and scatter back at the end.
+  source = g.to_internal(source);
   out.level.assign(n, kUnvisited);
   out.parent.assign(n, kInvalidVertex);
   out.num_levels = 0;
@@ -45,7 +48,7 @@ void bfs_serial(const CsrGraph& g, vid_t source, BFSResult& out) {
   }
   out.vertices_visited = queue.size();
   out.num_levels = queue.empty() ? 0 : out.level[queue.back()] + 1;
-  return;
+  remap_result_to_original(g, out);
 }
 
 BFSResult bfs_serial(const CsrGraph& g, vid_t source) {

@@ -72,10 +72,25 @@ void MsBfsSession::run(const std::vector<vid_t>& sources, MsBfsResult& out) {
   const std::uint64_t wave_t0 = wave_trace_.now();
   counters_.reset();  // single-threaded: the team is not running yet
 
+  // Arena accounting: a wave whose buffers (including the caller's
+  // reused `out`) were already sized allocates nothing below — assign()
+  // on a sufficient-capacity vector only overwrites.
+  const std::size_t cells = sources.size() * static_cast<std::size_t>(n);
+  bool grew = out.distance.capacity() < cells ||
+              out.vertices_explored.capacity() < sources.size();
+  if (graph_.is_reordered() && remap_scratch_.size() < n) {
+    remap_scratch_.resize(n);
+    grew = true;
+  }
+  if (grew) {
+    ++arena_.allocations;
+  } else {
+    ++arena_.reuses;
+  }
+
   out.num_vertices = n;
   out.num_sources = static_cast<int>(sources.size());
-  out.distance.assign(sources.size() * static_cast<std::size_t>(n),
-                      kUnvisited);
+  out.distance.assign(cells, kUnvisited);
   out.vertices_explored.assign(sources.size(), 0);
   for (auto& counts : explored_) {
     std::fill(std::begin(counts->per_source), std::end(counts->per_source),
@@ -98,19 +113,20 @@ void MsBfsSession::run(const std::vector<vid_t>& sources, MsBfsResult& out) {
   more_.store(true, std::memory_order_relaxed);
 
   // Seed all sources (each distinct vertex enqueued once; its mask
-  // carries every source bit that starts there).
+  // carries every source bit that starts there). Sources arrive in
+  // original IDs; the wave runs internal, remap_distances restores.
   for (std::size_t s = 0; s < sources.size(); ++s) {
-    const vid_t v = sources[s];
+    const vid_t v = graph_.to_internal(sources[s]);
     const std::uint64_t bit = std::uint64_t{1} << s;
     seen_[v].fetch_or(bit, std::memory_order_relaxed);
     visit_[v].fetch_or(bit, std::memory_order_relaxed);
     out.distance[s * n + v] = 0;
   }
   for (std::size_t s = 0; s < sources.size(); ++s) {
-    const vid_t v = sources[s];
+    const vid_t v = graph_.to_internal(sources[s]);
     bool already = false;
     for (std::size_t prior = 0; prior < s; ++prior) {
-      if (sources[prior] == v) already = true;
+      if (sources[prior] == sources[s]) already = true;
     }
     if (!already) queues_.push_out(0, v, graph_.out_degree(v));
   }
@@ -127,6 +143,7 @@ void MsBfsSession::run(const std::vector<vid_t>& sources, MsBfsResult& out) {
   bottom_up_levels_count_ = 0;
 
   pool_->run_team(p_, [&](int tid) { run_wave(tid, out); });
+  remap_distances(out);
 
   out.bottom_up_levels = bottom_up_levels_count_;
   for (const auto& counts : explored_) {
@@ -139,6 +156,7 @@ void MsBfsSession::run(const std::vector<vid_t>& sources, MsBfsResult& out) {
   telemetry::CounterSnapshot snap = counters_.aggregate();
   snap[kWaves] = 1;
   snap[kWaveSources] = static_cast<std::uint64_t>(sources.size());
+  snap[kScratchReuses] = grew ? 0 : 1;
   out.counters = snap;
   if (opts_.telemetry != nullptr) {
     wave_trace_.span(kEvWave, wave_t0,
@@ -217,7 +235,8 @@ void MsBfsSession::run_wave(int tid, MsBfsResult& out) {
           continue;
         }
         ++ctr[kVerticesExplored];
-        ctr[kEdgesScanned] += graph_.out_neighbors(v).size();
+        const auto nbrs = graph_.out_neighbors(v);
+        ctr[kEdgesScanned] += nbrs.size();
         // Per-pop convention: this pop counts once for every source
         // whose bit it claimed (an empty-mask pop counts for nobody).
         for (std::uint64_t bits = mask; bits != 0;) {
@@ -225,7 +244,18 @@ void MsBfsSession::run_wave(int tid, MsBfsResult& out) {
           bits &= bits - 1;
           ++explored_[static_cast<std::size_t>(tid)]->per_source[s];
         }
-        for (const vid_t w : graph_.out_neighbors(v)) {
+        const auto dist = static_cast<std::size_t>(
+            opts_.prefetch_distance > 0 ? opts_.prefetch_distance : 0);
+        if (dist > 0 && nbrs.size() > dist) {
+          ctr[kPrefetchIssued] += nbrs.size() - dist;
+        }
+        for (std::size_t j = 0; j < nbrs.size(); ++j) {
+          // Locality layer: the seen_ mask probe is the wave's random
+          // access; get the one `dist` ahead in flight (pure hint).
+          if (dist > 0 && j + dist < nbrs.size()) {
+            __builtin_prefetch(&seen_[nbrs[j + dist]]);
+          }
+          const vid_t w = nbrs[j];
           std::uint64_t fresh =
               mask & ~seen_[w].load(std::memory_order_relaxed);
           if (fresh == 0) continue;
@@ -333,8 +363,15 @@ void MsBfsSession::run_level_bottom_up(int tid, level_t depth,
     if (missing == 0) continue;
     std::uint64_t found = 0;
     std::uint64_t edges = 0;
-    for (const vid_t u : transpose_->out_neighbors(v)) {
-      found |= visit_[u].load(std::memory_order_relaxed);
+    const auto nbrs = transpose_->out_neighbors(v);
+    const auto dist = static_cast<std::size_t>(
+        opts_.prefetch_distance > 0 ? opts_.prefetch_distance : 0);
+    for (std::size_t j = 0; j < nbrs.size(); ++j) {
+      if (dist > 0 && j + dist < nbrs.size()) {
+        __builtin_prefetch(&visit_[nbrs[j + dist]]);
+        ++ctr[kPrefetchIssued];
+      }
+      found |= visit_[nbrs[j]].load(std::memory_order_relaxed);
       ++edges;
       // Early exit once every missing source has reached v.
       if ((found & missing) == missing) break;
@@ -368,6 +405,31 @@ void MsBfsSession::run_level_bottom_up(int tid, level_t depth,
       bits &= bits - 1;
       ++explored_[static_cast<std::size_t>(tid)]->per_source[s];
     }
+  }
+}
+
+void MsBfsSession::remap_distances(MsBfsResult& out) {
+  if (!graph_.is_reordered()) return;
+  const vid_t n = graph_.num_vertices();
+  const vid_t* inv = graph_.inv_perm().data();
+  level_t* scratch = remap_scratch_.data();
+  // Row-by-row in-place scatter through the session-owned scratch row
+  // (sized at wave start, so this path allocates nothing).
+  for (int s = 0; s < out.num_sources; ++s) {
+    level_t* row =
+        out.distance.data() + static_cast<std::size_t>(s) * n;
+    pool_->parallel_for(0, n, 8192,
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          for (std::int64_t v = lo; v < hi; ++v) {
+                            scratch[v] = row[v];
+                          }
+                        });
+    pool_->parallel_for(0, n, 8192,
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          for (std::int64_t v = lo; v < hi; ++v) {
+                            row[inv[v]] = scratch[v];
+                          }
+                        });
   }
 }
 

@@ -41,6 +41,7 @@
 
 #include "core/bfs_options.hpp"
 #include "core/frontier_queues.hpp"
+#include "core/scratch_arena.hpp"
 #include "graph/csr_graph.hpp"
 #include "runtime/cache_aligned.hpp"
 #include "runtime/fork_join_pool.hpp"
@@ -120,9 +121,17 @@ class MsBfsSession {
     return out;
   }
 
+  /// Wave-granular scratch accounting: a wave that found every buffer
+  /// (including out's, when the caller reuses it) already sized counts
+  /// as a reuse — the service's zero-alloc steady state.
+  ArenaStats arena_stats() const { return arena_; }
+
  private:
   void run_wave(int tid, MsBfsResult& out);
   void run_level_bottom_up(int tid, level_t depth, MsBfsResult& out);
+  /// Scatters out.distance rows from internal to original vertex IDs
+  /// (reordered graphs only; bfs_result.hpp convention).
+  void remap_distances(MsBfsResult& out);
   /// Barrier-window-only: Beamer alpha/beta bookkeeping deciding the
   /// next level's direction.
   void prepare_direction(std::int64_t next_size);
@@ -157,6 +166,11 @@ class MsBfsSession {
   std::uint64_t frontier_edges_ = 0;
   std::int64_t frontier_size_ = 0;
   std::uint64_t bottom_up_levels_count_ = 0;
+
+  /// Reordered-graph support: one row of scratch for the in-place
+  /// distance scatter, reused across waves (zero steady-state alloc).
+  std::vector<level_t> remap_scratch_;
+  ArenaStats arena_;
 
   /// Per-thread, per-source pop counters (per-pop convention), merged
   /// into MsBfsResult::vertices_explored after the wave.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <mutex>
+#include <numeric>
 
 namespace optibfs {
 
@@ -55,6 +56,10 @@ CsrGraph CsrGraph::from_edges(const EdgeList& edges, bool dedup) {
     g.offsets_ = std::move(new_offsets);
     g.targets_ = std::move(new_targets);
   }
+
+  for (vid_t v = 0; v < n; ++v) {
+    g.max_out_degree_ = std::max(g.max_out_degree_, g.out_degree(v));
+  }
   return g;
 }
 
@@ -81,12 +86,80 @@ const CsrGraph& CsrGraph::transpose() const {
   return *transpose_;
 }
 
-vid_t CsrGraph::max_out_degree() const {
-  vid_t best = 0;
-  for (vid_t v = 0; v < num_vertices_; ++v) {
-    best = std::max(best, out_degree(v));
+const char* reorder_policy_name(ReorderPolicy policy) {
+  switch (policy) {
+    case ReorderPolicy::kNone: return "none";
+    case ReorderPolicy::kDegreeSort: return "degree_sort";
+    case ReorderPolicy::kHubCluster: return "hub_cluster";
   }
-  return best;
+  return "unknown";
+}
+
+CsrGraph CsrGraph::reorder(ReorderPolicy policy) const {
+  const vid_t n = num_vertices_;
+
+  // order[new_id] = current internal id holding that slot.
+  std::vector<vid_t> order(n);
+  std::iota(order.begin(), order.end(), vid_t{0});
+  switch (policy) {
+    case ReorderPolicy::kNone:
+      break;
+    case ReorderPolicy::kDegreeSort:
+      // Stable: equal-degree vertices keep their relative order so the
+      // permutation is deterministic across runs.
+      std::stable_sort(order.begin(), order.end(), [this](vid_t a, vid_t b) {
+        return out_degree(a) > out_degree(b);
+      });
+      break;
+    case ReorderPolicy::kHubCluster: {
+      // Hubs (above-average degree) packed first by descending degree;
+      // the tail keeps its original order, preserving whatever locality
+      // the input already had (HubCluster-style, cheaper to compute on
+      // and gentler to mesh-like inputs than a full sort).
+      const double avg =
+          n == 0 ? 0.0
+                 : static_cast<double>(num_edges()) / static_cast<double>(n);
+      std::stable_partition(order.begin(), order.end(), [&](vid_t v) {
+        return static_cast<double>(out_degree(v)) > avg;
+      });
+      auto hubs_end =
+          std::partition_point(order.begin(), order.end(), [&](vid_t v) {
+            return static_cast<double>(out_degree(v)) > avg;
+          });
+      std::stable_sort(order.begin(), hubs_end, [this](vid_t a, vid_t b) {
+        return out_degree(a) > out_degree(b);
+      });
+      break;
+    }
+  }
+
+  // step[current] = new: the single-hop permutation this call applies.
+  std::vector<vid_t> step(n);
+  for (vid_t i = 0; i < n; ++i) step[order[i]] = i;
+
+  // Round-trip through EdgeList::relabel so the relabeling logic has
+  // exactly one implementation.
+  EdgeList el(n);
+  el.reserve(num_edges());
+  for (vid_t v = 0; v < n; ++v) {
+    for (vid_t w : out_neighbors(v)) el.add_unchecked(v, w);
+  }
+  el.relabel(step);
+  CsrGraph g = from_edges(el);
+
+  // Retain original->internal composed with any permutation this graph
+  // already carries, so to_original always answers in the ID space the
+  // caller started from.
+  if (policy != ReorderPolicy::kNone || is_reordered()) {
+    g.perm_.resize(n);
+    g.inv_perm_.resize(n);
+    for (vid_t orig = 0; orig < n; ++orig) {
+      const vid_t composed = step[to_internal(orig)];
+      g.perm_[orig] = composed;
+      g.inv_perm_[composed] = orig;
+    }
+  }
+  return g;
 }
 
 }  // namespace optibfs

@@ -16,6 +16,20 @@
 
 namespace optibfs {
 
+/// Vertex-reordering policies for CsrGraph::reorder (the locality layer,
+/// DESIGN.md §3.1a). Both target the scale-free graphs where a few hubs
+/// dominate the edge mass, shrinking the working set of hot `level[]`
+/// probes to a dense prefix of the ID space.
+enum class ReorderPolicy {
+  kNone,        ///< Identity: fresh copy, no permutation retained.
+  kDegreeSort,  ///< All vertices sorted by out-degree, descending.
+  kHubCluster,  ///< Hubs (degree > average) first by descending degree;
+                ///< everyone else keeps their relative original order.
+};
+
+/// Human-readable policy name (bench tables, JSON output).
+const char* reorder_policy_name(ReorderPolicy policy);
+
 class CsrGraph {
  public:
   CsrGraph() = default;
@@ -62,12 +76,45 @@ class CsrGraph {
   bool has_transpose() const { return transpose_ != nullptr; }
 
   /// Maximum out-degree over all vertices (0 for an empty graph).
-  vid_t max_out_degree() const;
+  /// Cached at construction — callers may hit this per run.
+  vid_t max_out_degree() const { return max_out_degree_; }
+
+  // ---- locality layer: vertex reordering (DESIGN.md §3.1a) ----
+
+  /// Returns a relabeled copy of this graph under `policy`, with the
+  /// permutation retained so engines and the service can transparently
+  /// remap sources into the internal ID space and results back out.
+  /// Reordering an already-reordered graph composes the permutations,
+  /// so to_original on the result still yields the *first* graph's IDs.
+  /// Multi-edges are preserved (relabeling never drops edges).
+  CsrGraph reorder(ReorderPolicy policy) const;
+
+  /// True if this graph carries a (non-identity-tracked) permutation.
+  bool is_reordered() const { return !perm_.empty(); }
+
+  /// Maps an original vertex ID to this graph's internal ID.
+  vid_t to_internal(vid_t original) const {
+    return perm_.empty() ? original : perm_[original];
+  }
+
+  /// Maps one of this graph's internal IDs back to the original ID.
+  vid_t to_original(vid_t internal) const {
+    return inv_perm_.empty() ? internal : inv_perm_[internal];
+  }
+
+  /// original -> internal permutation (empty when not reordered).
+  std::span<const vid_t> perm() const { return perm_; }
+
+  /// internal -> original permutation (empty when not reordered).
+  std::span<const vid_t> inv_perm() const { return inv_perm_; }
 
  private:
   vid_t num_vertices_ = 0;
   std::vector<eid_t> offsets_;  // size num_vertices_ + 1
   std::vector<vid_t> targets_;  // size num_edges
+  vid_t max_out_degree_ = 0;    // cached by from_edges / reorder
+  std::vector<vid_t> perm_;      // original -> internal (empty = identity)
+  std::vector<vid_t> inv_perm_;  // internal -> original (empty = identity)
   mutable std::unique_ptr<CsrGraph> transpose_;
 };
 

@@ -36,9 +36,13 @@ RunMeasurement measure_bfs(ParallelBFS& bfs, const CsrGraph& graph,
 
     // Graph500 TEPS: edges *of the input graph* inside the traversed
     // component, independent of how much duplicate scanning happened.
+    // Levels are in original IDs, degrees in internal IDs (reordered
+    // graphs) — translate per vertex.
     std::uint64_t component_edges = 0;
     for (vid_t v = 0; v < graph.num_vertices(); ++v) {
-      if (result.level[v] != kUnvisited) component_edges += graph.out_degree(v);
+      if (result.level[v] != kUnvisited) {
+        component_edges += graph.out_degree(graph.to_internal(v));
+      }
     }
 
     total_ms += ms;

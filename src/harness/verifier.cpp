@@ -54,7 +54,9 @@ VerifyReport verify_bfs_tree(const CsrGraph& g, vid_t source,
           << " at level " << result.level[parent];
       return fail(msg.str());
     }
-    if (!g.has_edge(parent, v)) {
+    // Results are in original IDs (bfs_result.hpp convention); the
+    // graph's adjacency is in internal IDs when reordered.
+    if (!g.has_edge(g.to_internal(parent), g.to_internal(v))) {
       std::ostringstream msg;
       msg << "tree edge " << parent << "->" << v << " not in graph";
       return fail(msg.str());
@@ -66,7 +68,8 @@ VerifyReport verify_bfs_tree(const CsrGraph& g, vid_t source,
   for (vid_t u = 0; u < n; ++u) {
     const level_t lu = result.level[u];
     if (lu == kUnvisited) continue;
-    for (const vid_t v : g.out_neighbors(u)) {
+    for (const vid_t vi : g.out_neighbors(g.to_internal(u))) {
+      const vid_t v = g.to_original(vi);
       const level_t lv = result.level[v];
       if (lv == kUnvisited) {
         std::ostringstream msg;

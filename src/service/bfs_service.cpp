@@ -51,7 +51,16 @@ std::uint64_t BfsService::register_graph(
   // spins its worker team, and materializing the transpose here keeps
   // the lazy-build mutex off the path-query path.
   auto ctx = std::make_shared<GraphContext>();
-  ctx->graph = std::move(graph);
+  if (config_.reorder != ReorderPolicy::kNone) {
+    // Locality preprocessing (DESIGN.md section 3.1a): serve a
+    // reordered copy. Transparent to callers — the engines answer in
+    // original vertex IDs on reordered graphs.
+    ctx->graph = std::make_shared<const CsrGraph>(
+        graph->reorder(config_.reorder));
+    graph.reset();
+  } else {
+    ctx->graph = std::move(graph);
+  }
   BFSOptions opts = config_.bfs;
   opts.num_threads = config_.num_threads;
   ctx->single_engine =
@@ -106,6 +115,25 @@ ServiceStats BfsService::stats() const {
   snapshot.cache_bytes = cache_.bytes();
   snapshot.cache_evictions = cache_.evictions();
   return snapshot;
+}
+
+ArenaStats BfsService::arena_stats() const {
+  std::shared_ptr<GraphContext> ctx;
+  {
+    std::lock_guard lock(mutex_);
+    ctx = ctx_;
+  }
+  ArenaStats out;
+  if (!ctx) return out;
+  // Engine arenas are written by the scheduler thread during dispatch;
+  // these reads are exact once the submitted futures have resolved
+  // (promise/future ordering makes the dispatch's writes visible).
+  const ArenaStats single = ctx->single_engine->arena_stats();
+  const ArenaStats wave = ctx->session->arena_stats();
+  out.allocations = single.allocations + wave.allocations;
+  out.reuses = single.reuses + wave.reuses;
+  out.epoch_wraps = single.epoch_wraps + wave.epoch_wraps;
+  return out;
 }
 
 QueryResult BfsService::distance(vid_t source, vid_t target) {
@@ -357,12 +385,16 @@ QueryResult BfsService::finalize(
       if (result.distance != kUnvisited) {
         // Walk backwards over the transpose: any in-neighbor one level
         // closer is a valid predecessor (the engines' arbitrary-parent
-        // rule, applied lazily at query time).
-        const CsrGraph& tr = ctx.graph->transpose();
+        // rule, applied lazily at query time). The level array is in
+        // original IDs while the transpose adjacency is internal
+        // (reordered graphs), so translate at both ends of each hop.
+        const CsrGraph& g = *ctx.graph;
+        const CsrGraph& tr = g.transpose();
         std::vector<vid_t> reversed{query.target};
         vid_t v = query.target;
         for (level_t l = result.distance; l > 0; --l) {
-          for (const vid_t u : tr.out_neighbors(v)) {
+          for (const vid_t ui : tr.out_neighbors(g.to_internal(v))) {
+            const vid_t u = g.to_original(ui);
             if (lv[u] == l - 1) {
               v = u;
               break;

@@ -126,6 +126,11 @@ struct ServiceConfig {
   std::size_t cache_bytes = std::size_t{64} << 20;
   /// Registry name of the batch-of-1 fallback engine.
   std::string single_source_engine = "BFS_CL_H";
+  /// Vertex-reorder preprocessing applied to every registered graph
+  /// (CsrGraph::reorder). Purely internal: queries, results, and cached
+  /// level arrays stay in the caller's original vertex IDs — the
+  /// engines remap at their boundaries (bfs_result.hpp convention).
+  ReorderPolicy reorder = ReorderPolicy::kNone;
   /// Engine/wave tuning knobs (num_threads is overridden by
   /// `num_threads` above).
   BFSOptions bfs;
@@ -160,6 +165,13 @@ class BfsService {
   std::size_t pending() const;
 
   ServiceStats stats() const;
+
+  /// Combined scratch-arena accounting for the current graph's engines
+  /// (single-source fallback + MS-BFS session): after one warmup
+  /// dispatch per path, every further dispatch is a reuse — the
+  /// steady-state zero-allocation claim, made checkable. Call at a
+  /// quiescent point (no in-flight queries) for exact figures.
+  ArenaStats arena_stats() const;
 
  private:
   using Clock = std::chrono::steady_clock;

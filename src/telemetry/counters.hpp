@@ -60,6 +60,10 @@ namespace optibfs::telemetry {
   X(kLevelsBottomUp,           "levels_bottom_up")                           \
   X(kLevelsSerial,             "levels_serial")                              \
   X(kBarrierSpins,             "barrier_spins")                              \
+  /* locality layer (DESIGN.md section 3.1a) */                              \
+  X(kBottomUpWordsSkipped,     "bottom_up_words_skipped")                    \
+  X(kPrefetchIssued,           "prefetch_issued")                            \
+  X(kScratchReuses,            "scratch_reuses")                             \
   /* MS-BFS */                                                               \
   X(kWaves,                    "waves")                                      \
   X(kWaveSources,              "wave_sources")                               \

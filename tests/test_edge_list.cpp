@@ -88,6 +88,43 @@ TEST(EdgeList, RelabelAppliesPermutation) {
   EXPECT_EQ(edges.edges()[1], (Edge{0, 1}));
 }
 
+TEST(EdgeList, RelabelRoundTripRestoresEdges) {
+  // Property: relabeling by a permutation and then by its inverse is
+  // the identity on every edge (the reorder path relies on this).
+  const vid_t n = 97;
+  EdgeList edges(n);
+  std::uint64_t state = 12345;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (int i = 0; i < 500; ++i) {
+    edges.add_unchecked(static_cast<vid_t>(next() % n),
+                        static_cast<vid_t>(next() % n));
+  }
+  const std::vector<Edge> original = edges.edges();
+
+  // Deterministic pseudo-random permutation (Fisher-Yates).
+  std::vector<vid_t> perm(n);
+  for (vid_t v = 0; v < n; ++v) perm[v] = v;
+  for (vid_t v = n; v > 1; --v) {
+    std::swap(perm[v - 1], perm[next() % v]);
+  }
+  std::vector<vid_t> inverse(n);
+  for (vid_t v = 0; v < n; ++v) inverse[perm[v]] = v;
+
+  edges.relabel(perm);
+  bool any_moved = false;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    any_moved = any_moved || !(edges.edges()[i] == original[i]);
+  }
+  EXPECT_TRUE(any_moved) << "permutation should not be the identity";
+  edges.relabel(inverse);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(edges.edges()[i], original[i]) << "edge " << i;
+  }
+}
+
 TEST(EdgeList, RelabelRejectsShortPermutation) {
   EdgeList edges(3);
   edges.add_unchecked(0, 2);
