@@ -8,13 +8,16 @@
 //   ./bfs_cli --graph powerlaw:100000:1000000:2.2 --algo BFS_DL ...
 //       ... --pools 4 --numa-sockets 2 --stats
 //   ./bfs_cli --list
+//   ./bfs_cli --graph file:web.mtx --updates trace.txt --json out.json
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "harness/json_writer.hpp"
 #include "harness/table.hpp"
 #include "optibfs.hpp"
 #include "telemetry/recorder.hpp"
@@ -47,6 +50,14 @@ using namespace optibfs;
       "  --numa-sockets S simulate S sockets with local-first policies\n"
       "  --seed N         generator/policy seed (default 1)\n"
       "  --verify         validate every run against the serial oracle\n"
+      "  --updates FILE   replay an edge-update trace instead of the\n"
+      "                   measurement sweep: each line is `+ u v` (insert),\n"
+      "                   `- u v` (delete), `commit` (end of batch; EOF\n"
+      "                   commits the tail), or a `#` comment. Reports\n"
+      "                   incremental-repair vs from-scratch timings per\n"
+      "                   batch (DESIGN.md section 9)\n"
+      "  --json PATH      with --updates: write the per-batch timings as\n"
+      "                   a schema-v2 JSON document to PATH\n"
       "  --stats          print steal/duplicate statistics\n"
       "  --trace PATH     write a Chrome trace-event JSON of the runs\n"
       "                   (open in ui.perfetto.dev or about://tracing;\n"
@@ -119,6 +130,161 @@ CsrGraph build_graph(const std::string& spec, std::uint64_t seed) {
   std::exit(2);
 }
 
+std::vector<UpdateBatch> read_update_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open update trace '" << path << "'\n";
+    std::exit(2);
+  }
+  std::vector<UpdateBatch> batches;
+  UpdateBatch batch;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string op;
+    if (!(fields >> op) || op[0] == '#') continue;
+    if (op == "commit") {
+      if (!batch.empty()) batches.push_back(std::move(batch));
+      batch = UpdateBatch{};
+      continue;
+    }
+    long long u = -1, v = -1;
+    if ((op != "+" && op != "-") || !(fields >> u >> v) || u < 0 || v < 0) {
+      std::cerr << "bad trace line: '" << line << "'\n";
+      std::exit(2);
+    }
+    if (op == "+") batch.insert(static_cast<vid_t>(u), static_cast<vid_t>(v));
+    else batch.erase(static_cast<vid_t>(u), static_cast<vid_t>(v));
+  }
+  if (!batch.empty()) batches.push_back(std::move(batch));
+  return batches;
+}
+
+/// --updates mode: replay the trace through DynamicGraph, timing each
+/// batch both ways — incremental repair of the standing level array
+/// (with its cone-fallback recompute charged to repair) against a
+/// from-scratch recompute over the same snapshot.
+int replay_updates(CsrGraph&& graph, const std::string& trace_path,
+                   const std::string& json_path, const BFSOptions& options,
+                   bool verify) {
+  const std::vector<UpdateBatch> batches = read_update_trace(trace_path);
+  if (batches.empty()) {
+    std::cerr << "update trace '" << trace_path << "' has no updates\n";
+    return 1;
+  }
+  const auto base = std::make_shared<const CsrGraph>(std::move(graph));
+  DynamicGraph dyn(base);
+  IncrementalBfsEngine::Config config;
+  config.bfs = options;
+  IncrementalBfsEngine engine(config);
+
+  const vid_t source = sample_sources(*base, 1, options.seed).front();
+  std::vector<level_t> level;
+  engine.recompute(dyn.snapshot(), source, level);
+  std::cout << "replaying " << batches.size() << " batches from "
+            << trace_path << " (source " << source << ", "
+            << options.num_threads << " threads)\n";
+
+  struct BatchRow {
+    std::uint64_t version = 0;
+    std::uint64_t applied = 0, ignored = 0;
+    bool compacted = false, fallback = false;
+    double repair_ms = 0.0, scratch_ms = 0.0;
+  };
+  std::vector<BatchRow> rows;
+  std::vector<level_t> scratch;
+  for (const UpdateBatch& batch : batches) {
+    const BatchSummary summary = dyn.apply(batch);
+    const GraphSnapshot snap = dyn.snapshot();
+    BatchRow row;
+    row.version = summary.version;
+    row.applied = summary.inserted + summary.erased;
+    row.ignored = summary.ignored;
+    row.compacted = summary.compacted;
+
+    Timer timer;
+    const RepairOutcome out = engine.repair(snap, summary, source, level);
+    if (!out.repaired) {
+      engine.recompute(snap, source, level);
+      row.fallback = true;
+    }
+    row.repair_ms = timer.elapsed_ms();
+
+    timer.reset();
+    engine.recompute(snap, source, scratch);
+    row.scratch_ms = timer.elapsed_ms();
+    if (level != scratch) {
+      std::cerr << "repair diverged from recompute at version "
+                << row.version << "\n";
+      return 1;
+    }
+    if (verify &&
+        level != bfs_serial(CsrGraph::from_edges(snap.to_edge_list()), source)
+                     .level) {
+      std::cerr << "repair diverged from the serial oracle at version "
+                << row.version << "\n";
+      return 1;
+    }
+    rows.push_back(row);
+  }
+
+  Table table({"version", "applied", "ignored", "compacted", "fallback",
+               "repair_ms", "scratch_ms", "speedup"});
+  double repair_total = 0.0, scratch_total = 0.0;
+  for (const BatchRow& row : rows) {
+    repair_total += row.repair_ms;
+    scratch_total += row.scratch_ms;
+    const std::size_t r = table.add_row();
+    table.set(r, 0, row.version);
+    table.set(r, 1, row.applied);
+    table.set(r, 2, row.ignored);
+    table.set(r, 3, std::string(row.compacted ? "yes" : "no"));
+    table.set(r, 4, std::string(row.fallback ? "yes" : "no"));
+    table.set(r, 5, row.repair_ms, 3);
+    table.set(r, 6, row.scratch_ms, 3);
+    table.set(r, 7, row.scratch_ms / row.repair_ms, 2);
+  }
+  table.print(std::cout);
+  std::cout << "  totals: repair " << repair_total << " ms, from-scratch "
+            << scratch_total << " ms (" << scratch_total / repair_total
+            << "x)\n"
+            << "  final graph: m=" << dyn.num_edges() << " version="
+            << dyn.version() << " compactions=" << dyn.compactions() << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write '" << json_path << "'\n";
+      return 1;
+    }
+    JsonWriter w(out);
+    w.begin_object();
+    write_result_header(w);
+    w.key("trace").value(trace_path);
+    w.key("source").value(std::uint64_t{source});
+    w.key("threads").value(options.num_threads);
+    w.key("repair_total_ms").value(repair_total);
+    w.key("scratch_total_ms").value(scratch_total);
+    w.key("batches").begin_array();
+    for (const BatchRow& row : rows) {
+      w.begin_object();
+      w.key("version").value(row.version);
+      w.key("applied").value(row.applied);
+      w.key("ignored").value(row.ignored);
+      w.key("compacted").value(row.compacted);
+      w.key("fallback").value(row.fallback);
+      w.key("repair_ms").value(row.repair_ms);
+      w.key("scratch_ms").value(row.scratch_ms);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    out << '\n';
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -129,6 +295,8 @@ int main(int argc, char** argv) {
   bool verify = false;
   bool stats = false;
   std::string trace_path;
+  std::string updates_path;
+  std::string json_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -154,6 +322,8 @@ int main(int argc, char** argv) {
     else if (arg == "--numa-sockets") { options.numa_aware = true; options.num_sockets = std::atoi(next().c_str()); }
     else if (arg == "--seed") options.seed = std::strtoull(next().c_str(), nullptr, 10);
     else if (arg == "--verify") verify = true;
+    else if (arg == "--updates") updates_path = next();
+    else if (arg == "--json") json_path = next();
     else if (arg == "--stats") stats = true;
     else if (arg == "--trace") trace_path = next();
     else if (arg == "--list") {
@@ -166,12 +336,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  const CsrGraph graph = build_graph(graph_spec, options.seed);
+  CsrGraph graph = build_graph(graph_spec, options.seed);
   std::cout << "graph " << graph_spec << ": n=" << graph.num_vertices()
             << " m=" << graph.num_edges() << "\n";
   if (graph.num_vertices() == 0) {
     std::cerr << "empty graph\n";
     return 1;
+  }
+
+  if (!updates_path.empty()) {
+    return replay_updates(std::move(graph), updates_path, json_path, options,
+                          verify);
   }
 
   std::unique_ptr<telemetry::FlightRecorder> recorder;

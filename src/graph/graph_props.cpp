@@ -110,4 +110,25 @@ level_t sampled_bfs_diameter(const CsrGraph& g, int samples,
   return best;
 }
 
+std::uint64_t structural_fingerprint(const CsrGraph& g, int samples) {
+  const vid_t n = g.num_vertices();
+  std::uint64_t h = fingerprint_mix(0x0D1BFA17ull, n);
+  h = fingerprint_mix(h, g.num_edges());
+  if (n == 0 || samples <= 0) return h;
+  const vid_t stride =
+      std::max<vid_t>(1, n / static_cast<vid_t>(samples));
+  for (vid_t probe = 0; probe < n; probe += stride) {
+    // Probe addressed in original IDs; the neighbor mix is a commutative
+    // sum so the adjacency *set* is hashed, not the (reorder-dependent)
+    // adjacency order.
+    const vid_t v = g.to_internal(probe);
+    std::uint64_t set_hash = 0;
+    for (const vid_t w : g.out_neighbors(v)) {
+      set_hash += fingerprint_mix(probe, g.to_original(w));
+    }
+    h = fingerprint_mix(h, fingerprint_mix(set_hash, g.out_degree(v)));
+  }
+  return h;
+}
+
 }  // namespace optibfs

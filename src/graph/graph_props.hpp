@@ -39,4 +39,32 @@ level_t bfs_depth(const CsrGraph& g, vid_t source);
 level_t sampled_bfs_diameter(const CsrGraph& g, int samples,
                              std::uint64_t seed);
 
+/// Cheap structural identity of a graph, used by the query service's
+/// result-cache keys (DESIGN.md section 9): mixes n, m, and the full
+/// adjacency sets of `samples` evenly-spaced probe vertices. Two
+/// properties matter for the cache:
+///  * reorder-invariant — probes are addressed and hashed in *original*
+///    vertex IDs with a commutative per-neighbor mix, so a graph and
+///    any CsrGraph::reorder copy of it fingerprint identically (cached
+///    level arrays are in original IDs and stay valid across a policy
+///    change);
+///  * content-sensitive — any edit that changes n, m, or a probed
+///    adjacency set changes the value. Edits that dodge all three are
+///    possible but need an insert and a delete of equal count outside
+///    every probe; callers that mutate graphs incrementally must chain
+///    a per-batch hash on top (DynamicGraph::content_fingerprint does).
+std::uint64_t structural_fingerprint(const CsrGraph& g, int samples = 64);
+
+/// splitmix64-style combiner shared by the fingerprint chain (exposed
+/// so DynamicGraph's batch hashing and tests agree on the mixing).
+constexpr std::uint64_t fingerprint_mix(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t x = h ^ (v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2));
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
 }  // namespace optibfs

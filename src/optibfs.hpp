@@ -22,6 +22,8 @@
 #include "core/bfs_result.hpp"     // IWYU pragma: export
 #include "core/bfs_serial.hpp"     // IWYU pragma: export
 #include "core/registry.hpp"       // IWYU pragma: export
+#include "dynamic/dynamic_graph.hpp"    // IWYU pragma: export
+#include "dynamic/incremental_bfs.hpp"  // IWYU pragma: export
 #include "graph/csr_graph.hpp"     // IWYU pragma: export
 #include "graph/generators.hpp"    // IWYU pragma: export
 #include "graph/graph_io.hpp"      // IWYU pragma: export

@@ -25,6 +25,22 @@ double ms_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Can `summary` change any distance from this row's source? Exact for
+/// correct level arrays: an insert matters only if it relaxes its
+/// target; a delete only if it severs a shortest-path tree edge
+/// (levels[v] == levels[u] + 1 with u reached).
+bool batch_affects(const std::vector<level_t>& levels,
+                   const BatchSummary& summary) {
+  for (const auto& [u, v] : summary.inserts) {
+    if (levels[u] == kUnvisited) continue;
+    if (levels[v] == kUnvisited || levels[u] + 1 < levels[v]) return true;
+  }
+  for (const auto& [u, v] : summary.deletes) {
+    if (levels[u] != kUnvisited && levels[v] == levels[u] + 1) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 BfsService::BfsService(ServiceConfig config)
@@ -40,6 +56,20 @@ BfsService::~BfsService() {
   }
   cv_.notify_all();
   if (scheduler_.joinable()) scheduler_.join();
+}
+
+void BfsService::rebuild_engines(GraphContext& ctx) {
+  BFSOptions opts = config_.bfs;
+  opts.num_threads = config_.num_threads;
+  ctx.single_engine =
+      make_bfs(config_.single_source_engine, *ctx.graph, opts);
+  // Waves direction-optimize like the (default BFS_CL_H) fallback
+  // engine; set config.bfs.alpha = 0 to force top-down-only waves.
+  BFSOptions wave_opts = opts;
+  wave_opts.direction_mode = DirectionMode::kHybrid;
+  ctx.session =
+      std::make_shared<MsBfsSession>(*ctx.graph, wave_opts, *pool_);
+  if (ctx.graph->num_vertices() > 0) ctx.graph->transpose();
 }
 
 std::uint64_t BfsService::register_graph(
@@ -61,18 +91,21 @@ std::uint64_t BfsService::register_graph(
   } else {
     ctx->graph = std::move(graph);
   }
-  BFSOptions opts = config_.bfs;
-  opts.num_threads = config_.num_threads;
-  ctx->single_engine =
-      make_bfs(config_.single_source_engine, *ctx->graph, opts);
-  // Waves direction-optimize like the (default BFS_CL_H) fallback
-  // engine; set config.bfs.alpha = 0 to force top-down-only waves.
-  BFSOptions wave_opts = opts;
-  wave_opts.direction_mode = DirectionMode::kHybrid;
-  ctx->session =
-      std::make_unique<MsBfsSession>(*ctx->graph, wave_opts, *pool_);
-  if (ctx->graph->num_vertices() > 0) ctx->graph->transpose();
+  DynamicGraph::Config dyn_config;
+  dyn_config.compact_threshold = config_.compact_threshold;
+  dyn_config.reorder = config_.reorder;
+  ctx->dynamic = std::make_shared<DynamicGraph>(ctx->graph, dyn_config);
+  ctx->fingerprint = ctx->dynamic->content_fingerprint();
+  ctx->snapshot = ctx->dynamic->snapshot();
+  rebuild_engines(*ctx);
+  IncrementalBfsEngine::Config repair_config;
+  repair_config.cone_recompute_fraction = config_.cone_recompute_fraction;
+  repair_config.bfs = config_.bfs;
+  repair_config.bfs.num_threads = config_.num_threads;
+  ctx->repair =
+      std::make_shared<IncrementalBfsEngine>(repair_config, *pool_);
 
+  const std::uint64_t fingerprint = ctx->fingerprint;
   std::vector<Pending> flushed;
   std::uint64_t version = 0;
   {
@@ -84,13 +117,41 @@ std::uint64_t BfsService::register_graph(
     for (auto& pending : queue_) flushed.push_back(std::move(pending));
     queue_.clear();
   }
-  cache_.invalidate_before(version);
+  // Content-keyed retention: rows whose fingerprint matches the newly
+  // registered graph (same edge set, any reorder policy) stay valid —
+  // level arrays are in original IDs — and everything else is garbage.
+  cache_.retain_only(fingerprint);
   for (auto& pending : flushed) {
     QueryResult result;
     result.status = QueryStatus::kStaleGraph;
     complete(pending, std::move(result));
   }
   return version;
+}
+
+std::future<std::uint64_t> BfsService::submit_updates(UpdateBatch batch) {
+  PendingUpdate update;
+  update.batch = std::move(batch);
+  auto future = update.promise.get_future();
+  bool queued = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (!shutdown_ && ctx_ != nullptr) {
+      update_queue_.push_back(std::move(update));
+      queued = true;
+    }
+  }
+  if (queued) {
+    cv_.notify_one();
+    return future;
+  }
+  update.promise.set_exception(std::make_exception_ptr(std::invalid_argument(
+      "BfsService::apply_updates: no graph registered")));
+  return future;
+}
+
+std::uint64_t BfsService::apply_updates(UpdateBatch batch) {
+  return submit_updates(std::move(batch)).get();
 }
 
 std::uint64_t BfsService::graph_version() const {
@@ -199,7 +260,7 @@ std::future<QueryResult> BfsService::submit(const Query& query) {
   }
 
   // Cache fast path: a repeat source never touches the scheduler.
-  if (auto cached = cache_.lookup(ctx->version, query.source)) {
+  if (auto cached = cache_.lookup(ctx->fingerprint, query.source)) {
     {
       std::lock_guard lock(stats_mutex_);
       ++query_counters_.slab(0)[kQueriesCacheHit];
@@ -250,11 +311,25 @@ void BfsService::scheduler_loop() {
   }
   for (;;) {
     std::vector<Pending> expired, stale, batch;
+    std::vector<PendingUpdate> updates;
     std::shared_ptr<GraphContext> ctx;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      cv_.wait(lock, [&] {
+        return shutdown_ || !queue_.empty() || !update_queue_.empty();
+      });
       if (shutdown_) break;
+      while (!update_queue_.empty()) {
+        updates.push_back(std::move(update_queue_.front()));
+        update_queue_.pop_front();
+      }
+    }
+    // Updates apply first, at this quiescent window (no wave in
+    // flight), so the batch formed below runs against the new version.
+    if (!updates.empty()) process_updates(updates);
+    {
+      std::unique_lock lock(mutex_);
+      if (queue_.empty()) continue;
       ctx = ctx_;
       const auto now = Clock::now();
       // One pass over the queue: expire deadlines, flush version
@@ -295,16 +370,120 @@ void BfsService::scheduler_loop() {
     if (!batch.empty()) execute_batch(ctx, batch);
   }
 
-  // Shutdown: every still-queued query completes (futures never hang).
+  // Shutdown: every still-queued query completes (futures never hang),
+  // and still-queued update promises break with an explicit error.
   std::deque<Pending> leftover;
+  std::deque<PendingUpdate> leftover_updates;
   {
     std::lock_guard lock(mutex_);
     leftover.swap(queue_);
+    leftover_updates.swap(update_queue_);
   }
   for (auto& pending : leftover) {
     QueryResult result;
     result.status = QueryStatus::kShutdown;
     complete(pending, std::move(result));
+  }
+  for (auto& update : leftover_updates) {
+    update.promise.set_exception(std::make_exception_ptr(
+        std::runtime_error("BfsService::apply_updates: service shut down")));
+  }
+}
+
+void BfsService::process_updates(std::vector<PendingUpdate>& updates) {
+  for (PendingUpdate& update : updates) {
+    std::shared_ptr<GraphContext> ctx;
+    {
+      std::lock_guard lock(mutex_);
+      ctx = ctx_;
+    }
+    if (!ctx) {
+      update.promise.set_exception(
+          std::make_exception_ptr(std::invalid_argument(
+              "BfsService::apply_updates: no graph registered")));
+      continue;
+    }
+    const std::uint64_t apply_t0 = sched_trace_.now();
+    const std::uint64_t old_fingerprint = ctx->fingerprint;
+    BatchSummary summary;
+    try {
+      // Quiescent by construction: only this thread dispatches waves,
+      // and none is in flight (the roster pins would show one).
+      summary = ctx->dynamic->apply(update.batch);
+    } catch (...) {
+      update.promise.set_exception(std::current_exception());
+      continue;
+    }
+
+    // Clone the context cheaply (shared engines); a compaction swapped
+    // the base CSR, so only then do the engines rebuild — which is what
+    // keeps MsBfsSession's graph reference and the cached
+    // max_out_degree in step with the compacted graph.
+    auto next = std::make_shared<GraphContext>(*ctx);
+    next->graph = ctx->dynamic->base_csr();
+    next->snapshot = ctx->dynamic->snapshot();
+    next->fingerprint = ctx->dynamic->content_fingerprint();
+    if (summary.compacted) rebuild_engines(*next);
+
+    // Cone-scoped cache migration instead of a full flush: rows the
+    // batch cannot affect are revalidated as-is, affected rows are
+    // repaired in place by the incremental engine, and only rows whose
+    // deletion cone is too large to repair are dropped (recomputed on
+    // next demand).
+    std::uint64_t repaired = 0, revalidated = 0, waves = 0, cones = 0;
+    if (summary.changed() && cache_.enabled()) {
+      auto rows = cache_.extract_all(old_fingerprint);
+      for (auto& [source, levels] : rows) {
+        if (!levels) continue;
+        if (!batch_affects(*levels, summary)) {
+          cache_.insert(next->fingerprint, source, std::move(levels));
+          ++revalidated;
+          continue;
+        }
+        std::vector<level_t> fixed(*levels);
+        const RepairOutcome out =
+            next->repair->repair(next->snapshot, summary, source, fixed);
+        if (out.repaired) {
+          cache_.insert(next->fingerprint, source,
+                        std::make_shared<const std::vector<level_t>>(
+                            std::move(fixed)));
+          ++repaired;
+          waves += out.waves;
+        } else {
+          ++cones;
+        }
+      }
+    }
+
+    std::uint64_t version = 0;
+    {
+      std::lock_guard lock(mutex_);
+      version = ++next_version_;
+      next->version = version;
+      const std::uint64_t old_version = ctx->version;
+      ctx_ = std::move(next);
+      // Migrate, don't flush: still-queued queries re-stamp onto the
+      // updated graph (n is unchanged, so their validation holds) and
+      // answer against the repaired version.
+      for (Pending& pending : queue_) {
+        if (pending.version == old_version) pending.version = version;
+      }
+    }
+    {
+      std::lock_guard lock(stats_mutex_);
+      std::uint64_t* ctr = query_counters_.slab(0);
+      ctr[kUpdateBatches] += 1;
+      ctr[kEdgesInserted] += summary.inserted;
+      ctr[kEdgesDeleted] += summary.erased;
+      if (summary.compacted) ctr[kCompactions] += 1;
+      ctr[kResultsRepaired] += repaired;
+      ctr[kResultsRevalidated] += revalidated;
+      ctr[kRepairWaves] += waves;
+      ctr[kConeRecomputes] += cones;
+    }
+    sched_trace_.span(kEvApplyBatch, apply_t0,
+                      summary.inserted + summary.erased);
+    update.promise.set_value(version);
   }
 }
 
@@ -322,9 +501,30 @@ void BfsService::execute_batch(const std::shared_ptr<GraphContext>& ctx,
     }
   }
 
+  // Pin this dispatch's version into the reader roster (plain store):
+  // the observable form of "a traversal is in flight", which the
+  // update path's quiescence assertions check against.
+  ctx->dynamic->roster().pin(0, ctx->version);
+
   std::vector<std::shared_ptr<const std::vector<level_t>>> levels(
       sources.size());
-  if (sources.size() == 1) {
+  if (ctx->snapshot.has_delta()) {
+    // A live delta overlay means the base CSR the engines traverse is
+    // stale; the incremental engine's wave machinery is the delta-aware
+    // path until the next compaction folds the overlay back in.
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      ctx->repair->recompute(ctx->snapshot, sources[s], scratch_levels_);
+      levels[s] =
+          std::make_shared<const std::vector<level_t>>(scratch_levels_);
+    }
+    std::lock_guard lock(stats_mutex_);
+    if (sources.size() == 1) {
+      ++query_counters_.slab(0)[kSingleDispatches];
+    } else {
+      ++query_counters_.slab(0)[kWaves];
+    }
+    ++batch_histogram_[sources.size()];
+  } else if (sources.size() == 1) {
     // Wave of one: the single-source hybrid engine is strictly cheaper
     // than a one-bit MS-BFS (no mask arbitration, direction switching).
     ctx->single_engine->run(sources[0], scratch_single_);
@@ -345,8 +545,10 @@ void BfsService::execute_batch(const std::shared_ptr<GraphContext>& ctx,
     ++batch_histogram_[sources.size()];
   }
 
+  ctx->dynamic->roster().unpin(0);
+
   for (std::size_t s = 0; s < sources.size(); ++s) {
-    cache_.insert(ctx->version, sources[s], levels[s]);
+    cache_.insert(ctx->fingerprint, sources[s], levels[s]);
   }
   for (auto& pending : batch) {
     const std::size_t slot = static_cast<std::size_t>(
@@ -383,23 +585,23 @@ QueryResult BfsService::finalize(
     case QueryKind::kPath: {
       result.distance = lv[query.target];
       if (result.distance != kUnvisited) {
-        // Walk backwards over the transpose: any in-neighbor one level
-        // closer is a valid predecessor (the engines' arbitrary-parent
-        // rule, applied lazily at query time). The level array is in
-        // original IDs while the transpose adjacency is internal
-        // (reordered graphs), so translate at both ends of each hop.
-        const CsrGraph& g = *ctx.graph;
-        const CsrGraph& tr = g.transpose();
+        // Walk backwards over the in-edge view: any in-neighbor one
+        // level closer is a valid predecessor (the engines'
+        // arbitrary-parent rule, applied lazily at query time). The
+        // snapshot's for_each_in is delta-aware — deleted base edges
+        // are unusable and spilled inserts are usable — and handles
+        // the original-vs-internal ID translation on reordered graphs.
+        const GraphSnapshot& snap = ctx.snapshot;
         std::vector<vid_t> reversed{query.target};
         vid_t v = query.target;
         for (level_t l = result.distance; l > 0; --l) {
-          for (const vid_t ui : tr.out_neighbors(g.to_internal(v))) {
-            const vid_t u = g.to_original(ui);
+          snap.for_each_in(v, [&](vid_t u) {
             if (lv[u] == l - 1) {
               v = u;
-              break;
+              return false;
             }
-          }
+            return true;
+          });
           reversed.push_back(v);
         }
         result.path.assign(reversed.rbegin(), reversed.rend());

@@ -55,6 +55,8 @@
 #include "core/bfs_engine.hpp"
 #include "core/bfs_options.hpp"
 #include "core/msbfs.hpp"
+#include "dynamic/dynamic_graph.hpp"
+#include "dynamic/incremental_bfs.hpp"
 #include "graph/csr_graph.hpp"
 #include "runtime/fork_join_pool.hpp"
 #include "service/result_cache.hpp"
@@ -124,6 +126,15 @@ struct ServiceConfig {
   double default_timeout_ms = -1.0;
   /// Result-cache byte budget; 0 disables caching.
   std::size_t cache_bytes = std::size_t{64} << 20;
+  /// Dynamic graphs: compact the delta overlay back into a fresh CSR
+  /// once it exceeds this fraction of the base edge count
+  /// (DynamicGraph::Config::compact_threshold). <= 0 never compacts.
+  double compact_threshold = 0.125;
+  /// Dynamic graphs: abandon incremental repair of a cached result (and
+  /// recompute it on next demand) when a deletion's invalidation cone
+  /// exceeds this fraction of n
+  /// (IncrementalBfsEngine::Config::cone_recompute_fraction).
+  double cone_recompute_fraction = 0.25;
   /// Registry name of the batch-of-1 fallback engine.
   std::string single_source_engine = "BFS_CL_H";
   /// Vertex-reorder preprocessing applied to every registered graph
@@ -146,10 +157,29 @@ class BfsService {
 
   /// Registers (or replaces) the served graph. Returns the new graph
   /// version. Queries still queued against the previous graph complete
-  /// with kStaleGraph; cached results for it are invalidated.
+  /// with kStaleGraph. Cached results are kept or dropped by *content*:
+  /// the cache is keyed by a reorder-invariant structural fingerprint
+  /// (DynamicGraph::content_fingerprint), so re-registering the same
+  /// graph — e.g. with only ServiceConfig::reorder changed — preserves
+  /// every valid row, while any content change evicts them all.
   std::uint64_t register_graph(std::shared_ptr<const CsrGraph> graph);
 
   std::uint64_t graph_version() const;
+
+  /// Applies a batch of edge updates to the registered graph and
+  /// returns the new graph version. Blocks until the scheduler has
+  /// applied the batch at a quiescent window (no wave in flight — the
+  /// same barrier-window discipline the engines aggregate telemetry
+  /// under). Queued queries migrate to the new version instead of going
+  /// stale; cached results are repaired in place by the incremental
+  /// engine where the batch affects them, revalidated untouched where
+  /// it does not, and dropped only when a deletion cone is too large to
+  /// repair. Throws std::invalid_argument with no graph registered and
+  /// std::out_of_range for updates naming vertices outside the graph.
+  std::uint64_t apply_updates(UpdateBatch batch);
+
+  /// Async form of apply_updates (resolves to the new graph version).
+  std::future<std::uint64_t> submit_updates(UpdateBatch batch);
 
   /// Asynchronous entry point: validates and enqueues (or serves from
   /// cache / rejects) and returns a future that always completes.
@@ -185,20 +215,41 @@ class BfsService {
     Clock::time_point deadline;
   };
 
-  /// Everything tied to one registered graph. The scheduler takes a
-  /// shared_ptr snapshot per batch, so register_graph can swap the
-  /// context mid-wave without racing the wave (the old context stays
-  /// alive until the wave drops its reference).
+  struct PendingUpdate {
+    UpdateBatch batch;
+    std::promise<std::uint64_t> promise;
+  };
+
+  /// Everything tied to one registered graph *version*. The scheduler
+  /// takes a shared_ptr snapshot per batch, so register_graph and
+  /// apply_updates can swap the context mid-wave without racing the
+  /// wave (the old context — including its GraphSnapshot's base CSR and
+  /// delta overlay — stays alive until the wave drops its reference).
+  /// apply_updates clones the context cheaply (shared engines); only a
+  /// compaction rebuilds the engines over the fresh CSR, which is what
+  /// keeps MsBfsSession and the cached max_out_degree observing the
+  /// compacted graph instead of the retired base.
   struct GraphContext {
-    std::shared_ptr<const CsrGraph> graph;
+    std::shared_ptr<const CsrGraph> graph;  ///< current base CSR
     std::uint64_t version = 0;
-    std::unique_ptr<ParallelBFS> single_engine;
-    std::unique_ptr<MsBfsSession> session;
+    std::uint64_t fingerprint = 0;  ///< cache key: content identity
+    std::shared_ptr<DynamicGraph> dynamic;
+    GraphSnapshot snapshot;  ///< CSR ∪ delta at this version
+    std::shared_ptr<ParallelBFS> single_engine;
+    std::shared_ptr<MsBfsSession> session;
+    std::shared_ptr<IncrementalBfsEngine> repair;
   };
 
   void scheduler_loop();
   void execute_batch(const std::shared_ptr<GraphContext>& ctx,
                      std::vector<Pending>& batch);
+  /// Scheduler-thread only: applies queued update batches at a
+  /// quiescent window and migrates cache rows + queued queries.
+  void process_updates(std::vector<PendingUpdate>& updates);
+  /// (Re)builds the per-graph engines over ctx.graph — at registration
+  /// and after every compaction (a fresh CSR invalidates MsBfsSession's
+  /// graph reference and the cached max_out_degree).
+  void rebuild_engines(GraphContext& ctx);
   QueryResult finalize(const Query& query, const GraphContext& ctx,
                        std::shared_ptr<const std::vector<level_t>> levels,
                        bool cache_hit) const;
@@ -211,6 +262,7 @@ class BfsService {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Pending> queue_;
+  std::deque<PendingUpdate> update_queue_;
   std::shared_ptr<GraphContext> ctx_;
   std::uint64_t next_version_ = 0;
   bool shutdown_ = false;
@@ -233,6 +285,7 @@ class BfsService {
   // shared level array.
   BFSResult scratch_single_;
   MsBfsResult scratch_wave_;
+  std::vector<level_t> scratch_levels_;  ///< delta-overlay dispatches
 
   std::thread scheduler_;  ///< last member: joined before state teardown
 };

@@ -14,11 +14,11 @@ std::size_t ResultCache::entry_bytes(const LevelsPtr& levels) {
   return (levels ? levels->size() * sizeof(level_t) : 0) + kPerEntryOverhead;
 }
 
-ResultCache::LevelsPtr ResultCache::lookup(std::uint64_t version,
+ResultCache::LevelsPtr ResultCache::lookup(std::uint64_t fingerprint,
                                            vid_t source) {
   if (!enabled()) return nullptr;
   std::lock_guard lock(mutex_);
-  const auto it = index_.find(Key{version, source});
+  const auto it = index_.find(Key{fingerprint, source});
   if (it == index_.end()) {
     ++misses_;
     return nullptr;
@@ -28,12 +28,12 @@ ResultCache::LevelsPtr ResultCache::lookup(std::uint64_t version,
   return it->second->levels;
 }
 
-void ResultCache::insert(std::uint64_t version, vid_t source,
+void ResultCache::insert(std::uint64_t fingerprint, vid_t source,
                          LevelsPtr levels) {
   if (!enabled() || !levels) return;
   const std::size_t cost = entry_bytes(levels);
   std::lock_guard lock(mutex_);
-  const Key key{version, source};
+  const Key key{fingerprint, source};
   if (const auto it = index_.find(key); it != index_.end()) {
     bytes_ -= it->second->bytes;
     lru_.erase(it->second);
@@ -56,10 +56,10 @@ void ResultCache::evict_until_within_budget() {
   }
 }
 
-void ResultCache::invalidate_before(std::uint64_t version) {
+void ResultCache::retain_only(std::uint64_t fingerprint) {
   std::lock_guard lock(mutex_);
   for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->key.version < version) {
+    if (it->key.fingerprint != fingerprint) {
       bytes_ -= it->bytes;
       index_.erase(it->key);
       it = lru_.erase(it);
@@ -67,6 +67,23 @@ void ResultCache::invalidate_before(std::uint64_t version) {
       ++it;
     }
   }
+}
+
+std::vector<std::pair<vid_t, ResultCache::LevelsPtr>> ResultCache::extract_all(
+    std::uint64_t fingerprint) {
+  std::vector<std::pair<vid_t, LevelsPtr>> out;
+  std::lock_guard lock(mutex_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.fingerprint == fingerprint) {
+      out.emplace_back(it->key.source, std::move(it->levels));
+      bytes_ -= it->bytes;
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
 }
 
 void ResultCache::clear() {

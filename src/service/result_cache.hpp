@@ -1,12 +1,15 @@
-// Versioned per-graph BFS result cache.
+// Fingerprint-keyed per-graph BFS result cache.
 //
-// Keyed by (graph version, source vertex); the value is the full level
-// array of one BFS, shared immutably between the cache, in-flight query
-// results, and future hits. Versioning makes invalidation on graph
-// re-registration O(stale entries) with no coordination on the lookup
-// path: a new graph gets a new version, so every lookup against it
-// misses the old entries by construction, and invalidate_before()
-// reclaims their bytes lazily.
+// Keyed by (graph fingerprint, source vertex); the value is the full
+// level array of one BFS, shared immutably between the cache, in-flight
+// query results, and future hits. The fingerprint is whatever 64-bit
+// content identity the owner chooses — the service uses
+// DynamicGraph::content_fingerprint (reorder-invariant, batch-chained),
+// so re-registering the *same* graph under a different reorder policy
+// keeps every cached row valid, while any content change misses by
+// construction. retain_only() garbage-collects rows for other
+// fingerprints; extract_all() removes and returns a fingerprint's rows
+// so the dynamic-update path can repair them in place and reinsert.
 //
 // Eviction is LRU under a byte budget (level arrays dominate, so the
 // budget is measured in payload bytes plus a fixed per-entry overhead).
@@ -36,17 +39,24 @@ class ResultCache {
   bool enabled() const { return byte_budget_ > 0; }
   std::size_t byte_budget() const { return byte_budget_; }
 
-  /// Returns the cached level array for (version, source) and marks it
-  /// most-recently-used, or nullptr on miss. Thread-safe.
-  LevelsPtr lookup(std::uint64_t version, vid_t source);
+  /// Returns the cached level array for (fingerprint, source) and marks
+  /// it most-recently-used, or nullptr on miss. Thread-safe.
+  LevelsPtr lookup(std::uint64_t fingerprint, vid_t source);
 
   /// Inserts (replaces) an entry and evicts LRU entries until the byte
   /// budget holds. An entry larger than the whole budget is dropped.
-  void insert(std::uint64_t version, vid_t source, LevelsPtr levels);
+  void insert(std::uint64_t fingerprint, vid_t source, LevelsPtr levels);
 
-  /// Drops every entry with a version older than `version` (graph
-  /// re-registration).
-  void invalidate_before(std::uint64_t version);
+  /// Drops every entry whose fingerprint differs (graph
+  /// re-registration: rows for the registered content survive, rows for
+  /// anything else are garbage).
+  void retain_only(std::uint64_t fingerprint);
+
+  /// Removes and returns every (source, levels) row stored under
+  /// `fingerprint`, MRU first — the dynamic-update path repairs these in
+  /// place and reinserts the survivors under the new fingerprint.
+  std::vector<std::pair<vid_t, LevelsPtr>> extract_all(
+      std::uint64_t fingerprint);
 
   void clear();
 
@@ -59,14 +69,14 @@ class ResultCache {
 
  private:
   struct Key {
-    std::uint64_t version;
+    std::uint64_t fingerprint;
     vid_t source;
     bool operator==(const Key&) const = default;
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const {
       // splitmix-style mix of the two fields.
-      std::uint64_t x = k.version * 0x9E3779B97F4A7C15ull + k.source;
+      std::uint64_t x = k.fingerprint * 0x9E3779B97F4A7C15ull + k.source;
       x ^= x >> 30;
       x *= 0xBF58476D1CE4E5B9ull;
       x ^= x >> 27;

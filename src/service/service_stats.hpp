@@ -36,6 +36,16 @@ struct ServiceStats {
   /// sources (index 0 unused; max wave width is 64).
   std::array<std::uint64_t, 65> batch_histogram{};
 
+  // ---- dynamic graphs (apply_updates; DESIGN.md section 9) ----
+  std::uint64_t update_batches = 0;     ///< apply_updates calls applied
+  std::uint64_t edges_inserted = 0;     ///< edge inserts that took effect
+  std::uint64_t edges_deleted = 0;      ///< edge deletes that took effect
+  std::uint64_t compactions = 0;        ///< delta folded into a fresh CSR
+  std::uint64_t results_repaired = 0;   ///< cached rows fixed incrementally
+  std::uint64_t results_revalidated = 0;///< cached rows untouched by a batch
+  std::uint64_t repair_waves = 0;       ///< wave levels run by repairs
+  std::uint64_t cone_recomputes = 0;    ///< repairs abandoned (cone too big)
+
   // ---- latency over recent completions (reservoir) ----
   std::uint64_t latency_samples = 0;
   double mean_latency_ms = 0.0;
@@ -63,6 +73,14 @@ struct ServiceStats {
     s.shutdown_flushed = c[telemetry::kQueriesShutdownFlushed];
     s.waves = c[telemetry::kWaves];
     s.single_dispatches = c[telemetry::kSingleDispatches];
+    s.update_batches = c[telemetry::kUpdateBatches];
+    s.edges_inserted = c[telemetry::kEdgesInserted];
+    s.edges_deleted = c[telemetry::kEdgesDeleted];
+    s.compactions = c[telemetry::kCompactions];
+    s.results_repaired = c[telemetry::kResultsRepaired];
+    s.results_revalidated = c[telemetry::kResultsRevalidated];
+    s.repair_waves = c[telemetry::kRepairWaves];
+    s.cone_recomputes = c[telemetry::kConeRecomputes];
     return s;
   }
 
@@ -93,6 +111,14 @@ struct ServiceStats {
         << ", \"stale_graph\": " << stale_graph
         << ", \"waves\": " << waves
         << ", \"single_dispatches\": " << single_dispatches
+        << ", \"update_batches\": " << update_batches
+        << ", \"edges_inserted\": " << edges_inserted
+        << ", \"edges_deleted\": " << edges_deleted
+        << ", \"compactions\": " << compactions
+        << ", \"results_repaired\": " << results_repaired
+        << ", \"results_revalidated\": " << results_revalidated
+        << ", \"repair_waves\": " << repair_waves
+        << ", \"cone_recomputes\": " << cone_recomputes
         << ", \"mean_batch_width\": " << mean_batch_width()
         << ", \"cache_hit_rate\": " << cache_hit_rate()
         << ", \"mean_latency_ms\": " << mean_latency_ms

@@ -70,6 +70,15 @@ namespace optibfs::telemetry {
   /* fork-join pool substrate */                                             \
   X(kPoolTasksExecuted,        "pool_tasks_executed")                        \
   X(kPoolTeamSessions,         "pool_team_sessions")                         \
+  /* dynamic graphs (DESIGN.md section 9) */                                 \
+  X(kEdgesInserted,            "edges_inserted")                             \
+  X(kEdgesDeleted,             "edges_deleted")                              \
+  X(kUpdateBatches,            "update_batches")                             \
+  X(kCompactions,              "compactions")                                \
+  X(kRepairWaves,              "repair_waves")                               \
+  X(kConeRecomputes,           "cone_recomputes")                            \
+  X(kResultsRepaired,          "results_repaired")                           \
+  X(kResultsRevalidated,       "results_revalidated")                        \
   /* query service */                                                        \
   X(kQueriesSubmitted,         "queries_submitted")                          \
   X(kQueriesCompleted,         "queries_completed")                          \

@@ -40,7 +40,10 @@ namespace optibfs::telemetry {
   X(kEvWave,          "msbfs_wave")     /* one MS-BFS wave              */   \
   X(kEvBatchDispatch, "batch_dispatch") /* service batch execution      */   \
   X(kEvQueueWait,     "queue_wait")     /* query admission -> dispatch  */   \
-  X(kEvExecute,       "execute")        /* query dispatch -> completion */
+  X(kEvExecute,       "execute")        /* query dispatch -> completion */   \
+  X(kEvApplyBatch,    "apply_batch")    /* dynamic edge-update batch    */   \
+  X(kEvRepair,        "repair")         /* one incremental BFS repair   */   \
+  X(kEvRepairWave,    "repair_wave")    /* one repair wave level        */
 // clang-format on
 
 enum EventName : std::uint32_t {

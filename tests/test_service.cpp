@@ -304,14 +304,33 @@ TEST(ResultCache, LruEvictionHonorsByteBudget) {
   EXPECT_EQ(cache.entries(), 2u);
 }
 
-TEST(ResultCache, VersioningIsolatesGenerations) {
+TEST(ResultCache, FingerprintIsolatesGenerations) {
   ResultCache cache(std::size_t{1} << 20);
   auto levels = std::make_shared<const std::vector<level_t>>(100, 3);
   cache.insert(1, 0, levels);
-  EXPECT_EQ(cache.lookup(2, 0), nullptr);  // new generation misses
-  cache.invalidate_before(2);
+  cache.insert(2, 7, levels);
+  EXPECT_EQ(cache.lookup(2, 0), nullptr);  // other fingerprint misses
+  cache.retain_only(2);                    // re-registration GC
   EXPECT_EQ(cache.lookup(1, 0), nullptr);
-  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_NE(cache.lookup(2, 7), nullptr);  // matching content survives
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(ResultCache, ExtractAllRemovesAndReturnsRows) {
+  ResultCache cache(std::size_t{1} << 20);
+  auto levels = std::make_shared<const std::vector<level_t>>(100, 3);
+  cache.insert(5, 0, levels);
+  cache.insert(5, 1, levels);
+  cache.insert(9, 2, levels);
+  auto rows = cache.extract_all(5);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& [source, ptr] : rows) {
+    EXPECT_TRUE(source == 0 || source == 1);
+    EXPECT_NE(ptr, nullptr);
+  }
+  EXPECT_EQ(cache.lookup(5, 0), nullptr);
+  EXPECT_NE(cache.lookup(9, 2), nullptr);
+  EXPECT_EQ(cache.entries(), 1u);
 }
 
 TEST(ResultCache, ZeroBudgetDisables) {
