@@ -85,10 +85,11 @@ void DynamicGraph::refresh_max_out_degree() {
   // batches are rare next to the per-query reads of this accessor.
   vid_t best = 0;
   const vid_t n = base_->num_vertices();
+  const GraphSnapshot snap = snapshot();
   for (vid_t v = 0; v < n; ++v) {
     vid_t deg = base_->out_degree(base_->to_internal(v));
     if (delta_->deleted_sources.find(v) != delta_->deleted_sources.end()) {
-      deg = snapshot().out_degree(v);
+      deg = snap.out_degree(v);
     } else if (const auto it = delta_->extra_out.find(v);
                it != delta_->extra_out.end()) {
       deg += static_cast<vid_t>(it->second.size());

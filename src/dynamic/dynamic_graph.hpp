@@ -253,7 +253,10 @@ class DynamicGraph {
     /// survives (and adapts to the post-update degree distribution).
     ReorderPolicy reorder = ReorderPolicy::kNone;
     /// Fingerprint probe count (graph_props::structural_fingerprint).
-    int fingerprint_samples = 64;
+    /// <= 0 hashes the full adjacency in one O(n + m) pass — required
+    /// whenever the fingerprint gates cache retention, since a sampled
+    /// fingerprint can miss edits confined to unprobed vertices.
+    int fingerprint_samples = 0;
   };
 
   explicit DynamicGraph(std::shared_ptr<const CsrGraph> base)

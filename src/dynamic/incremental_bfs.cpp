@@ -131,10 +131,14 @@ void IncrementalBfsEngine::build_seeds(const GraphSnapshot& snap,
   }
   // Inserted edges whose source kept a valid level may shorten paths
   // anywhere (inserts from cone members are covered by the wave itself
-  // once the cone re-fills).
+  // once the cone re-fills). The summary can list an edge under both
+  // inserts and deletes when one batch inserts and then deletes it, so
+  // only edges that survived into this snapshot may seed — a phantom
+  // seed would lower level[v] through an edge that no longer exists.
   for (const auto& [u, v] : batch.inserts) {
     if (level[u] == kUnvisited) continue;
-    if (level[v] == kUnvisited || level[u] + 1 < level[v]) {
+    if ((level[v] == kUnvisited || level[u] + 1 < level[v]) &&
+        snap.has_edge(u, v)) {
       seeds_.emplace_back(level[u] + 1, v);
     }
   }

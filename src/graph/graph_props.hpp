@@ -39,21 +39,21 @@ level_t bfs_depth(const CsrGraph& g, vid_t source);
 level_t sampled_bfs_diameter(const CsrGraph& g, int samples,
                              std::uint64_t seed);
 
-/// Cheap structural identity of a graph, used by the query service's
-/// result-cache keys (DESIGN.md section 9): mixes n, m, and the full
-/// adjacency sets of `samples` evenly-spaced probe vertices. Two
-/// properties matter for the cache:
-///  * reorder-invariant — probes are addressed and hashed in *original*
-///    vertex IDs with a commutative per-neighbor mix, so a graph and
-///    any CsrGraph::reorder copy of it fingerprint identically (cached
-///    level arrays are in original IDs and stay valid across a policy
-///    change);
-///  * content-sensitive — any edit that changes n, m, or a probed
-///    adjacency set changes the value. Edits that dodge all three are
-///    possible but need an insert and a delete of equal count outside
-///    every probe; callers that mutate graphs incrementally must chain
-///    a per-batch hash on top (DynamicGraph::content_fingerprint does).
-std::uint64_t structural_fingerprint(const CsrGraph& g, int samples = 64);
+/// Structural identity of a graph, used by the query service's
+/// result-cache keys (DESIGN.md section 9): mixes n, m, and per-vertex
+/// adjacency sets. Two properties matter for the cache:
+///  * reorder-invariant — vertices are addressed and hashed in
+///    *original* IDs with a commutative per-neighbor mix, so a graph
+///    and any CsrGraph::reorder copy of it fingerprint identically
+///    (cached level arrays are in original IDs and stay valid across a
+///    policy change);
+///  * content-sensitive — with `samples <= 0` (the default) every
+///    vertex is hashed in one O(n + m) pass, so any edge-set edit moves
+///    the value (up to 64-bit hash collisions). A positive `samples`
+///    hashes only that many evenly-spaced probe vertices — cheaper, but
+///    an insert/delete pair of equal count outside every probe goes
+///    unseen, so sampled fingerprints must never gate cache retention.
+std::uint64_t structural_fingerprint(const CsrGraph& g, int samples = 0);
 
 /// splitmix64-style combiner shared by the fingerprint chain (exposed
 /// so DynamicGraph's batch hashing and tests agree on the mixing).

@@ -27,19 +27,43 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 
 /// Can `summary` change any distance from this row's source? Exact for
 /// correct level arrays: an insert matters only if it relaxes its
-/// target; a delete only if it severs a shortest-path tree edge
+/// target *and* survived into the post-batch snapshot (one batch may
+/// insert and then delete the same edge, listing it on both sides); a
+/// delete only if it severs a shortest-path tree edge
 /// (levels[v] == levels[u] + 1 with u reached).
-bool batch_affects(const std::vector<level_t>& levels,
+bool batch_affects(const GraphSnapshot& snap,
+                   const std::vector<level_t>& levels,
                    const BatchSummary& summary) {
   for (const auto& [u, v] : summary.inserts) {
     if (levels[u] == kUnvisited) continue;
-    if (levels[v] == kUnvisited || levels[u] + 1 < levels[v]) return true;
+    if ((levels[v] == kUnvisited || levels[u] + 1 < levels[v]) &&
+        snap.has_edge(u, v)) {
+      return true;
+    }
   }
   for (const auto& [u, v] : summary.deletes) {
     if (levels[u] != kUnvisited && levels[v] == levels[u] + 1) return true;
   }
   return false;
 }
+
+/// Pins a roster slot for the lifetime of a dispatch. Unpinning on every
+/// exit path keeps the quiescence assertions honest even when an engine
+/// throws mid-batch.
+class RosterPin {
+ public:
+  RosterPin(EpochRoster& roster, int slot, std::uint64_t version)
+      : roster_(roster), slot_(slot) {
+    roster_.pin(slot_, version);
+  }
+  ~RosterPin() { roster_.unpin(slot_); }
+  RosterPin(const RosterPin&) = delete;
+  RosterPin& operator=(const RosterPin&) = delete;
+
+ private:
+  EpochRoster& roster_;
+  int slot_;
+};
 
 }  // namespace
 
@@ -134,9 +158,11 @@ std::future<std::uint64_t> BfsService::submit_updates(UpdateBatch batch) {
   update.batch = std::move(batch);
   auto future = update.promise.get_future();
   bool queued = false;
+  bool shut = false;
   {
     std::lock_guard lock(mutex_);
-    if (!shutdown_ && ctx_ != nullptr) {
+    shut = shutdown_;
+    if (!shut && ctx_ != nullptr) {
       update_queue_.push_back(std::move(update));
       queued = true;
     }
@@ -145,8 +171,14 @@ std::future<std::uint64_t> BfsService::submit_updates(UpdateBatch batch) {
     cv_.notify_one();
     return future;
   }
-  update.promise.set_exception(std::make_exception_ptr(std::invalid_argument(
-      "BfsService::apply_updates: no graph registered")));
+  if (shut) {
+    update.promise.set_exception(std::make_exception_ptr(std::runtime_error(
+        "BfsService::apply_updates: service shut down")));
+  } else {
+    update.promise.set_exception(
+        std::make_exception_ptr(std::invalid_argument(
+            "BfsService::apply_updates: no graph registered")));
+  }
   return future;
 }
 
@@ -435,7 +467,7 @@ void BfsService::process_updates(std::vector<PendingUpdate>& updates) {
       auto rows = cache_.extract_all(old_fingerprint);
       for (auto& [source, levels] : rows) {
         if (!levels) continue;
-        if (!batch_affects(*levels, summary)) {
+        if (!batch_affects(next->snapshot, *levels, summary)) {
           cache_.insert(next->fingerprint, source, std::move(levels));
           ++revalidated;
           continue;
@@ -503,8 +535,9 @@ void BfsService::execute_batch(const std::shared_ptr<GraphContext>& ctx,
 
   // Pin this dispatch's version into the reader roster (plain store):
   // the observable form of "a traversal is in flight", which the
-  // update path's quiescence assertions check against.
-  ctx->dynamic->roster().pin(0, ctx->version);
+  // update path's quiescence assertions check against. RAII so an
+  // engine throwing mid-batch still unpins.
+  const RosterPin pin(ctx->dynamic->roster(), 0, ctx->version);
 
   std::vector<std::shared_ptr<const std::vector<level_t>>> levels(
       sources.size());
@@ -544,8 +577,6 @@ void BfsService::execute_batch(const std::shared_ptr<GraphContext>& ctx,
     ++query_counters_.slab(0)[kWaves];
     ++batch_histogram_[sources.size()];
   }
-
-  ctx->dynamic->roster().unpin(0);
 
   for (std::size_t s = 0; s < sources.size(); ++s) {
     cache_.insert(ctx->fingerprint, sources[s], levels[s]);

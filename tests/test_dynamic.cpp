@@ -175,6 +175,42 @@ TEST(StructuralFingerprint, ReorderInvariantButContentSensitive) {
             structural_fingerprint(CsrGraph::from_edges(changed)));
 }
 
+TEST(StructuralFingerprint, FullPassSeesEditsThatDodgeSampledProbes) {
+  const EdgeList el = gen::erdos_renyi(300, 1500, 5);
+  const CsrGraph plain = CsrGraph::from_edges(el);
+  // Reroute one out-edge of a vertex the 64-sample probe set skips
+  // (stride on n=300 is 4, so probes are multiples of 4): n, m, and
+  // every probed adjacency set are unchanged. The sampled variant
+  // cannot see the edit; the full pass (the cache-retention default)
+  // must.
+  std::size_t pick = el.edges().size();
+  for (std::size_t i = 0; i < el.edges().size(); ++i) {
+    if (el.edges()[i].src % 4 != 0) {
+      pick = i;
+      break;
+    }
+  }
+  ASSERT_LT(pick, el.edges().size());
+  const vid_t src = el.edges()[pick].src;
+  vid_t new_dst = 0;
+  while (new_dst == src || new_dst == el.edges()[pick].dst ||
+         plain.has_edge(plain.to_internal(src), plain.to_internal(new_dst))) {
+    ++new_dst;
+  }
+  EdgeList moved(300);
+  for (std::size_t i = 0; i < el.edges().size(); ++i) {
+    if (i == pick) {
+      moved.add_unchecked(src, new_dst);
+    } else {
+      moved.add_unchecked(el.edges()[i].src, el.edges()[i].dst);
+    }
+  }
+  const CsrGraph edited = CsrGraph::from_edges(moved);
+  EXPECT_EQ(structural_fingerprint(plain, 64),
+            structural_fingerprint(edited, 64));  // the sampled blind spot
+  EXPECT_NE(structural_fingerprint(plain), structural_fingerprint(edited));
+}
+
 TEST(EpochRoster, PinUnpinMinPinned) {
   EpochRoster roster(4);
   EXPECT_TRUE(roster.quiescent());
@@ -251,6 +287,44 @@ TEST(IncrementalBfs, DeletionRepairUsesAlternatePaths) {
   EXPECT_EQ(level, bfs_serial(oracle_graph(dyn.snapshot()), 0).level);
 }
 
+TEST(IncrementalBfs, SameEdgeInsertThenDeleteInOneBatchIsPhantom) {
+  // Chain 0 -> 1 -> 2 -> 3 -> 4. One batch inserts the shortcut 0 -> 4
+  // and immediately takes it back: the summary lists the edge under
+  // both inserts and deletes, and the repair must not seed level[4]=1
+  // through the edge that no longer exists.
+  EdgeList el(5);
+  for (vid_t v = 0; v + 1 < 5; ++v) el.add_unchecked(v, v + 1);
+  DynamicGraph::Config dyn_config;
+  dyn_config.compact_threshold = 10.0;  // keep the overlay live
+  DynamicGraph dyn(make_graph(el), dyn_config);
+  std::vector<level_t> level = bfs_serial(*dyn.base_csr(), 0).level;
+
+  UpdateBatch batch;
+  batch.insert(0, 4);
+  batch.erase(0, 4);
+  const BatchSummary summary = dyn.apply(batch);
+  EXPECT_FALSE(dyn.snapshot().has_edge(0, 4));
+
+  IncrementalBfsEngine::Config config;
+  config.cone_recompute_fraction = 1.0;
+  IncrementalBfsEngine engine(config);
+  const RepairOutcome out = engine.repair(dyn.snapshot(), summary, 0, level);
+  EXPECT_TRUE(out.repaired);
+  EXPECT_EQ(level[4], 4);
+  EXPECT_EQ(level, bfs_serial(oracle_graph(dyn.snapshot()), 0).level);
+
+  // Mirror image: delete-then-reinsert of a live tree edge. The edge
+  // survives the batch, so no distance may move.
+  UpdateBatch undo;
+  undo.erase(1, 2);
+  undo.insert(1, 2);
+  const BatchSummary summary2 = dyn.apply(undo);
+  const RepairOutcome out2 =
+      engine.repair(dyn.snapshot(), summary2, 0, level);
+  EXPECT_TRUE(out2.repaired);
+  EXPECT_EQ(level, bfs_serial(oracle_graph(dyn.snapshot()), 0).level);
+}
+
 TEST(IncrementalBfs, LargeConeFallsBackBeforeMutating) {
   // A long path: severing it near the source invalidates almost every
   // vertex, so repair must bail out without touching the level array.
@@ -324,6 +398,22 @@ TEST(IncrementalBfs, RandomizedBatchesMatchSerialOracle) {
           const Edge& e = current.edges()[static_cast<std::size_t>(
               rng.next_below(current.edges().size()))];
           batch.erase(e.src, e.dst);
+        }
+        // Same-edge churn inside one batch: insert-then-delete of a
+        // random edge and delete-then-reinsert of an existing one both
+        // land the edge on both sides of the summary — repair must see
+        // through the phantoms (regression for the seeding bug).
+        {
+          const vid_t u = static_cast<vid_t>(rng.next_below(kN));
+          const vid_t v = static_cast<vid_t>(rng.next_below(kN));
+          batch.insert(u, v);
+          batch.erase(u, v);
+        }
+        if (!current.edges().empty()) {
+          const Edge& e = current.edges()[static_cast<std::size_t>(
+              rng.next_below(current.edges().size()))];
+          batch.erase(e.src, e.dst);
+          batch.insert(e.src, e.dst);
         }
         const BatchSummary summary = dyn.apply(batch);
         const GraphSnapshot snap = dyn.snapshot();
@@ -443,6 +533,42 @@ TEST(BfsServiceDynamic, SameContentReregistrationKeepsCacheRows) {
   const QueryResult miss = service.distance(9);
   ASSERT_TRUE(miss.ok());
   EXPECT_FALSE(miss.cache_hit);
+}
+
+TEST(BfsServiceDynamic, SameSizeEditedReregistrationEvictsCache) {
+  const EdgeList el = gen::erdos_renyi(300, 1800, 29);
+  ServiceConfig config;
+  config.num_threads = 2;
+  BfsService service(config);
+  service.register_graph(make_graph(el));
+  ASSERT_TRUE(service.distance(9).ok());  // fills the cache
+
+  // Reroute a single edge, keeping n and m: only a full-adjacency
+  // fingerprint distinguishes the two graphs, and the stale cached row
+  // must not survive the re-registration.
+  const CsrGraph plain = CsrGraph::from_edges(el);
+  const Edge e0 = el.edges().front();
+  vid_t new_dst = 0;
+  while (new_dst == e0.src || new_dst == e0.dst ||
+         plain.has_edge(plain.to_internal(e0.src),
+                        plain.to_internal(new_dst))) {
+    ++new_dst;
+  }
+  EdgeList moved(300);
+  bool replaced = false;
+  for (const Edge& e : el.edges()) {
+    if (!replaced && e.src == e0.src && e.dst == e0.dst) {
+      moved.add_unchecked(e0.src, new_dst);
+      replaced = true;
+    } else {
+      moved.add_unchecked(e.src, e.dst);
+    }
+  }
+  service.register_graph(make_graph(moved));
+  const QueryResult r = service.distance(9);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_EQ(*r.levels, bfs_serial(CsrGraph::from_edges(moved), 9).level);
 }
 
 TEST(BfsServiceDynamic, CompactionRebuildsEnginesOverFreshCsr) {
