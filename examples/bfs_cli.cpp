@@ -9,8 +9,10 @@
 //       ... --pools 4 --numa-sockets 2 --stats
 //   ./bfs_cli --list
 //   ./bfs_cli --graph file:web.mtx --updates trace.txt --json out.json
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -32,8 +34,13 @@ using namespace optibfs;
       "  --graph SPEC     rmat:<scale>:<edgefactor> | er:<n>:<m> |\n"
       "                   powerlaw:<n>:<m>:<gamma> | grid:<rows>:<cols> |\n"
       "                   path:<n> | star:<n> | tree:<n> |\n"
+      "                   chordpath:<n>:<chords>[:<span>] (road-like,\n"
+      "                   diameter ~n/span) |\n"
+      "                   circuit:<rows>:<cols>:<shortcuts> |\n"
       "                   file:<path[.mtx|.txt|.bin]> | workload:<name>\n"
       "  --algo NAME      any of --list (default BFS_WSL)\n"
+      "  --engine NAME    alias for --algo (reads better for the\n"
+      "                   strict-vs-async engine-family choice)\n"
       "  --threads P      worker threads (default 4)\n"
       "  --sources K      measured sources (default 8)\n"
       "  --segment S      fixed segment size (default adaptive)\n"
@@ -44,6 +51,9 @@ using namespace optibfs;
       "  --hybrid         direction-optimizing mode (same as an _H algo name)\n"
       "  --alpha A        hybrid top-down->bottom-up threshold (default 15)\n"
       "  --beta B         hybrid bottom-up->top-down threshold (default 18)\n"
+      "  --subqueues K    BFS_ASYNC: subqueues per thread (default 4)\n"
+      "  --batch B        BFS_ASYNC: items per work batch (default 64)\n"
+      "  --prefetch D     software-prefetch lookahead (default 0 = off)\n"
       "  --edge-segments  edge-balanced adaptive segment sizing\n"
       "  --claim          enable parent-claim duplicate suppression\n"
       "  --no-clearing    disable the clearing trick (ablation)\n"
@@ -56,8 +66,15 @@ using namespace optibfs;
       "                   commits the tail), or a `#` comment. Reports\n"
       "                   incremental-repair vs from-scratch timings per\n"
       "                   batch (DESIGN.md section 9)\n"
-      "  --json PATH      with --updates: write the per-batch timings as\n"
-      "                   a schema-v2 JSON document to PATH\n"
+      "  --service        route the measurement sweep through BfsService\n"
+      "                   (batch-of-1 distance queries on the configured\n"
+      "                   engine; reports the service's resolved engine\n"
+      "                   and auto-tuned prefetch distance)\n"
+      "  --json PATH      write machine-readable results (schema v2):\n"
+      "                   with --updates the per-batch timings; otherwise\n"
+      "                   the measurement sweep with one record per run,\n"
+      "                   each carrying the engine name so cross-family\n"
+      "                   BENCH comparisons are self-describing\n"
       "  --stats          print steal/duplicate statistics\n"
       "  --trace PATH     write a Chrome trace-event JSON of the runs\n"
       "                   (open in ui.perfetto.dev or about://tracing;\n"
@@ -104,6 +121,18 @@ CsrGraph build_graph(const std::string& spec, std::uint64_t seed) {
   }
   if (kind == "path") {
     return CsrGraph::from_edges(gen::path(static_cast<vid_t>(arg(1))));
+  }
+  if (kind == "chordpath") {
+    const vid_t span =
+        parts.size() > 3 ? static_cast<vid_t>(arg(3)) : vid_t{8};
+    return CsrGraph::from_edges(gen::path_with_chords(
+        static_cast<vid_t>(arg(1)), static_cast<eid_t>(arg(2)), span, seed));
+  }
+  if (kind == "circuit") {
+    return CsrGraph::from_edges(
+        gen::circuit_like(static_cast<vid_t>(arg(1)),
+                          static_cast<vid_t>(arg(2)),
+                          static_cast<eid_t>(arg(3)), seed));
   }
   if (kind == "star") {
     return CsrGraph::from_edges(gen::star(static_cast<vid_t>(arg(1))));
@@ -158,6 +187,119 @@ std::vector<UpdateBatch> read_update_trace(const std::string& path) {
   }
   if (!batch.empty()) batches.push_back(std::move(batch));
   return batches;
+}
+
+/// One measured sweep run. The engine name rides along per record (not
+/// just once per file) because service-routed sweeps resolve the engine
+/// at register_graph time — a BENCH comparison mixing families must be
+/// self-describing row by row.
+struct RunRecord {
+  vid_t source = 0;
+  double ms = 0.0;
+  std::string engine;
+};
+
+/// Schema-v2 sweep document shared by the engine-direct and
+/// service-routed paths. `service_stats_json` is spliced verbatim when
+/// non-empty (ServiceStats::to_json()).
+int write_sweep_json(const std::string& json_path,
+                     const std::string& graph_spec, const CsrGraph& graph,
+                     int threads, const std::vector<RunRecord>& runs,
+                     const std::string& service_stats_json) {
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "cannot write '" << json_path << "'\n";
+    return 1;
+  }
+  double total = 0.0, min_ms = 0.0, max_ms = 0.0;
+  for (const RunRecord& run : runs) {
+    if (total == 0.0 || run.ms < min_ms) min_ms = run.ms;
+    max_ms = std::max(max_ms, run.ms);
+    total += run.ms;
+  }
+  JsonWriter w(out);
+  w.begin_object();
+  write_result_header(w);
+  w.key("graph").value(graph_spec);
+  w.key("n").value(static_cast<std::uint64_t>(graph.num_vertices()));
+  w.key("m").value(static_cast<std::uint64_t>(graph.num_edges()));
+  w.key("threads").value(threads);
+  w.key("mean_ms").value(runs.empty() ? 0.0
+                                      : total / static_cast<double>(
+                                                    runs.size()));
+  w.key("min_ms").value(min_ms);
+  w.key("max_ms").value(max_ms);
+  w.key("runs").begin_array();
+  for (const RunRecord& run : runs) {
+    w.begin_object();
+    w.key("source").value(static_cast<std::uint64_t>(run.source));
+    w.key("ms").value(run.ms);
+    w.key("engine").value(run.engine);
+    w.end_object();
+  }
+  w.end_array();
+  if (!service_stats_json.empty()) {
+    w.key("service_stats").raw(service_stats_json);
+  }
+  w.end_object();
+  out << '\n';
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}
+
+/// --service mode: route the sweep through BfsService as batch-of-1
+/// distance queries. The cache is disabled so every query pays a full
+/// dispatch, and the engine name / prefetch distance come back from
+/// ServiceStats (the register_graph-time strict-vs-relaxed resolution
+/// and auto-tune probe), not from the flag the user passed.
+int run_service_sweep(CsrGraph&& owned, const std::string& graph_spec,
+                      const std::string& algorithm, const BFSOptions& options,
+                      const std::vector<vid_t>& sources, bool verify,
+                      bool stats, const std::string& json_path) {
+  ServiceConfig config;
+  config.num_threads = options.num_threads;
+  config.cache_bytes = 0;  // every query is a real dispatch
+  config.single_source_engine = algorithm;
+  config.bfs = options;
+  BfsService service(config);
+  const auto shared = std::make_shared<const CsrGraph>(std::move(owned));
+  const CsrGraph& graph = *shared;
+  service.register_graph(shared);
+  const ServiceStats registered = service.stats();
+  std::cout << "running service-routed " << registered.single_source_engine
+            << " (prefetch " << registered.prefetch_distance << ") with "
+            << options.num_threads << " threads over " << sources.size()
+            << " sources" << (verify ? " (verified)" : "") << "...\n";
+
+  std::vector<RunRecord> runs;
+  double total = 0.0, min_ms = 0.0, max_ms = 0.0;
+  for (const vid_t source : sources) {
+    Timer timer;
+    const QueryResult result = service.distance(source);
+    const double ms = timer.elapsed_ms();
+    if (!result.ok()) {
+      std::cerr << "service query for source " << source << " failed\n";
+      return 1;
+    }
+    if (verify && *result.levels != bfs_serial(graph, source).level) {
+      std::cerr << "service result for source " << source
+                << " diverged from the serial oracle\n";
+      return 1;
+    }
+    runs.push_back({source, ms, registered.single_source_engine});
+    if (total == 0.0 || ms < min_ms) min_ms = ms;
+    max_ms = std::max(max_ms, ms);
+    total += ms;
+  }
+  std::cout << "  mean " << total / static_cast<double>(sources.size())
+            << " ms/query  (min " << min_ms << ", max " << max_ms << ")\n";
+  const ServiceStats after = service.stats();
+  if (stats) std::cout << "  service stats: " << after.to_json() << "\n";
+  if (!json_path.empty()) {
+    return write_sweep_json(json_path, graph_spec, graph,
+                            options.num_threads, runs, after.to_json());
+  }
+  return 0;
 }
 
 /// --updates mode: replay the trace through DynamicGraph, timing each
@@ -294,6 +436,7 @@ int main(int argc, char** argv) {
   int sources_count = 8;
   bool verify = false;
   bool stats = false;
+  bool use_service = false;
   std::string trace_path;
   std::string updates_path;
   std::string json_path;
@@ -305,7 +448,11 @@ int main(int argc, char** argv) {
       return argv[i];
     };
     if (arg == "--graph") graph_spec = next();
-    else if (arg == "--algo") algorithm = next();
+    else if (arg == "--algo" || arg == "--engine") algorithm = next();
+    else if (arg == "--subqueues") options.async_subqueues = std::atoi(next().c_str());
+    else if (arg == "--batch") options.async_batch_size = std::atoi(next().c_str());
+    else if (arg == "--prefetch") options.prefetch_distance = std::atoi(next().c_str());
+    else if (arg == "--service") use_service = true;
     else if (arg == "--threads") options.num_threads = std::atoi(next().c_str());
     else if (arg == "--sources") sources_count = std::atoi(next().c_str());
     else if (arg == "--segment") options.segment_size = std::atoll(next().c_str());
@@ -349,6 +496,13 @@ int main(int argc, char** argv) {
                           verify);
   }
 
+  const auto sources = sample_sources(graph, sources_count, options.seed);
+
+  if (use_service) {
+    return run_service_sweep(std::move(graph), graph_spec, algorithm, options,
+                             sources, verify, stats, json_path);
+  }
+
   std::unique_ptr<telemetry::FlightRecorder> recorder;
   if (!trace_path.empty()) {
     recorder = std::make_unique<telemetry::FlightRecorder>();
@@ -356,16 +510,66 @@ int main(int argc, char** argv) {
   }
 
   auto engine = make_bfs(algorithm, graph, options);
-  const auto sources = sample_sources(graph, sources_count, options.seed);
   std::cout << "running " << engine->name() << " with "
             << options.num_threads << " threads over " << sources.size()
             << " sources" << (verify ? " (verified)" : "") << "...\n";
 
-  const RunMeasurement m = measure_bfs(*engine, graph, sources, verify);
+  std::vector<RunRecord> runs;  // per-run records for --json
+  RunMeasurement m;
+  if (json_path.empty()) {
+    m = measure_bfs(*engine, graph, sources, verify);
+  } else {
+    // Manual sweep so each run yields its own record (measure_bfs only
+    // aggregates); same timing, verification, and TEPS convention.
+    m.min_ms = std::numeric_limits<double>::infinity();
+    BFSResult result;
+    double total_ms = 0.0, total_teps = 0.0, total_duplicates = 0.0;
+    for (const vid_t source : sources) {
+      Timer timer;
+      engine->run(source, result);
+      const double ms = timer.elapsed_ms();
+      if (verify) {
+        const VerifyReport report =
+            verify_against_serial(graph, source, result);
+        if (!report) {
+          std::cerr << engine->name()
+                    << " failed verification: " << report.error << "\n";
+          return 1;
+        }
+      }
+      std::uint64_t component_edges = 0;
+      for (vid_t v = 0; v < graph.num_vertices(); ++v) {
+        if (result.level[v] != kUnvisited) {
+          component_edges += graph.out_degree(graph.to_internal(v));
+        }
+      }
+      runs.push_back({source, ms, std::string(engine->name())});
+      total_ms += ms;
+      m.min_ms = std::min(m.min_ms, ms);
+      m.max_ms = std::max(m.max_ms, ms);
+      if (ms > 0.0) {
+        total_teps += static_cast<double>(component_edges) / (ms / 1e3);
+      }
+      total_duplicates +=
+          static_cast<double>(result.duplicate_explorations());
+      m.steal_stats += result.steal_stats;
+      m.counters += result.counters;
+    }
+    const auto count = static_cast<double>(sources.size());
+    m.sources = static_cast<int>(sources.size());
+    m.mean_ms = total_ms / count;
+    m.mean_teps = total_teps / count;
+    m.mean_duplicates = total_duplicates / count;
+  }
   std::cout << "  mean " << m.mean_ms << " ms/source  (min " << m.min_ms
             << ", max " << m.max_ms << ")\n"
             << "  " << m.mean_teps / 1e6 << " MTEPS\n"
             << "  duplicates/source: " << m.mean_duplicates << "\n";
+  if (!json_path.empty()) {
+    const int rc = write_sweep_json(json_path, graph_spec, graph,
+                                    options.num_threads, runs, "");
+    if (rc != 0) return rc;
+  }
   if (stats) {
     const StealStats& s = m.steal_stats;
     std::cout << "  steal attempts: " << s.total_attempts() << " total, "

@@ -140,6 +140,25 @@ struct BFSOptions {
   /// for the bench_locality ablation.
   bool bottom_up_word_scan = true;
 
+  /// Asynchronous engine (BFS_ASYNC) only: subqueues per thread (k) in
+  /// the relaxed d-choice multiqueue — the queue has p*k subqueues
+  /// total, each with a single producer. More subqueues lower push/pop
+  /// contention but weaken the queue's depth ordering, which shows up
+  /// as wasted relaxations. Clamped to >= 1.
+  int async_subqueues = 4;
+
+  /// Asynchronous engine only: work items per published batch. Larger
+  /// batches amortize the one claim CAS per pop but delay visibility of
+  /// freshly settled vertices (more redundant relaxation). Clamped to
+  /// [1, 4096].
+  int async_batch_size = 64;
+
+  /// Test-only (termination-protocol coverage): the last worker thread
+  /// of BFS_ASYNC sleeps this many milliseconds before touching any
+  /// work, simulating a straggler that must still observe termination
+  /// and exit cleanly. 0 (always, outside tests) disables.
+  int async_straggler_ms = 0;
+
   /// Record the frontier size of every level into
   /// BFSResult::level_sizes (tiny cost; off by default to keep
   /// measurement allocations stable).

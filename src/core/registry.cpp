@@ -5,6 +5,7 @@
 #include "baselines/direction_optimizing.hpp"
 #include "baselines/hong_bfs.hpp"
 #include "baselines/pbfs.hpp"
+#include "core/bfs_async.hpp"
 #include "core/bfs_centralized.hpp"
 #include "core/bfs_serial.hpp"
 #include "core/bfs_workstealing.hpp"
@@ -89,6 +90,9 @@ std::unique_ptr<ParallelBFS> make_bfs(std::string_view algorithm,
                                              /*use_locks=*/false,
                                              /*scale_free_mode=*/true);
   }
+  if (algorithm == "BFS_ASYNC") {
+    return std::make_unique<AsyncBFS>(graph, options);
+  }
   if (algorithm == "PBFS") {
     return std::make_unique<PBFS>(graph, options);
   }
@@ -116,9 +120,11 @@ std::vector<std::string> all_algorithms() {
   return {"sbfs",   "BFS_C",      "BFS_CL",    "BFS_DL",
           "BFS_W",  "BFS_WL",     "BFS_WS",    "BFS_WSL",
           "BFS_EBL", "BFS_CL_H",  "BFS_DL_H",  "BFS_WL_H",
-          "BFS_WSL_H", "PBFS",    "HONG_QUEUE", "HONG_READ",
-          "HONG_HYBRID", "HONG_LOCAL_BITMAP", "DO_BFS"};
+          "BFS_WSL_H", "BFS_ASYNC", "PBFS",    "HONG_QUEUE",
+          "HONG_READ", "HONG_HYBRID", "HONG_LOCAL_BITMAP", "DO_BFS"};
 }
+
+std::vector<std::string> async_algorithms() { return {"BFS_ASYNC"}; }
 
 std::vector<std::string> paper_algorithms() {
   return {"BFS_C", "BFS_CL", "BFS_DL", "BFS_W",

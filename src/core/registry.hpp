@@ -30,6 +30,9 @@ namespace optibfs {
 ///               an `_H` suffix: the same engine with atomics-free
 ///               hybrid top-down/bottom-up direction switching
 ///               (direction_mode = kHybrid)
+///   BFS_ASYNC — barrier-free asynchronous engine: relaxed d-choice
+///               multiqueue + monotone packed-word settling
+///               (core/bfs_async.hpp, DESIGN.md section 10)
 ///   PBFS      — Baseline1 (Leiserson-Schardl bag reducer)
 ///   HONG_QUEUE / HONG_READ / HONG_HYBRID / HONG_LOCAL_BITMAP — Baseline2
 ///   DO_BFS    — direction-optimizing (Beamer) extension baseline
@@ -51,6 +54,9 @@ std::vector<std::string> lockfree_algorithms();
 
 /// Every hybrid-direction (`_H`) name the registry accepts.
 std::vector<std::string> hybrid_algorithms();
+
+/// The asynchronous (barrier-free) family (DESIGN.md section 10).
+std::vector<std::string> async_algorithms();
 
 /// Baseline names.
 std::vector<std::string> baseline_algorithms();

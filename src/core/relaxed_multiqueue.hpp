@@ -1,0 +1,244 @@
+// Relaxed d-choice multiqueue of work batches — the barrier-free
+// execution substrate under the asynchronous engine (core/bfs_async).
+//
+// The structure is the relaxed-priority-queue idea from Cederman et
+// al.'s lock-free survey, specialized for BFS the way the
+// relaxed-bfs-gapbs exemplars use it: K = p*k bounded FIFO subqueues of
+// *batch descriptors*, no global ordering, consumers sample d=2 random
+// subqueues and pop from the fuller one. BFS tolerates the relaxation
+// because settling is monotone — popping items out of depth order costs
+// redundant relaxations, never correctness (DESIGN.md section 10).
+//
+// Discipline audit (the paper's no-locks / no-RMW rule, and where we
+// deviate):
+//
+//  * push is RMW-free. Every subqueue has exactly ONE producer (its
+//    owning thread, which round-robins over its own k subqueues), so
+//    publishing a batch is a release store into the slot followed by a
+//    release store of the bumped tail — plain MOVs on x86.
+//  * pop claims the head with a compare_exchange. This is a documented
+//    RMW exemption (DESIGN.md section 10.4): consumers are symmetric,
+//    so "an arbitrary racer wins" cannot be expressed with plain stores
+//    without popping the same batch twice, and re-expanding a whole
+//    batch is exactly the storm the batch granularity exists to avoid.
+//    The CAS is amortized to one per batch, not one per vertex.
+//  * head/tail are monotone 64-bit counters (slot = counter & mask),
+//    which kills ABA: a slot can only be overwritten by its producer
+//    after some consumer's claim of that position succeeded, and the
+//    claim CAS orders the claimant's slot read before the overwrite.
+//
+// Batch memory comes from per-producer bump arenas (BatchArena): blocks
+// are never recycled within a run — a consumer may still be reading a
+// block long after its pop — and are reused wholesale across runs, so
+// the steady state allocates nothing (ArenaStats-style accounting).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/cache_aligned.hpp"
+#include "runtime/rng.hpp"
+
+namespace optibfs {
+
+/// Per-producer bump allocator for work batches. Single-threaded: only
+/// the owning producer allocates; consumers just read the returned
+/// blocks. A block is `capacity + 1` u64 slots: [0] = item count,
+/// [1..count] = items. reset() rewinds without freeing, so chunks are
+/// reused across runs.
+class BatchArena {
+ public:
+  void configure(std::uint32_t batch_capacity) {
+    if (slots_per_block_ == batch_capacity + 1) return;
+    slots_per_block_ = batch_capacity + 1;
+    chunks_.clear();
+    chunk_ = 0;
+    used_ = 0;
+  }
+
+  std::uint64_t* allocate() {
+    if (chunk_ >= chunks_.size()) grow();
+    if (used_ == kBlocksPerChunk) {
+      ++chunk_;
+      used_ = 0;
+      if (chunk_ >= chunks_.size()) grow();
+    }
+    std::uint64_t* block =
+        chunks_[chunk_].get() + std::size_t{used_} * slots_per_block_;
+    ++used_;
+    return block;
+  }
+
+  void reset() {
+    chunk_ = 0;
+    used_ = 0;
+  }
+
+  /// Chunks malloc'd over the arena's lifetime (allocation audit).
+  std::uint64_t chunks_allocated() const { return chunks_allocated_; }
+
+ private:
+  static constexpr std::size_t kBlocksPerChunk = 128;
+
+  void grow() {
+    chunks_.push_back(std::make_unique<std::uint64_t[]>(
+        kBlocksPerChunk * slots_per_block_));
+    ++chunks_allocated_;
+  }
+
+  std::uint32_t slots_per_block_ = 0;
+  std::vector<std::unique_ptr<std::uint64_t[]>> chunks_;
+  std::size_t chunk_ = 0;
+  std::size_t used_ = 0;
+  std::uint64_t chunks_allocated_ = 0;
+};
+
+/// K = threads * subqueues_per_thread bounded FIFO rings of 64-bit
+/// payloads (batch-block addresses). See the header comment for the
+/// producer/consumer discipline.
+class RelaxedMultiQueue {
+ public:
+  RelaxedMultiQueue(int threads, int subqueues_per_thread,
+                    std::size_t capacity_per_subqueue)
+      : threads_(threads < 1 ? 1 : threads),
+        k_(subqueues_per_thread < 1 ? 1 : subqueues_per_thread),
+        mask_(round_up_pow2(capacity_per_subqueue) - 1),
+        sub_(static_cast<std::size_t>(threads_) *
+             static_cast<std::size_t>(k_)),
+        rr_(static_cast<std::size_t>(threads_)) {
+    for (SubQueue& q : sub_) {
+      q.slots = std::make_unique<std::atomic<std::uint64_t>[]>(mask_ + 1);
+    }
+  }
+
+  int num_subqueues() const { return static_cast<int>(sub_.size()); }
+
+  /// Single-threaded (between runs): rewinds every ring. Slots need no
+  /// wipe — the monotone head/tail counters gate every read.
+  void reset() {
+    for (SubQueue& q : sub_) {
+      q.head.value.store(0, std::memory_order_relaxed);
+      q.tail.value.store(0, std::memory_order_relaxed);
+    }
+    for (auto& r : rr_) r.value = 0;
+  }
+
+  /// Owner-only publish: tries each of tid's own k subqueues
+  /// round-robin; false iff all of them are full (the caller keeps the
+  /// batch private — work is never dropped). RMW-free: slot and tail
+  /// are release stores, the head read is an acquire (it must observe
+  /// the claimant's CAS before the producer may overwrite the slot).
+  bool push(int tid, std::uint64_t payload) {
+    std::size_t& next = rr_[static_cast<std::size_t>(tid)].value;
+    const std::size_t base = static_cast<std::size_t>(tid) *
+                             static_cast<std::size_t>(k_);
+    for (int attempt = 0; attempt < k_; ++attempt) {
+      SubQueue& q = sub_[base + (next + static_cast<std::size_t>(attempt)) %
+                                    static_cast<std::size_t>(k_)];
+      const std::uint64_t t = q.tail.value.load(std::memory_order_relaxed);
+      const std::uint64_t h = q.head.value.load(std::memory_order_acquire);
+      if (t - h > mask_) continue;  // full
+      q.slots[t & mask_].store(payload, std::memory_order_release);
+      q.tail.value.store(t + 1, std::memory_order_release);
+      next = (next + static_cast<std::size_t>(attempt) + 1) %
+             static_cast<std::size_t>(k_);
+      return true;
+    }
+    return false;
+  }
+
+  /// d-choice (d=2) pop: samples two subqueues, tries the one with the
+  /// larger approximate size first, then the other. Returns 0 when
+  /// neither attempt claimed a batch this round (empty OR lost a claim
+  /// race — callers count it as one failed steal round either way).
+  std::uint64_t pop(Xoshiro256& rng) {
+    const std::uint64_t count = static_cast<std::uint64_t>(sub_.size());
+    std::size_t a = static_cast<std::size_t>(rng.next_below(count));
+    std::size_t b = static_cast<std::size_t>(rng.next_below(count));
+    if (approx_size(sub_[b]) > approx_size(sub_[a])) std::swap(a, b);
+    if (const std::uint64_t got = try_pop(sub_[a])) return got;
+    if (a == b) return 0;
+    return try_pop(sub_[b]);
+  }
+
+  /// Linear fallback sweep over every subqueue — used after repeated
+  /// d-choice misses so a lone survivor batch is found deterministically
+  /// instead of by coupon-collecting.
+  std::uint64_t pop_scan() {
+    for (SubQueue& q : sub_) {
+      if (const std::uint64_t got = try_pop(q)) return got;
+    }
+    return 0;
+  }
+
+  /// Every ring drained? Exact only at quiescent points (the engine's
+  /// post-barrier residual check); advisory during the run (the
+  /// designated thread's termination scan).
+  bool all_empty() const {
+    for (const SubQueue& q : sub_) {
+      if (q.head.value.load(std::memory_order_acquire) !=
+          q.tail.value.load(std::memory_order_acquire)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Sum of published-batch counts over the queue's lifetime-in-run —
+  /// advisory stability probe for the termination scan.
+  std::uint64_t total_published() const {
+    std::uint64_t total = 0;
+    for (const SubQueue& q : sub_) {
+      total += q.tail.value.load(std::memory_order_acquire);
+    }
+    return total;
+  }
+
+ private:
+  struct SubQueue {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> slots;
+    CacheAligned<std::atomic<std::uint64_t>> head;
+    CacheAligned<std::atomic<std::uint64_t>> tail;
+  };
+
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 64;  // floor so tiny configs still pipeline
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  std::int64_t approx_size(const SubQueue& q) const {
+    const std::uint64_t t = q.tail.value.load(std::memory_order_relaxed);
+    const std::uint64_t h = q.head.value.load(std::memory_order_relaxed);
+    return static_cast<std::int64_t>(t - h);  // transiently sloppy is fine
+  }
+
+  std::uint64_t try_pop(SubQueue& q) {
+    std::uint64_t h = q.head.value.load(std::memory_order_relaxed);
+    const std::uint64_t t = q.tail.value.load(std::memory_order_acquire);
+    if (h == t) return 0;
+    const std::uint64_t payload =
+        q.slots[h & mask_].load(std::memory_order_acquire);
+    // Claim AFTER reading the slot: CAS success proves no other claim of
+    // position h preceded ours, so the producer cannot have overwritten
+    // the slot before our read (overwrite requires head > h first). The
+    // acq_rel success order keeps the slot read from sinking below the
+    // claim. Documented RMW exemption — see header.
+    if (q.head.value.compare_exchange_strong(h, h + 1,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+      return payload;
+    }
+    return 0;
+  }
+
+  const int threads_;
+  const int k_;
+  const std::uint64_t mask_;
+  std::vector<SubQueue> sub_;
+  std::vector<CacheAligned<std::size_t>> rr_;  ///< per-producer round-robin
+};
+
+}  // namespace optibfs

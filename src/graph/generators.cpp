@@ -170,6 +170,22 @@ EdgeList circuit_like(vid_t rows, vid_t cols, eid_t shortcuts,
   return out;
 }
 
+EdgeList path_with_chords(vid_t n, eid_t chords, vid_t max_span,
+                          std::uint64_t seed) {
+  EdgeList out = path(n);
+  if (n < 3 || max_span < 2) return out;
+  Xoshiro256 rng(seed);
+  const vid_t span_range = max_span - 1;  // spans drawn from [2, max_span]
+  for (eid_t e = 0; e < chords; ++e) {
+    const vid_t span = 2 + static_cast<vid_t>(rng.next_below(span_range));
+    if (span >= n) continue;
+    const vid_t u = static_cast<vid_t>(rng.next_below(n - span));
+    out.add_unchecked(u, u + span);
+    out.add_unchecked(u + span, u);
+  }
+  return out;
+}
+
 EdgeList binary_tree(vid_t n) {
   EdgeList out(n);
   for (vid_t v = 1; v < n; ++v) {

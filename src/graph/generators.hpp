@@ -52,6 +52,15 @@ EdgeList grid3d(vid_t nx, vid_t ny, vid_t nz);
 EdgeList circuit_like(vid_t rows, vid_t cols, eid_t shortcuts,
                       std::uint64_t seed);
 
+/// Road-network-like high-diameter graph: the path 0-1-...-(n-1) plus
+/// `chords` random shortcut edges u <-> u+s with span s drawn uniformly
+/// from [2, max_span] (both directions). Because chords are
+/// bounded-span, the diameter stays Theta(n): any route still needs at
+/// least (n-1)/max_span hops end to end — the async-vs-level-sync
+/// crossover workload, reproducible in-tree (DESIGN.md section 10.5).
+EdgeList path_with_chords(vid_t n, eid_t chords, vid_t max_span,
+                          std::uint64_t seed);
+
 /// Complete binary tree on n vertices, parent->child edges plus reverse.
 EdgeList binary_tree(vid_t n);
 

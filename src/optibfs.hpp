@@ -17,6 +17,7 @@
 // paper-to-module mapping.
 #pragma once
 
+#include "core/bfs_async.hpp"      // IWYU pragma: export
 #include "core/bfs_engine.hpp"     // IWYU pragma: export
 #include "core/bfs_options.hpp"    // IWYU pragma: export
 #include "core/bfs_result.hpp"     // IWYU pragma: export

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "core/registry.hpp"
+#include "harness/source_sampler.hpp"
+#include "harness/timing.hpp"
 
 namespace optibfs {
 
@@ -82,9 +84,51 @@ BfsService::~BfsService() {
   if (scheduler_.joinable()) scheduler_.join();
 }
 
+namespace {
+
+/// Satellite of the locality layer: a fixed prefetch_distance default
+/// regressed BENCH_locality on mesh-like graphs, so the service probes
+/// instead of trusting it. Times each candidate distance on the
+/// single-source engine (2 runs each on one sampled source, best-of)
+/// and returns the winner. Cost: a handful of BFS runs at registration,
+/// amortized over the graph's whole serving lifetime.
+int probe_prefetch_distance(const ServiceConfig& config,
+                            const CsrGraph& graph) {
+  constexpr vid_t kMinVerticesForProbe = 32768;
+  if (!config.autotune_prefetch ||
+      graph.num_vertices() < kMinVerticesForProbe) {
+    return config.bfs.prefetch_distance;
+  }
+  const vid_t source = sample_sources(graph, 1, config.bfs.seed).front();
+  int best = 0;
+  double best_ms = -1.0;
+  BFSResult scratch;
+  for (const int candidate : {0, 8}) {
+    BFSOptions opts = config.bfs;
+    opts.num_threads = config.num_threads;
+    opts.prefetch_distance = candidate;
+    const auto engine = make_bfs(config.single_source_engine, graph, opts);
+    double candidate_ms = -1.0;
+    for (int rep = 0; rep < 2; ++rep) {
+      Timer timer;
+      engine->run(source, scratch);
+      const double ms = timer.elapsed_ms();
+      if (candidate_ms < 0.0 || ms < candidate_ms) candidate_ms = ms;
+    }
+    if (best_ms < 0.0 || candidate_ms < best_ms) {
+      best_ms = candidate_ms;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
 void BfsService::rebuild_engines(GraphContext& ctx) {
   BFSOptions opts = config_.bfs;
   opts.num_threads = config_.num_threads;
+  opts.prefetch_distance = ctx.prefetch_distance;
   ctx.single_engine =
       make_bfs(config_.single_source_engine, *ctx.graph, opts);
   // Waves direction-optimize like the (default BFS_CL_H) fallback
@@ -121,6 +165,7 @@ std::uint64_t BfsService::register_graph(
   ctx->dynamic = std::make_shared<DynamicGraph>(ctx->graph, dyn_config);
   ctx->fingerprint = ctx->dynamic->content_fingerprint();
   ctx->snapshot = ctx->dynamic->snapshot();
+  ctx->prefetch_distance = probe_prefetch_distance(config_, *ctx->graph);
   rebuild_engines(*ctx);
   IncrementalBfsEngine::Config repair_config;
   repair_config.cone_recompute_fraction = config_.cone_recompute_fraction;
@@ -207,6 +252,17 @@ ServiceStats BfsService::stats() const {
   snapshot.cache_entries = cache_.entries();
   snapshot.cache_bytes = cache_.bytes();
   snapshot.cache_evictions = cache_.evictions();
+  {
+    // Engine configuration is per registered graph: report the resolved
+    // batch-of-1 engine (strict vs relaxed) and the prefetch distance
+    // its engines actually run with.
+    std::lock_guard lock(mutex_);
+    if (ctx_ != nullptr) {
+      snapshot.single_source_engine =
+          std::string(ctx_->single_engine->name());
+      snapshot.prefetch_distance = ctx_->prefetch_distance;
+    }
+  }
   return snapshot;
 }
 

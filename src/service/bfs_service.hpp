@@ -135,8 +135,23 @@ struct ServiceConfig {
   /// exceeds this fraction of n
   /// (IncrementalBfsEngine::Config::cone_recompute_fraction).
   double cone_recompute_fraction = 0.25;
-  /// Registry name of the batch-of-1 fallback engine.
+  /// Registry name of the batch-of-1 fallback engine — the
+  /// strict-vs-relaxed choice: any level-synchronous name (BFS_CL_H by
+  /// default) or the asynchronous BFS_ASYNC for high-diameter graphs
+  /// where barriers x diameter dominate. The resolved engine name is
+  /// recorded in ServiceStats::single_source_engine so BENCH
+  /// comparisons are self-describing.
   std::string single_source_engine = "BFS_CL_H";
+  /// Prefetch auto-tune (DESIGN.md section 3.1a): at register_graph,
+  /// time a cheap probe of prefetch_distance candidates {0, 8} on the
+  /// single-source engine and build the graph's engines with the
+  /// winner, instead of trusting a fixed default (a fixed 8 regressed
+  /// BENCH_locality on mesh-like graphs; a fixed 0 leaves rmat wins on
+  /// the table). Skipped — config_.bfs.prefetch_distance is used as-is
+  /// — when disabled or when the graph is too small for the probe to
+  /// measure anything (n < 32768). The chosen distance is recorded in
+  /// ServiceStats::prefetch_distance either way.
+  bool autotune_prefetch = true;
   /// Vertex-reorder preprocessing applied to every registered graph
   /// (CsrGraph::reorder). Purely internal: queries, results, and cached
   /// level arrays stay in the caller's original vertex IDs — the
@@ -233,6 +248,9 @@ class BfsService {
     std::shared_ptr<const CsrGraph> graph;  ///< current base CSR
     std::uint64_t version = 0;
     std::uint64_t fingerprint = 0;  ///< cache key: content identity
+    /// Prefetch lookahead this graph's engines were built with (the
+    /// auto-tune probe's winner, or config.bfs.prefetch_distance).
+    int prefetch_distance = 0;
     std::shared_ptr<DynamicGraph> dynamic;
     GraphSnapshot snapshot;  ///< CSR ∪ delta at this version
     std::shared_ptr<ParallelBFS> single_engine;

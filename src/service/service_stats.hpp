@@ -58,6 +58,19 @@ struct ServiceStats {
   std::uint64_t cache_bytes = 0;
   std::uint64_t cache_evictions = 0;
 
+  // ---- engine configuration (decided at register_graph time) ----
+  /// Resolved name of the batch-of-1 engine actually serving single
+  /// dispatches (the strict-vs-relaxed choice: a level-synchronous
+  /// hybrid like BFS_CL_H, or the asynchronous BFS_ASYNC). Empty until
+  /// a graph is registered.
+  std::string single_source_engine;
+  /// Prefetch lookahead the registered graph's engines run with. -1
+  /// until a graph is registered; otherwise the auto-tune probe's
+  /// winner (ServiceConfig::autotune_prefetch) or the configured fixed
+  /// value — recorded here so a regressing default cannot ship silently
+  /// (the BENCH_locality pf8 lesson).
+  int prefetch_distance = -1;
+
   /// Thin view over the flight-recorder counter snapshot: the service
   /// bumps telemetry counters (one slab under its stats lock) and this
   /// is the single place mapping them back to the report fields. The
@@ -127,6 +140,8 @@ struct ServiceStats {
         << ", \"max_latency_ms\": " << max_latency_ms
         << ", \"cache_entries\": " << cache_entries
         << ", \"cache_bytes\": " << cache_bytes
+        << ", \"single_source_engine\": \"" << single_source_engine << "\""
+        << ", \"prefetch_distance\": " << prefetch_distance
         << ", \"batch_histogram\": {";
     bool first = true;
     for (std::size_t w = 1; w < batch_histogram.size(); ++w) {

@@ -64,6 +64,12 @@ namespace optibfs::telemetry {
   X(kBottomUpWordsSkipped,     "bottom_up_words_skipped")                    \
   X(kPrefetchIssued,           "prefetch_issued")                            \
   X(kScratchReuses,            "scratch_reuses")                             \
+  /* asynchronous family (DESIGN.md section 10) */                           \
+  X(kAsyncWastedRelaxations,   "async_wasted_relaxations")                   \
+  X(kAsyncRequeues,            "async_requeues")                             \
+  X(kAsyncStealRounds,         "async_steal_rounds")                         \
+  X(kAsyncTerminationRounds,   "async_termination_rounds")                   \
+  X(kAsyncOverflowBlocks,      "async_overflow_blocks")                      \
   /* MS-BFS */                                                               \
   X(kWaves,                    "waves")                                      \
   X(kWaveSources,              "wave_sources")                               \

@@ -286,6 +286,33 @@ TEST(BfsService, ShutdownCompletesEveryFuture) {
   }
 }
 
+// The strict-vs-relaxed engine choice and the prefetch auto-tune
+// result must be observable: BENCH comparisons across engine families
+// key off ServiceStats::single_source_engine / prefetch_distance.
+TEST(BfsService, StatsReportResolvedEngineAndPrefetch) {
+  ServiceConfig config = small_config();
+  EXPECT_TRUE(BfsService(config).stats().single_source_engine.empty());
+  EXPECT_EQ(BfsService(config).stats().prefetch_distance, -1);
+
+  config.single_source_engine = "BFS_ASYNC";
+  config.bfs.prefetch_distance = 4;
+  BfsService service(config);
+  const auto graph = make_graph(gen::erdos_renyi(600, 4000, 7));
+  service.register_graph(graph);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.single_source_engine, "BFS_ASYNC");
+  // Too small for the auto-tune probe (n < 32768): the configured
+  // fixed distance is recorded as-is.
+  EXPECT_EQ(stats.prefetch_distance, 4);
+
+  // The async engine serves batch-of-1 queries correctly end to end.
+  const BFSResult reference = bfs_serial(*graph, 3);
+  const QueryResult result = service.distance(3);
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(result.levels, nullptr);
+  EXPECT_EQ(*result.levels, reference.level);
+}
+
 TEST(ResultCache, LruEvictionHonorsByteBudget) {
   const std::size_t levels_bytes = 1000 * sizeof(level_t);
   // Room for two entries (payload + per-entry overhead), not three.
