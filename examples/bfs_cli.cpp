@@ -10,6 +10,7 @@
 //   ./bfs_cli --list
 //   ./bfs_cli --graph file:web.mtx --updates trace.txt --json out.json
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
@@ -75,6 +76,12 @@ using namespace optibfs;
       "                   the measurement sweep with one record per run,\n"
       "                   each carrying the engine name so cross-family\n"
       "                   BENCH comparisons are self-describing\n"
+      "  --kernel NAME    run a graph kernel (--list-kernels) instead of\n"
+      "                   the BFS sweep: CC / KCORE / MIS / PRDELTA and\n"
+      "                   their _RMW ablation twins (DESIGN.md section 11).\n"
+      "                   --verify checks against the serial references,\n"
+      "                   --json writes the kernel record\n"
+      "  --list-kernels   print kernel names and exit\n"
       "  --stats          print steal/duplicate statistics\n"
       "  --trace PATH     write a Chrome trace-event JSON of the runs\n"
       "                   (open in ui.perfetto.dev or about://tracing;\n"
@@ -302,6 +309,129 @@ int run_service_sweep(CsrGraph&& owned, const std::string& graph_spec,
   return 0;
 }
 
+/// --kernel mode: one kernel run with a per-family summary, optional
+/// reference verification, and the same schema-v2 JSON path the sweep
+/// uses (one record, engine name = kernel name).
+int run_kernel_mode(const CsrGraph& graph, const std::string& graph_spec,
+                    const std::string& kernel_name, const BFSOptions& options,
+                    bool verify, bool stats, const std::string& json_path) {
+  if (!kernels::is_kernel(kernel_name)) {
+    std::cerr << "unknown kernel '" << kernel_name << "' (--list-kernels)\n";
+    return 2;
+  }
+  Timer timer;
+  kernels::KernelResult result;
+  kernels::make_kernel(kernel_name, graph, options)->run(result);
+  const double ms = timer.elapsed_ms();
+  const vid_t n = graph.num_vertices();
+  std::cout << "ran " << result.name << " with " << options.num_threads
+            << " threads: " << result.rounds << " rounds, " << ms
+            << " ms\n";
+
+  const bool is_cc = !result.labels.empty() && result.core.empty() &&
+                     kernel_name.rfind("CC", 0) == 0;
+  const bool is_mis = kernel_name.rfind("MIS", 0) == 0;
+  if (is_cc) {
+    std::uint64_t components = 0;
+    for (vid_t v = 0; v < n; ++v) {
+      if (result.labels[v] == v) ++components;
+    }
+    std::cout << "  components: " << components << "\n";
+  } else if (is_mis) {
+    std::uint64_t in_set = 0;
+    for (const vid_t flag : result.labels) in_set += flag;
+    std::cout << "  independent set size: " << in_set << "\n";
+  } else if (!result.core.empty()) {
+    std::uint32_t degeneracy = 0;
+    for (const std::uint32_t c : result.core) {
+      degeneracy = std::max(degeneracy, c);
+    }
+    std::cout << "  degeneracy (max coreness): " << degeneracy << "\n";
+  } else if (!result.rank.empty()) {
+    double mass = 0.0;
+    vid_t top = 0;
+    for (vid_t v = 0; v < n; ++v) {
+      mass += result.rank[v];
+      if (result.rank[v] > result.rank[top]) top = v;
+    }
+    std::cout << "  rank mass: " << mass << "  top vertex: " << top << " ("
+              << result.rank[top] << ")\n";
+  }
+
+  if (verify) {
+    if (is_cc) {
+      if (result.labels != kernels::cc_reference(graph)) {
+        std::cerr << result.name << " diverged from cc_reference\n";
+        return 1;
+      }
+    } else if (is_mis) {
+      std::string why;
+      if (!kernels::mis_validate(graph, result.labels, &why)) {
+        std::cerr << result.name << " invalid: " << why << "\n";
+        return 1;
+      }
+    } else if (!result.core.empty()) {
+      if (result.core != kernels::kcore_reference(graph)) {
+        std::cerr << result.name << " diverged from kcore_reference\n";
+        return 1;
+      }
+    } else {
+      const auto ref = kernels::pagerank_reference(graph, options.pr_damping);
+      const double bound = options.pr_epsilon * static_cast<double>(n) /
+                           (1.0 - options.pr_damping);
+      for (vid_t v = 0; v < n; ++v) {
+        if (std::abs(result.rank[v] - ref[v]) > bound + 1e-12) {
+          std::cerr << result.name << " rank[" << v
+                    << "] outside the truncation bound\n";
+          return 1;
+        }
+      }
+    }
+    std::cout << "  verified against the serial reference\n";
+  }
+
+  using telemetry::Counter;
+  const auto& c = result.counters;
+  if (stats) {
+    std::cout << "  rounds=" << c[Counter::kKernelRounds]
+              << " activations=" << c[Counter::kKernelActivations]
+              << " dup_activations=" << c[Counter::kKernelDupActivations]
+              << " repair_passes=" << c[Counter::kKernelRepairPasses]
+              << " repair_fixes=" << c[Counter::kKernelRepairFixes]
+              << " conflict_demotes=" << c[Counter::kKernelConflictDemotes]
+              << " rmw_ops=" << c[Counter::kKernelRmwOps] << "\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write '" << json_path << "'\n";
+      return 1;
+    }
+    JsonWriter w(out);
+    w.begin_object();
+    write_result_header(w);
+    w.key("graph").value(graph_spec);
+    w.key("n").value(static_cast<std::uint64_t>(n));
+    w.key("m").value(static_cast<std::uint64_t>(graph.num_edges()));
+    w.key("threads").value(options.num_threads);
+    w.key("kernel").value(result.name);
+    w.key("rounds").value(result.rounds);
+    w.key("ms").value(ms);
+    w.key("kernel_activations").value(c[Counter::kKernelActivations]);
+    w.key("kernel_dup_activations").value(c[Counter::kKernelDupActivations]);
+    w.key("kernel_repair_passes").value(c[Counter::kKernelRepairPasses]);
+    w.key("kernel_repair_fixes").value(c[Counter::kKernelRepairFixes]);
+    w.key("kernel_conflict_demotes")
+        .value(c[Counter::kKernelConflictDemotes]);
+    w.key("kernel_rmw_ops").value(c[Counter::kKernelRmwOps]);
+    w.end_object();
+    out << '\n';
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
 /// --updates mode: replay the trace through DynamicGraph, timing each
 /// batch both ways — incremental repair of the standing level array
 /// (with its cone-fallback recompute charged to repair) against a
@@ -437,6 +567,7 @@ int main(int argc, char** argv) {
   bool verify = false;
   bool stats = false;
   bool use_service = false;
+  std::string kernel_name;
   std::string trace_path;
   std::string updates_path;
   std::string json_path;
@@ -453,6 +584,11 @@ int main(int argc, char** argv) {
     else if (arg == "--batch") options.async_batch_size = std::atoi(next().c_str());
     else if (arg == "--prefetch") options.prefetch_distance = std::atoi(next().c_str());
     else if (arg == "--service") use_service = true;
+    else if (arg == "--kernel") kernel_name = next();
+    else if (arg == "--list-kernels") {
+      for (const auto& name : kernels::all_kernels()) std::cout << name << '\n';
+      return 0;
+    }
     else if (arg == "--threads") options.num_threads = std::atoi(next().c_str());
     else if (arg == "--sources") sources_count = std::atoi(next().c_str());
     else if (arg == "--segment") options.segment_size = std::atoll(next().c_str());
@@ -489,6 +625,11 @@ int main(int argc, char** argv) {
   if (graph.num_vertices() == 0) {
     std::cerr << "empty graph\n";
     return 1;
+  }
+
+  if (!kernel_name.empty()) {
+    return run_kernel_mode(graph, graph_spec, kernel_name, options, verify,
+                           stats, json_path);
   }
 
   if (!updates_path.empty()) {

@@ -159,6 +159,21 @@ struct BFSOptions {
   /// and exit cleanly. 0 (always, outside tests) disables.
   int async_straggler_ms = 0;
 
+  /// Kernel suite (src/kernels/) only: damping factor for the
+  /// delta-PageRank residual push. The classic 0.85 unless an
+  /// experiment says otherwise.
+  double pr_damping = 0.85;
+
+  /// Kernel suite only: residual threshold below which delta-PageRank
+  /// stops pushing a vertex's mass. Smaller = more rounds, tighter
+  /// ranks. Reference comparisons allow an O(epsilon * n) slack.
+  double pr_epsilon = 1e-7;
+
+  /// Kernel suite only: hard cap on substrate rounds (0 = no cap).
+  /// A safety valve for tests that want to assert convergence happens
+  /// within a budget rather than hang on a regression.
+  int kernel_max_rounds = 0;
+
   /// Record the frontier size of every level into
   /// BFSResult::level_sizes (tiny cost; off by default to keep
   /// measurement allocations stable).

@@ -1,0 +1,53 @@
+#include "kernels/kernel_registry.hpp"
+
+#include <stdexcept>
+
+#include "kernels/components.hpp"
+#include "kernels/kcore.hpp"
+#include "kernels/mis.hpp"
+#include "kernels/pagerank_delta.hpp"
+
+namespace optibfs::kernels {
+
+const std::vector<std::string>& all_kernels() {
+  static const std::vector<std::string> names = {
+      "CC",  "CC_RMW",  "KCORE",   "KCORE_RMW",
+      "MIS", "MIS_RMW", "PRDELTA", "PRDELTA_RMW",
+  };
+  return names;
+}
+
+const std::vector<std::string>& optimistic_kernels() {
+  static const std::vector<std::string> names = {"CC", "KCORE", "MIS",
+                                                 "PRDELTA"};
+  return names;
+}
+
+bool is_kernel(const std::string& name) {
+  for (const std::string& k : all_kernels())
+    if (k == name) return true;
+  return false;
+}
+
+std::unique_ptr<GraphKernel> make_kernel(const std::string& name,
+                                         const CsrGraph& graph,
+                                         const BFSOptions& options) {
+  if (name == "CC")
+    return std::make_unique<ComponentsKernel>(graph, options, false);
+  if (name == "CC_RMW")
+    return std::make_unique<ComponentsKernel>(graph, options, true);
+  if (name == "KCORE")
+    return std::make_unique<KCoreKernel>(graph, options, false);
+  if (name == "KCORE_RMW")
+    return std::make_unique<KCoreKernel>(graph, options, true);
+  if (name == "MIS") return std::make_unique<MisKernel>(graph, options, false);
+  if (name == "MIS_RMW")
+    return std::make_unique<MisKernel>(graph, options, true);
+  if (name == "PRDELTA")
+    return std::make_unique<PageRankDeltaKernel>(graph, options, false);
+  if (name == "PRDELTA_RMW")
+    return std::make_unique<PageRankDeltaKernel>(graph, options, true);
+  throw std::invalid_argument("unknown kernel: " + name);
+}
+
+}  // namespace optibfs::kernels

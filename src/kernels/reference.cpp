@@ -1,0 +1,141 @@
+#include "kernels/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace optibfs::kernels {
+
+namespace {
+
+/// Undirected-view adjacency in original ids (multi-edges kept, so
+/// degree semantics match the kernels exactly).
+std::vector<std::vector<vid_t>> undirected_original(const CsrGraph& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<std::vector<vid_t>> adj(n);
+  for (vid_t u = 0; u < n; ++u) {
+    const vid_t ou = g.to_original(u);
+    for (vid_t v : g.out_neighbors(u)) {
+      const vid_t ov = g.to_original(v);
+      adj[ou].push_back(ov);
+      adj[ov].push_back(ou);
+    }
+  }
+  return adj;
+}
+
+}  // namespace
+
+std::vector<vid_t> cc_reference(const CsrGraph& g) {
+  const vid_t n = g.num_vertices();
+  const auto adj = undirected_original(g);
+  std::vector<vid_t> label(n, kInvalidVertex);
+  std::vector<vid_t> queue;
+  for (vid_t s = 0; s < n; ++s) {
+    if (label[s] != kInvalidVertex) continue;
+    // Scanning s in increasing order makes s the component minimum.
+    label[s] = s;
+    queue.assign(1, s);
+    while (!queue.empty()) {
+      const vid_t u = queue.back();
+      queue.pop_back();
+      for (vid_t w : adj[u])
+        if (label[w] == kInvalidVertex) {
+          label[w] = s;
+          queue.push_back(w);
+        }
+    }
+  }
+  return label;
+}
+
+std::vector<std::uint32_t> kcore_reference(const CsrGraph& g) {
+  const vid_t n = g.num_vertices();
+  const auto adj = undirected_original(g);
+  std::vector<std::uint32_t> deg(n), core(n, 0);
+  for (vid_t v = 0; v < n; ++v)
+    deg[v] = static_cast<std::uint32_t>(adj[v].size());
+  std::vector<char> dead(n, 0);
+  // Min-degree serial peel: a vertex's core is the level k at which it
+  // is removed (deg <= k at removal time).
+  using Entry = std::pair<std::uint32_t, vid_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  for (vid_t v = 0; v < n; ++v) pq.push({deg[v], v});
+  std::uint32_t k = 0;
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (dead[v] != 0 || d != deg[v]) continue;  // stale entry
+    k = std::max(k, d);
+    core[v] = k;
+    dead[v] = 1;
+    for (vid_t w : adj[v])
+      if (dead[w] == 0) {
+        --deg[w];
+        pq.push({deg[w], w});
+      }
+  }
+  return core;
+}
+
+std::vector<double> pagerank_reference(const CsrGraph& g, double damping,
+                                       double tol) {
+  const vid_t n = g.num_vertices();
+  std::vector<double> rank(n, 1.0 - damping), next(n);
+  for (int iter = 0; iter < 100000; ++iter) {
+    std::fill(next.begin(), next.end(), 1.0 - damping);
+    for (vid_t v = 0; v < n; ++v) {
+      const auto nbrs = g.out_neighbors(v);
+      if (nbrs.empty()) continue;  // dangling mass dropped
+      const double share =
+          damping * rank[v] / static_cast<double>(nbrs.size());
+      for (vid_t w : nbrs) next[w] += share;
+    }
+    double delta = 0.0;
+    for (vid_t v = 0; v < n; ++v)
+      delta = std::max(delta, std::abs(next[v] - rank[v]));
+    rank.swap(next);
+    if (delta <= tol) break;
+  }
+  // Internal ids -> original ids.
+  std::vector<double> out(n);
+  for (vid_t v = 0; v < n; ++v) out[g.to_original(v)] = rank[v];
+  return out;
+}
+
+bool mis_validate(const CsrGraph& g, const std::vector<vid_t>& labels,
+                  std::string* why) {
+  const vid_t n = g.num_vertices();
+  if (labels.size() != n) {
+    if (why != nullptr) *why = "label array size mismatch";
+    return false;
+  }
+  const auto adj = undirected_original(g);
+  for (vid_t v = 0; v < n; ++v) {
+    if (labels[v] == 1) {
+      for (vid_t w : adj[v])
+        if (w != v && labels[w] == 1) {
+          if (why != nullptr)
+            *why = "independence violated: vertices " + std::to_string(v) +
+                   " and " + std::to_string(w) + " both in";
+          return false;
+        }
+    } else {
+      bool covered = false;
+      for (vid_t w : adj[v])
+        if (w != v && labels[w] == 1) {
+          covered = true;
+          break;
+        }
+      if (!covered) {
+        if (why != nullptr)
+          *why = "maximality violated: vertex " + std::to_string(v) +
+                 " is out with no in-neighbor";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace optibfs::kernels

@@ -1,0 +1,38 @@
+// Serial reference oracles for the kernel suite (tests + --verify).
+//
+// Each reference defines the ground truth the parallel kernels are
+// compared against, on the same multigraph semantics the kernels use
+// (the superposed out+in view for CC / k-core / MIS, out-edges with
+// dangling mass dropped for PageRank). Everything is indexed by and
+// valued in ORIGINAL vertex ids, so reordered graphs compare directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace optibfs::kernels {
+
+/// Component label per vertex: the smallest original id in the
+/// vertex's (undirected-view) component.
+std::vector<vid_t> cc_reference(const CsrGraph& g);
+
+/// Core number per vertex over the superposed out+in multigraph
+/// (every directed edge adds 1 to both endpoints; a self-loop adds 2).
+std::vector<std::uint32_t> kcore_reference(const CsrGraph& g);
+
+/// PageRank per vertex: Jacobi iteration of
+///   rank = (1-d)*1 + d * M^T rank
+/// with dangling columns dropped, iterated to `tol` (max-norm).
+std::vector<double> pagerank_reference(const CsrGraph& g, double damping,
+                                       double tol = 1e-13);
+
+/// Validates an MIS result (labels[orig] == 1 means "in"): no edge
+/// joins two in-vertices (self-loops ignored) and every non-member has
+/// an in-neighbor. On failure returns false and explains in *why.
+bool mis_validate(const CsrGraph& g, const std::vector<vid_t>& labels,
+                  std::string* why = nullptr);
+
+}  // namespace optibfs::kernels

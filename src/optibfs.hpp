@@ -34,4 +34,7 @@
 #include "harness/source_sampler.hpp"  // IWYU pragma: export
 #include "harness/timing.hpp"      // IWYU pragma: export
 #include "harness/verifier.hpp"    // IWYU pragma: export
+#include "kernels/kernel.hpp"          // IWYU pragma: export
+#include "kernels/kernel_registry.hpp" // IWYU pragma: export
+#include "kernels/reference.hpp"       // IWYU pragma: export
 #include "service/bfs_service.hpp" // IWYU pragma: export

@@ -4,8 +4,10 @@
 #include <stdexcept>
 
 #include "core/registry.hpp"
+#include "graph/graph_props.hpp"
 #include "harness/source_sampler.hpp"
 #include "harness/timing.hpp"
+#include "kernels/kernel_registry.hpp"
 
 namespace optibfs {
 
@@ -19,6 +21,11 @@ ServiceConfig sanitized(ServiceConfig config) {
   config.max_batch =
       std::clamp(config.max_batch, 1, MsBfsSession::kMaxBatch);
   return config;
+}
+
+bool is_kernel_query(QueryKind kind) {
+  return kind == QueryKind::kComponents || kind == QueryKind::kCoreNumber ||
+         kind == QueryKind::kRankTopK;
 }
 
 double ms_since(std::chrono::steady_clock::time_point start) {
@@ -123,6 +130,29 @@ int probe_prefetch_distance(const ServiceConfig& config,
   return best;
 }
 
+/// Reorder auto-selection (satellite of the locality layer): a fixed
+/// ServiceConfig::reorder forces its policy; otherwise a degree-
+/// distribution probe picks one per graph. Scale-free graphs — heavy
+/// tail (max degree >> mean) with a plausible power-law exponent —
+/// reward hub clustering (the BENCH_locality result the kHubCluster
+/// policy exists for); mesh-like graphs see no hubs to cluster and are
+/// served as-is. Cost: one O(n) degree pass at registration.
+ReorderPolicy resolve_reorder(const ServiceConfig& config,
+                              const CsrGraph& graph) {
+  constexpr vid_t kMinVerticesForProbe = 32768;
+  if (config.reorder != ReorderPolicy::kNone) return config.reorder;
+  if (!config.autotune_reorder ||
+      graph.num_vertices() < kMinVerticesForProbe) {
+    return ReorderPolicy::kNone;
+  }
+  const DegreeStats stats = degree_stats(graph);
+  const double gamma = power_law_exponent_estimate(stats);
+  const bool heavy_tail =
+      stats.mean > 0.0 && static_cast<double>(stats.max) >= 8.0 * stats.mean;
+  if (heavy_tail && gamma > 1.5) return ReorderPolicy::kHubCluster;
+  return ReorderPolicy::kNone;
+}
+
 }  // namespace
 
 void BfsService::rebuild_engines(GraphContext& ctx) {
@@ -149,19 +179,20 @@ std::uint64_t BfsService::register_graph(
   // spins its worker team, and materializing the transpose here keeps
   // the lazy-build mutex off the path-query path.
   auto ctx = std::make_shared<GraphContext>();
-  if (config_.reorder != ReorderPolicy::kNone) {
+  ctx->reorder_policy = resolve_reorder(config_, *graph);
+  if (ctx->reorder_policy != ReorderPolicy::kNone) {
     // Locality preprocessing (DESIGN.md section 3.1a): serve a
     // reordered copy. Transparent to callers — the engines answer in
     // original vertex IDs on reordered graphs.
     ctx->graph = std::make_shared<const CsrGraph>(
-        graph->reorder(config_.reorder));
+        graph->reorder(ctx->reorder_policy));
     graph.reset();
   } else {
     ctx->graph = std::move(graph);
   }
   DynamicGraph::Config dyn_config;
   dyn_config.compact_threshold = config_.compact_threshold;
-  dyn_config.reorder = config_.reorder;
+  dyn_config.reorder = ctx->reorder_policy;
   ctx->dynamic = std::make_shared<DynamicGraph>(ctx->graph, dyn_config);
   ctx->fingerprint = ctx->dynamic->content_fingerprint();
   ctx->snapshot = ctx->dynamic->snapshot();
@@ -261,6 +292,7 @@ ServiceStats BfsService::stats() const {
       snapshot.single_source_engine =
           std::string(ctx_->single_engine->name());
       snapshot.prefetch_distance = ctx_->prefetch_distance;
+      snapshot.reorder_policy = reorder_policy_name(ctx_->reorder_policy);
     }
   }
   return snapshot;
@@ -309,6 +341,28 @@ QueryResult BfsService::level_set(vid_t source, level_t depth) {
   return query(q);
 }
 
+QueryResult BfsService::components_of(vid_t v) {
+  Query q;
+  q.kind = QueryKind::kComponents;
+  q.source = v;
+  return query(q);
+}
+
+QueryResult BfsService::core_number(vid_t v) {
+  Query q;
+  q.kind = QueryKind::kCoreNumber;
+  q.source = v;
+  return query(q);
+}
+
+QueryResult BfsService::rank_topk(int k) {
+  Query q;
+  q.kind = QueryKind::kRankTopK;
+  q.source = 0;
+  q.topk = k;
+  return query(q);
+}
+
 std::future<QueryResult> BfsService::submit(const Query& query) {
   Pending pending;
   pending.query = query;
@@ -338,6 +392,12 @@ std::future<QueryResult> BfsService::submit(const Query& query) {
       case QueryKind::kLevelSet:
         invalid = query.depth < 0;
         break;
+      case QueryKind::kComponents:
+      case QueryKind::kCoreNumber:
+        break;  // source range already checked above
+      case QueryKind::kRankTopK:
+        invalid = query.topk < 1;
+        break;
     }
   }
   if (invalid) {
@@ -348,14 +408,18 @@ std::future<QueryResult> BfsService::submit(const Query& query) {
   }
 
   // Cache fast path: a repeat source never touches the scheduler.
-  if (auto cached = cache_.lookup(ctx->fingerprint, query.source)) {
-    {
-      std::lock_guard lock(stats_mutex_);
-      ++query_counters_.slab(0)[kQueriesCacheHit];
+  // Kernel-typed queries skip it — level arrays cannot answer them;
+  // their memo lives with the scheduler.
+  if (!is_kernel_query(query.kind)) {
+    if (auto cached = cache_.lookup(ctx->fingerprint, query.source)) {
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++query_counters_.slab(0)[kQueriesCacheHit];
+      }
+      complete(pending,
+               finalize(query, *ctx, std::move(cached), /*cache_hit=*/true));
+      return future;
     }
-    complete(pending,
-             finalize(query, *ctx, std::move(cached), /*cache_hit=*/true));
-    return future;
   }
 
   const double timeout =
@@ -398,7 +462,7 @@ void BfsService::scheduler_loop() {
     sched_trace_.attach(*config_.bfs.telemetry, "service.scheduler");
   }
   for (;;) {
-    std::vector<Pending> expired, stale, batch;
+    std::vector<Pending> expired, stale, batch, kernel_batch;
     std::vector<PendingUpdate> updates;
     std::shared_ptr<GraphContext> ctx;
     {
@@ -432,6 +496,10 @@ void BfsService::scheduler_loop() {
           stale.push_back(std::move(pending));
         } else if (pending.has_deadline && pending.deadline <= now) {
           expired.push_back(std::move(pending));
+        } else if (is_kernel_query(pending.query.kind)) {
+          // Kernel queries never occupy wave slots — they share one
+          // memoized kernel run per version, not a wave.
+          kernel_batch.push_back(std::move(pending));
         } else if (std::find(sources.begin(), sources.end(),
                              pending.query.source) != sources.end()) {
           batch.push_back(std::move(pending));
@@ -456,6 +524,7 @@ void BfsService::scheduler_loop() {
       complete(pending, std::move(result));
     }
     if (!batch.empty()) execute_batch(ctx, batch);
+    if (!kernel_batch.empty()) execute_kernel_queries(ctx, kernel_batch);
   }
 
   // Shutdown: every still-queued query completes (futures never hang),
@@ -511,6 +580,9 @@ void BfsService::process_updates(std::vector<PendingUpdate>& updates) {
     next->graph = ctx->dynamic->base_csr();
     next->snapshot = ctx->dynamic->snapshot();
     next->fingerprint = ctx->dynamic->content_fingerprint();
+    // The kernel memo answers for one edge set only: drop it and let
+    // the next kernel query recompute on the updated snapshot.
+    next->kernels.reset();
     if (summary.compacted) rebuild_engines(*next);
 
     // Cone-scoped cache migration instead of a full flush: rows the
@@ -656,6 +728,135 @@ void BfsService::execute_batch(const std::shared_ptr<GraphContext>& ctx,
                     static_cast<std::uint64_t>(sources.size()));
 }
 
+void BfsService::execute_kernel_queries(
+    const std::shared_ptr<GraphContext>& ctx, std::vector<Pending>& batch) {
+  const std::uint64_t dispatch_t0 = sched_trace_.now();
+  if (!ctx->kernels) ctx->kernels = std::make_shared<KernelCache>();
+  KernelCache& memo = *ctx->kernels;
+  // "Hit" is decided against the memo as this dispatch found it; every
+  // query in the batch that needed a kernel run below shares one run.
+  const bool cc_hit = memo.have_components;
+  const bool core_hit = memo.have_core;
+  const bool rank_hit = memo.have_rank;
+
+  bool need_cc = false, need_core = false, need_rank = false;
+  for (const Pending& pending : batch) {
+    switch (pending.query.kind) {
+      case QueryKind::kComponents:
+        need_cc = true;
+        break;
+      case QueryKind::kCoreNumber:
+        need_core = true;
+        break;
+      case QueryKind::kRankTopK:
+        need_rank = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::uint64_t recomputes = 0;
+  if ((need_cc && !cc_hit) || (need_core && !core_hit) ||
+      (need_rank && !rank_hit)) {
+    // Recompute-on-snapshot: a live delta overlay means the base CSR
+    // is stale for kernels, so materialize CSR ∪ delta once and run
+    // every missing kernel against it. (Same quiescence argument as
+    // execute_batch: only this thread dispatches, no wave in flight.)
+    std::shared_ptr<const CsrGraph> view = ctx->graph;
+    if (ctx->snapshot.has_delta()) {
+      view = std::make_shared<const CsrGraph>(
+          CsrGraph::from_edges(ctx->snapshot.to_edge_list()));
+    }
+    BFSOptions opts = config_.bfs;
+    opts.num_threads = config_.num_threads;
+    if (need_cc && !cc_hit) {
+      kernels::KernelResult out;
+      kernels::make_kernel("CC", *view, opts)->run(out);
+      memo.components = std::move(out.labels);
+      memo.size_by_label.assign(memo.components.size(), 0);
+      for (const vid_t label : memo.components) ++memo.size_by_label[label];
+      memo.have_components = true;
+      ++recomputes;
+    }
+    if (need_core && !core_hit) {
+      kernels::KernelResult out;
+      kernels::make_kernel("KCORE", *view, opts)->run(out);
+      memo.core = std::move(out.core);
+      memo.have_core = true;
+      ++recomputes;
+    }
+    if (need_rank && !rank_hit) {
+      kernels::KernelResult out;
+      kernels::make_kernel("PRDELTA", *view, opts)->run(out);
+      memo.rank_sorted.clear();
+      memo.rank_sorted.reserve(out.rank.size());
+      for (vid_t v = 0; v < static_cast<vid_t>(out.rank.size()); ++v) {
+        memo.rank_sorted.emplace_back(v, out.rank[v]);
+      }
+      std::sort(memo.rank_sorted.begin(), memo.rank_sorted.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      memo.have_rank = true;
+      ++recomputes;
+    }
+  }
+
+  std::uint64_t hits = 0;
+  for (const Pending& pending : batch) {
+    const QueryKind kind = pending.query.kind;
+    if ((kind == QueryKind::kComponents && cc_hit) ||
+        (kind == QueryKind::kCoreNumber && core_hit) ||
+        (kind == QueryKind::kRankTopK && rank_hit)) {
+      ++hits;
+    }
+  }
+  {
+    // Count before completing: a caller who blocks on the future and
+    // immediately reads stats() must see this dispatch included.
+    std::lock_guard lock(stats_mutex_);
+    std::uint64_t* ctr = query_counters_.slab(0);
+    ctr[kKernelQueries] += batch.size();
+    ctr[kKernelCacheHits] += hits;
+    ctr[kKernelRecomputes] += recomputes;
+  }
+
+  for (Pending& pending : batch) {
+    QueryResult result;
+    result.status = QueryStatus::kOk;
+    result.graph_version = ctx->version;
+    switch (pending.query.kind) {
+      case QueryKind::kComponents:
+        result.component = memo.components[pending.query.source];
+        result.component_size = memo.size_by_label[result.component];
+        result.cache_hit = cc_hit;
+        break;
+      case QueryKind::kCoreNumber:
+        result.core = memo.core[pending.query.source];
+        result.cache_hit = core_hit;
+        break;
+      case QueryKind::kRankTopK: {
+        const std::size_t k =
+            std::min(static_cast<std::size_t>(pending.query.topk),
+                     memo.rank_sorted.size());
+        result.topk.assign(
+            memo.rank_sorted.begin(),
+            memo.rank_sorted.begin() + static_cast<std::ptrdiff_t>(k));
+        result.cache_hit = rank_hit;
+        break;
+      }
+      default:
+        result.status = QueryStatus::kInvalid;
+        break;
+    }
+    complete(pending, std::move(result));
+  }
+  sched_trace_.span(kEvBatchDispatch, dispatch_t0,
+                    static_cast<std::uint64_t>(batch.size()));
+}
+
 QueryResult BfsService::finalize(
     const Query& query, const GraphContext& ctx,
     std::shared_ptr<const std::vector<level_t>> levels,
@@ -699,6 +900,12 @@ QueryResult BfsService::finalize(
       for (vid_t v = 0; v < static_cast<vid_t>(lv.size()); ++v) {
         if (lv[v] == query.depth) result.members.push_back(v);
       }
+      break;
+    case QueryKind::kComponents:
+    case QueryKind::kCoreNumber:
+    case QueryKind::kRankTopK:
+      // Kernel-typed queries never reach finalize (they complete in
+      // execute_kernel_queries, not from a level array).
       break;
   }
   result.levels = std::move(levels);

@@ -50,6 +50,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/bfs_engine.hpp"
@@ -68,6 +69,12 @@ enum class QueryKind {
   kDistance,  ///< hops source -> target (or the full array if no target)
   kPath,      ///< one shortest path source -> target
   kLevelSet,  ///< every vertex at exactly `depth` hops from source
+  // Kernel-typed kinds (DESIGN.md section 11): answered by the
+  // scheduler from a per-version kernel memo shared across queries,
+  // recomputed on the current CSR ∪ delta snapshot after updates.
+  kComponents,  ///< connected component of `source` (CC kernel)
+  kCoreNumber,  ///< coreness of `source` (KCORE kernel)
+  kRankTopK,    ///< top-`topk` vertices by PageRank (PRDELTA kernel)
 };
 
 enum class QueryStatus {
@@ -86,6 +93,7 @@ struct Query {
   /// distance array only" (the result's `levels` field).
   vid_t target = kInvalidVertex;
   level_t depth = 0;  ///< kLevelSet ring depth
+  int topk = 10;      ///< kRankTopK result width (must be >= 1)
   /// Queue-wait budget in ms: < 0 inherits ServiceConfig default, 0
   /// expires immediately unless served from cache (load-shed probe),
   /// > 0 bounds the time the query may wait for a wave slot.
@@ -101,8 +109,19 @@ struct QueryResult {
   std::vector<vid_t> path;
   /// kLevelSet: ascending vertex ids at exactly `depth` hops.
   std::vector<vid_t> members;
+  /// kComponents: canonical component label (the smallest original
+  /// vertex id in the component) and the component's vertex count.
+  vid_t component = kInvalidVertex;
+  std::uint64_t component_size = 0;
+  /// kCoreNumber: the largest k such that `source` survives k-core
+  /// peeling.
+  std::uint32_t core = 0;
+  /// kRankTopK: (vertex, rank) pairs by descending PageRank (ties by
+  /// ascending id), truncated to the query's `topk`.
+  std::vector<std::pair<vid_t, double>> topk;
   /// Full level array from the query's source (shared with the cache
-  /// and with coalesced queries of the same source). Set iff kOk.
+  /// and with coalesced queries of the same source). Set iff kOk on the
+  /// BFS-typed kinds; kernel-typed results never carry levels.
   std::shared_ptr<const std::vector<level_t>> levels;
   bool cache_hit = false;
   std::uint64_t graph_version = 0;
@@ -157,6 +176,15 @@ struct ServiceConfig {
   /// level arrays stay in the caller's original vertex IDs — the
   /// engines remap at their boundaries (bfs_result.hpp convention).
   ReorderPolicy reorder = ReorderPolicy::kNone;
+  /// Reorder auto-selection (the locality layer's registration-time
+  /// sibling of autotune_prefetch): when `reorder` is kNone, probe the
+  /// degree distribution at register_graph and serve scale-free graphs
+  /// (heavy tail — max degree >> mean — with a plausible power-law
+  /// exponent) under kHubCluster; mesh-like graphs stay unreordered.
+  /// An explicit `reorder` policy always wins, and graphs too small for
+  /// the probe to matter (n < 32768) are served as-is. The resolved
+  /// policy is recorded in ServiceStats::reorder_policy.
+  bool autotune_reorder = true;
   /// Engine/wave tuning knobs (num_threads is overridden by
   /// `num_threads` above).
   BFSOptions bfs;
@@ -206,6 +234,14 @@ class BfsService {
   QueryResult path(vid_t source, vid_t target);
   QueryResult level_set(vid_t source, level_t depth);
 
+  /// Kernel-typed conveniences (DESIGN.md section 11). These ride the
+  /// same admission queue, deadlines, and versioning as BFS queries;
+  /// the scheduler answers them from a per-version kernel memo that is
+  /// dropped by apply_updates (recompute-on-snapshot repair).
+  QueryResult components_of(vid_t v);
+  QueryResult core_number(vid_t v);
+  QueryResult rank_topk(int k);
+
   /// Queries currently waiting for a wave slot.
   std::size_t pending() const;
 
@@ -235,6 +271,25 @@ class BfsService {
     std::promise<std::uint64_t> promise;
   };
 
+  /// Scheduler-thread-only memo of kernel results for one graph
+  /// version, lazily filled on the first kernel-typed query of each
+  /// flavor and shared by every later one at the same version.
+  /// apply_updates drops it (recompute-on-snapshot), so a memo never
+  /// outlives the edge set it was computed on. All vertex-indexed
+  /// fields are in original ids, like every other service result.
+  struct KernelCache {
+    std::vector<vid_t> components;  ///< min-original-id label per vertex
+    /// Component vertex count, indexed by canonical label (only
+    /// entries that are some vertex's label are nonzero).
+    std::vector<std::uint64_t> size_by_label;
+    std::vector<std::uint32_t> core;  ///< coreness per vertex
+    /// (vertex, rank) by descending PageRank, ties by ascending id.
+    std::vector<std::pair<vid_t, double>> rank_sorted;
+    bool have_components = false;
+    bool have_core = false;
+    bool have_rank = false;
+  };
+
   /// Everything tied to one registered graph *version*. The scheduler
   /// takes a shared_ptr snapshot per batch, so register_graph and
   /// apply_updates can swap the context mid-wave without racing the
@@ -256,11 +311,23 @@ class BfsService {
     std::shared_ptr<ParallelBFS> single_engine;
     std::shared_ptr<MsBfsSession> session;
     std::shared_ptr<IncrementalBfsEngine> repair;
+    /// Resolved reorder policy this graph is served under: the
+    /// configured one, or the registration-time auto-probe's pick
+    /// (ServiceConfig::autotune_reorder).
+    ReorderPolicy reorder_policy = ReorderPolicy::kNone;
+    /// Kernel memo for this version (scheduler-thread-only; null until
+    /// the first kernel-typed query; reset by process_updates).
+    std::shared_ptr<KernelCache> kernels;
   };
 
   void scheduler_loop();
   void execute_batch(const std::shared_ptr<GraphContext>& ctx,
                      std::vector<Pending>& batch);
+  /// Scheduler-thread only: answers kernel-typed queries from the
+  /// context's kernel memo, running the kernels the memo misses on the
+  /// current CSR ∪ delta view first.
+  void execute_kernel_queries(const std::shared_ptr<GraphContext>& ctx,
+                              std::vector<Pending>& batch);
   /// Scheduler-thread only: applies queued update batches at a
   /// quiescent window and migrates cache rows + queued queries.
   void process_updates(std::vector<PendingUpdate>& updates);

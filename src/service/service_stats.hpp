@@ -46,6 +46,11 @@ struct ServiceStats {
   std::uint64_t repair_waves = 0;       ///< wave levels run by repairs
   std::uint64_t cone_recomputes = 0;    ///< repairs abandoned (cone too big)
 
+  // ---- kernel-typed queries (DESIGN.md section 11) ----
+  std::uint64_t kernel_queries = 0;     ///< kernel-kind queries answered
+  std::uint64_t kernel_cache_hits = 0;  ///< served from the per-version memo
+  std::uint64_t kernel_recomputes = 0;  ///< kernel runs the memo missed
+
   // ---- latency over recent completions (reservoir) ----
   std::uint64_t latency_samples = 0;
   double mean_latency_ms = 0.0;
@@ -70,6 +75,12 @@ struct ServiceStats {
   /// value — recorded here so a regressing default cannot ship silently
   /// (the BENCH_locality pf8 lesson).
   int prefetch_distance = -1;
+  /// Resolved vertex-reorder policy the registered graph is served
+  /// under: the configured one, or — with ServiceConfig::reorder ==
+  /// kNone and autotune_reorder on — the registration-time degree-probe
+  /// pick (scale-free -> hub_cluster, mesh-like -> none). Empty until a
+  /// graph is registered.
+  std::string reorder_policy;
 
   /// Thin view over the flight-recorder counter snapshot: the service
   /// bumps telemetry counters (one slab under its stats lock) and this
@@ -94,6 +105,9 @@ struct ServiceStats {
     s.results_revalidated = c[telemetry::kResultsRevalidated];
     s.repair_waves = c[telemetry::kRepairWaves];
     s.cone_recomputes = c[telemetry::kConeRecomputes];
+    s.kernel_queries = c[telemetry::kKernelQueries];
+    s.kernel_cache_hits = c[telemetry::kKernelCacheHits];
+    s.kernel_recomputes = c[telemetry::kKernelRecomputes];
     return s;
   }
 
@@ -132,6 +146,9 @@ struct ServiceStats {
         << ", \"results_revalidated\": " << results_revalidated
         << ", \"repair_waves\": " << repair_waves
         << ", \"cone_recomputes\": " << cone_recomputes
+        << ", \"kernel_queries\": " << kernel_queries
+        << ", \"kernel_cache_hits\": " << kernel_cache_hits
+        << ", \"kernel_recomputes\": " << kernel_recomputes
         << ", \"mean_batch_width\": " << mean_batch_width()
         << ", \"cache_hit_rate\": " << cache_hit_rate()
         << ", \"mean_latency_ms\": " << mean_latency_ms
@@ -142,6 +159,7 @@ struct ServiceStats {
         << ", \"cache_bytes\": " << cache_bytes
         << ", \"single_source_engine\": \"" << single_source_engine << "\""
         << ", \"prefetch_distance\": " << prefetch_distance
+        << ", \"reorder_policy\": \"" << reorder_policy << "\""
         << ", \"batch_histogram\": {";
     bool first = true;
     for (std::size_t w = 1; w < batch_histogram.size(); ++w) {

@@ -85,6 +85,14 @@ namespace optibfs::telemetry {
   X(kConeRecomputes,           "cone_recomputes")                            \
   X(kResultsRepaired,          "results_repaired")                           \
   X(kResultsRevalidated,       "results_revalidated")                        \
+  /* kernel substrate (DESIGN.md section 11) */                              \
+  X(kKernelRounds,             "kernel_rounds")                              \
+  X(kKernelActivations,        "kernel_activations")                         \
+  X(kKernelDupActivations,     "kernel_dup_activations")                     \
+  X(kKernelRepairPasses,       "kernel_repair_passes")                       \
+  X(kKernelRepairFixes,        "kernel_repair_fixes")                        \
+  X(kKernelConflictDemotes,    "kernel_conflict_demotes")                    \
+  X(kKernelRmwOps,             "kernel_rmw_ops")                             \
   /* query service */                                                        \
   X(kQueriesSubmitted,         "queries_submitted")                          \
   X(kQueriesCompleted,         "queries_completed")                          \
@@ -94,6 +102,9 @@ namespace optibfs::telemetry {
   X(kQueriesStaleGraph,        "queries_stale_graph")                        \
   X(kQueriesShutdownFlushed,   "queries_shutdown_flushed")                   \
   X(kSingleDispatches,         "single_dispatches")                          \
+  X(kKernelQueries,            "kernel_queries")                             \
+  X(kKernelCacheHits,          "kernel_cache_hits")                          \
+  X(kKernelRecomputes,         "kernel_recomputes")                          \
   /* tracing self-accounting */                                              \
   X(kTraceEventsDropped,       "trace_events_dropped")
 // clang-format on

@@ -1,0 +1,48 @@
+# Registry/test parity check (ctest: kernels/registry_has_tests).
+#
+# Every kernel name registered in src/kernels/kernel_registry.cpp must
+# appear somewhere in tests/test_kernels.cpp — a kernel added to the
+# registry cannot ship without at least name-level oracle coverage.
+#
+# Usage:
+#   cmake -DREGISTRY=<kernel_registry.cpp> -DTEST_FILE=<test_kernels.cpp>
+#         -P check_kernel_tests.cmake
+
+if(NOT DEFINED REGISTRY OR NOT DEFINED TEST_FILE)
+  message(FATAL_ERROR "pass -DREGISTRY=... and -DTEST_FILE=...")
+endif()
+
+file(READ "${REGISTRY}" registry_source)
+file(READ "${TEST_FILE}" test_source)
+
+# Kernel names are the quoted SHOUTY_CASE tokens in the registry source
+# (the all_kernels() table and the make_kernel dispatch).
+string(REGEX MATCHALL "\"[A-Z][A-Z0-9_]*\"" quoted_names
+  "${registry_source}")
+list(REMOVE_DUPLICATES quoted_names)
+
+if(quoted_names STREQUAL "")
+  message(FATAL_ERROR "no kernel names found in ${REGISTRY} — "
+    "did the registry format change?")
+endif()
+
+set(missing "")
+foreach(quoted IN LISTS quoted_names)
+  string(REPLACE "\"" "" name "${quoted}")
+  string(FIND "${test_source}" "${quoted}" found)
+  if(found EQUAL -1)
+    # Names exercised via all_kernels() loops still need to appear
+    # somewhere (a literal, a filter, or a comment naming the kernel).
+    string(FIND "${test_source}" "${name}" found_bare)
+    if(found_bare EQUAL -1)
+      list(APPEND missing "${name}")
+    endif()
+  endif()
+endforeach()
+
+if(NOT missing STREQUAL "")
+  message(FATAL_ERROR "kernels registered without test coverage in "
+    "${TEST_FILE}: ${missing}")
+endif()
+
+message(STATUS "all registered kernels are covered by ${TEST_FILE}")

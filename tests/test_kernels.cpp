@@ -1,0 +1,377 @@
+// Beyond-BFS kernel suite (DESIGN.md §11): edgemap substrate + CC /
+// k-core / MIS / delta-PageRank, optimistic and _RMW ablation twins.
+//
+// The invariants under test: every kernel matches its serial reference
+// on the correctness zoo at any thread count and under any reorder
+// policy (results are in original vertex ids, so a reordered run must
+// be bit-identical to the plain run for the deterministic kernels);
+// the optimistic variants issue ZERO atomic RMW except MIS's
+// documented conflict-demotion CAS; and kernels stay oracle-correct
+// across DynamicGraph apply() batches (recompute-on-snapshot repair).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "dynamic/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "kernels/kernel_registry.hpp"
+#include "kernels/reference.hpp"
+#include "service/bfs_service.hpp"
+#include "test_util.hpp"
+
+namespace optibfs {
+namespace {
+
+using kernels::GraphKernel;
+using kernels::KernelResult;
+using kernels::make_kernel;
+using telemetry::kKernelConflictDemotes;
+using telemetry::kKernelRepairPasses;
+using telemetry::kKernelRmwOps;
+using telemetry::kKernelRounds;
+
+BFSOptions kernel_options(int threads) {
+  BFSOptions opts;
+  opts.num_threads = threads;
+  opts.seed = 42;
+  // Pure hang guard: every assertion below fails loudly on an
+  // unconverged result long before this budget matters.
+  opts.kernel_max_rounds = 200000;
+  return opts;
+}
+
+KernelResult run_kernel(const std::string& name, const CsrGraph& g,
+                        const BFSOptions& opts) {
+  KernelResult out;
+  make_kernel(name, g, opts)->run(out);
+  return out;
+}
+
+/// Asserts one kernel result against its serial reference on `base`
+/// semantics (g may be a reordered copy of base — references index by
+/// original id, so they agree by construction).
+void expect_matches_reference(const std::string& name, const CsrGraph& g,
+                              const KernelResult& r, const BFSOptions& opts,
+                              const std::string& context) {
+  const vid_t n = g.num_vertices();
+  if (name == "CC" || name == "CC_RMW") {
+    const auto ref = kernels::cc_reference(g);
+    ASSERT_EQ(r.labels.size(), n) << context;
+    for (vid_t v = 0; v < n; ++v)
+      ASSERT_EQ(r.labels[v], ref[v]) << context << " vertex " << v;
+  } else if (name == "KCORE" || name == "KCORE_RMW") {
+    const auto ref = kernels::kcore_reference(g);
+    ASSERT_EQ(r.core.size(), n) << context;
+    for (vid_t v = 0; v < n; ++v)
+      ASSERT_EQ(r.core[v], ref[v]) << context << " vertex " << v;
+  } else if (name == "MIS" || name == "MIS_RMW") {
+    std::string why;
+    ASSERT_TRUE(kernels::mis_validate(g, r.labels, &why))
+        << context << ": " << why;
+  } else {
+    const auto ref = kernels::pagerank_reference(g, opts.pr_damping);
+    ASSERT_EQ(r.rank.size(), n) << context;
+    // Truncating pushes below epsilon leaves at most eps residual per
+    // vertex; propagating all of it bounds the error by eps*n/(1-d).
+    const double bound =
+        opts.pr_epsilon * static_cast<double>(n) / (1.0 - opts.pr_damping) +
+        1e-12;
+    for (vid_t v = 0; v < n; ++v)
+      ASSERT_NEAR(r.rank[v], ref[v], bound) << context << " vertex " << v;
+  }
+}
+
+TEST(KernelRegistry, NamesAndConstruction) {
+  const auto g = CsrGraph::from_edges(gen::path(8));
+  const BFSOptions opts = kernel_options(2);
+  ASSERT_EQ(kernels::all_kernels().size(), 8u);
+  ASSERT_EQ(kernels::optimistic_kernels().size(), 4u);
+  for (const std::string& name : kernels::all_kernels()) {
+    EXPECT_TRUE(kernels::is_kernel(name));
+    auto k = make_kernel(name, g, opts);
+    ASSERT_NE(k, nullptr);
+    EXPECT_EQ(k->name(), name);
+  }
+  EXPECT_FALSE(kernels::is_kernel("BFS_CL"));
+  EXPECT_THROW(make_kernel("NOPE", g, opts), std::invalid_argument);
+}
+
+TEST(KernelZoo, AllKernelsMatchReferences) {
+  const BFSOptions opts = kernel_options(4);
+  for (const auto& [gname, g] : test::correctness_graph_zoo()) {
+    for (const std::string& name : kernels::all_kernels()) {
+      const KernelResult r = run_kernel(name, g, opts);
+      expect_matches_reference(name, g, r, opts, name + " on " + gname);
+    }
+  }
+}
+
+TEST(KernelZoo, ThreadCountSweep) {
+  const auto g = CsrGraph::from_edges(gen::erdos_renyi(2000, 8000, 7));
+  for (int threads : {1, 3, 8}) {
+    const BFSOptions opts = kernel_options(threads);
+    for (const std::string& name : kernels::all_kernels()) {
+      const KernelResult r = run_kernel(name, g, opts);
+      expect_matches_reference(name, g, r, opts,
+                               name + " p=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(KernelZoo, ReorderInvariance) {
+  // Kernels on a reordered graph answer in original ids; for the
+  // deterministic kernels that means bit-identical results.
+  const auto base =
+      CsrGraph::from_edges(gen::power_law(2000, 12000, 2.2, 13));
+  const BFSOptions opts = kernel_options(4);
+  for (const ReorderPolicy policy :
+       {ReorderPolicy::kDegreeSort, ReorderPolicy::kHubCluster}) {
+    const CsrGraph reordered = base.reorder(policy);
+    for (const std::string& name : kernels::all_kernels()) {
+      const KernelResult r = run_kernel(name, reordered, opts);
+      expect_matches_reference(name, reordered, r, opts,
+                               name + " under reorder");
+      if (name == "CC" || name == "CC_RMW") {
+        const KernelResult plain = run_kernel(name, base, opts);
+        EXPECT_EQ(r.labels, plain.labels) << name;
+      }
+      if (name == "KCORE" || name == "KCORE_RMW") {
+        const KernelResult plain = run_kernel(name, base, opts);
+        EXPECT_EQ(r.core, plain.core) << name;
+      }
+    }
+  }
+}
+
+TEST(KernelDiscipline, OptimisticKernelsIssueNoRmwExceptMisDemotion) {
+  // The §11 exemption census, asserted: CC / KCORE / PRDELTA run with
+  // zero atomic RMW; MIS's only RMWs are conflict-demotion CASes. The
+  // _RMW ablations must actually pay RMW traffic on a contended graph.
+  const auto g = CsrGraph::from_edges(gen::rmat(10, 8, 11));
+  const BFSOptions opts = kernel_options(8);
+  for (const std::string name : {"CC", "KCORE", "PRDELTA"}) {
+    const KernelResult r = run_kernel(name, g, opts);
+    EXPECT_EQ(r.counters[kKernelRmwOps], 0u) << name;
+  }
+  const KernelResult mis = run_kernel("MIS", g, opts);
+  EXPECT_GE(mis.counters[kKernelRmwOps],
+            mis.counters[kKernelConflictDemotes]);
+  for (const std::string name :
+       {"CC_RMW", "KCORE_RMW", "MIS_RMW", "PRDELTA_RMW"}) {
+    const KernelResult r = run_kernel(name, g, opts);
+    EXPECT_GT(r.counters[kKernelRmwOps], 0u) << name;
+  }
+}
+
+TEST(KernelDiscipline, RepairMachineryRuns) {
+  // The optimistic variants must actually take their verify/recount
+  // passes (at least the final clean one that certifies the fixpoint).
+  const auto g = CsrGraph::from_edges(gen::erdos_renyi(2000, 8000, 7));
+  const BFSOptions opts = kernel_options(8);
+  for (const std::string name : {"CC", "KCORE", "MIS"}) {
+    const KernelResult r = run_kernel(name, g, opts);
+    EXPECT_GE(r.counters[kKernelRepairPasses], 1u) << name;
+    EXPECT_GE(r.counters[kKernelRounds], 1u) << name;
+  }
+}
+
+TEST(KernelZoo, PageRankMassConservation) {
+  // Sanity independent of the reference: with no dangling vertices the
+  // rank mass must approach n (the fixpoint of the full system).
+  const auto g = CsrGraph::from_edges(gen::grid2d(16, 16));
+  const BFSOptions opts = kernel_options(4);
+  for (const char* name : {"PRDELTA", "PRDELTA_RMW"}) {
+    const KernelResult r = run_kernel(name, g, opts);
+    double sum = 0.0;
+    for (double x : r.rank) sum += x;
+    EXPECT_NEAR(sum, static_cast<double>(g.num_vertices()),
+                opts.pr_epsilon * static_cast<double>(g.num_vertices()) /
+                    (1.0 - opts.pr_damping) * 10)
+        << name;
+  }
+}
+
+// ---- kernels × dynamic graphs (satellite): randomized oracle ----
+
+TEST(KernelDynamic, CcAndCoreStayCorrectAcrossUpdateBatches) {
+  // Recompute-on-snapshot repair: after every apply() the kernels run
+  // on the materialized CSR∪delta view and must match the references,
+  // under two reorder policies (the service's registration paths).
+  std::mt19937_64 rng(2024);
+  auto base = std::make_shared<const CsrGraph>(
+      CsrGraph::from_edges(gen::erdos_renyi(600, 2400, 33)));
+  DynamicGraph dyn(base);
+  const vid_t n = base->num_vertices();
+  const BFSOptions opts = kernel_options(4);
+
+  std::vector<std::pair<vid_t, vid_t>> inserted;
+  for (int batch = 0; batch < 6; ++batch) {
+    UpdateBatch b;
+    std::uniform_int_distribution<vid_t> pick(0, n - 1);
+    for (int i = 0; i < 40; ++i) {
+      const vid_t u = pick(rng), v = pick(rng);
+      if (!inserted.empty() && i % 4 == 3) {
+        const auto [du, dv] =
+            inserted[rng() % inserted.size()];
+        b.erase(du, dv);
+      } else if (!dyn.snapshot().has_edge(u, v)) {
+        b.insert(u, v);
+        inserted.push_back({u, v});
+      }
+    }
+    dyn.apply(b);
+
+    const CsrGraph merged =
+        CsrGraph::from_edges(dyn.snapshot().to_edge_list());
+    for (const ReorderPolicy policy :
+         {ReorderPolicy::kNone, ReorderPolicy::kHubCluster}) {
+      CsrGraph reordered;
+      if (policy != ReorderPolicy::kNone) reordered = merged.reorder(policy);
+      const CsrGraph& view =
+          policy == ReorderPolicy::kNone ? merged : reordered;
+      const std::string ctx =
+          "batch " + std::to_string(batch) + " policy " +
+          std::string(reorder_policy_name(policy));
+      for (const std::string name : {"CC", "KCORE"}) {
+        const KernelResult r = run_kernel(name, view, opts);
+        expect_matches_reference(name, view, r, opts, name + " " + ctx);
+      }
+    }
+  }
+}
+
+// ---- kernel-typed service queries (DESIGN.md §11 wiring) ----
+
+ServiceConfig kernel_service_config() {
+  ServiceConfig config;
+  config.num_threads = 4;
+  config.bfs.seed = 42;
+  return config;
+}
+
+TEST(KernelService, TypedQueriesMemoizeAndMatchReferences) {
+  auto graph = std::make_shared<const CsrGraph>(
+      CsrGraph::from_edges(gen::erdos_renyi(500, 2000, 9)));
+  const auto cc_ref = kernels::cc_reference(*graph);
+  const auto core_ref = kernels::kcore_reference(*graph);
+  BfsService service(kernel_service_config());
+  service.register_graph(graph);
+
+  const QueryResult c0 = service.components_of(7);
+  ASSERT_TRUE(c0.ok());
+  EXPECT_EQ(c0.component, cc_ref[7]);
+  std::uint64_t expected_size = 0;
+  for (vid_t v = 0; v < graph->num_vertices(); ++v) {
+    if (cc_ref[v] == cc_ref[7]) ++expected_size;
+  }
+  EXPECT_EQ(c0.component_size, expected_size);
+  EXPECT_FALSE(c0.cache_hit);  // first kernel query: memo was empty
+
+  const QueryResult c1 = service.components_of(13);
+  ASSERT_TRUE(c1.ok());
+  EXPECT_EQ(c1.component, cc_ref[13]);
+  EXPECT_TRUE(c1.cache_hit);  // same version: shares the memoized CC run
+
+  const QueryResult k0 = service.core_number(7);
+  ASSERT_TRUE(k0.ok());
+  EXPECT_EQ(k0.core, core_ref[7]);
+
+  const QueryResult top = service.rank_topk(5);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top.topk.size(), 5u);
+  for (std::size_t i = 1; i < top.topk.size(); ++i) {
+    EXPECT_GE(top.topk[i - 1].second, top.topk[i].second);
+  }
+  const auto pr_ref = kernels::pagerank_reference(*graph, 0.85);
+  double max_rank = 0.0;
+  for (double r : pr_ref) max_rank = std::max(max_rank, r);
+  EXPECT_NEAR(top.topk[0].second, max_rank, 1e-3);
+
+  EXPECT_FALSE(service.rank_topk(0).ok());  // topk < 1 is kInvalid
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.kernel_queries, 4u);  // the invalid one never queued
+  EXPECT_GE(stats.kernel_cache_hits, 1u);
+  EXPECT_EQ(stats.kernel_recomputes, 3u);  // CC + KCORE + PRDELTA, once each
+}
+
+TEST(KernelService, MemoDropsOnUpdatesAndRecomputes) {
+  auto base = std::make_shared<const CsrGraph>(
+      CsrGraph::from_edges(gen::erdos_renyi(400, 1600, 21)));
+  BfsService service(kernel_service_config());
+  service.register_graph(base);
+  ASSERT_TRUE(service.components_of(5).ok());
+
+  UpdateBatch batch;
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<vid_t> pick(0, 399);
+  for (int i = 0; i < 25; ++i) batch.insert(pick(rng), pick(rng));
+  // Mirror the batch locally so the oracle sees the same edge set the
+  // service serves after apply_updates.
+  DynamicGraph mirror(base);
+  mirror.apply(batch);
+  const CsrGraph merged =
+      CsrGraph::from_edges(mirror.snapshot().to_edge_list());
+  const auto cc_ref = kernels::cc_reference(merged);
+  const auto core_ref = kernels::kcore_reference(merged);
+
+  service.apply_updates(batch);
+  const QueryResult after = service.components_of(5);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.cache_hit);  // memo died with the old edge set
+  EXPECT_EQ(after.component, cc_ref[5]);
+  const QueryResult core = service.core_number(5);
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core.core, core_ref[5]);
+  EXPECT_GE(service.stats().kernel_recomputes, 3u);  // CC, then CC + KCORE
+}
+
+TEST(KernelService, ReorderAutoSelectionProbesDegreeTail) {
+  // Scale-free and big enough for the registration probe: the service
+  // should pick hub_cluster on its own and still answer kernel queries
+  // in original ids.
+  auto power = std::make_shared<const CsrGraph>(
+      CsrGraph::from_edges(gen::power_law(40000, 160000, 2.1, 3)));
+  const ServiceConfig config = kernel_service_config();
+  BfsService scale_free(config);
+  scale_free.register_graph(power);
+  EXPECT_EQ(scale_free.stats().reorder_policy, "hub_cluster");
+  const auto cc_ref = kernels::cc_reference(*power);
+  const QueryResult r = scale_free.components_of(11);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.component, cc_ref[11]);
+
+  // Mesh-like: no degree tail, served unreordered.
+  auto grid = std::make_shared<const CsrGraph>(
+      CsrGraph::from_edges(gen::grid2d(200, 200)));
+  BfsService mesh(config);
+  mesh.register_graph(grid);
+  EXPECT_EQ(mesh.stats().reorder_policy, "none");
+
+  // An explicit policy always beats the probe.
+  ServiceConfig forced_config = config;
+  forced_config.reorder = ReorderPolicy::kDegreeSort;
+  BfsService forced(forced_config);
+  forced.register_graph(grid);
+  EXPECT_EQ(forced.stats().reorder_policy, "degree_sort");
+}
+
+TEST(KernelResultShape, OnlyRelevantFieldsFilled) {
+  const auto g = CsrGraph::from_edges(gen::star(64));
+  const BFSOptions opts = kernel_options(2);
+  const KernelResult cc = run_kernel("CC", g, opts);
+  EXPECT_TRUE(cc.core.empty());
+  EXPECT_TRUE(cc.rank.empty());
+  EXPECT_EQ(cc.name, "CC");
+  EXPECT_GT(cc.rounds, 0);
+  const KernelResult pr = run_kernel("PRDELTA", g, opts);
+  EXPECT_TRUE(pr.labels.empty());
+  EXPECT_TRUE(pr.core.empty());
+  EXPECT_EQ(pr.rank.size(), g.num_vertices());
+}
+
+}  // namespace
+}  // namespace optibfs
