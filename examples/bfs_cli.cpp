@@ -39,6 +39,16 @@ using namespace optibfs;
       "                   diameter ~n/span) |\n"
       "                   circuit:<rows>:<cols>:<shortcuts> |\n"
       "                   file:<path[.mtx|.txt|.bin]> | workload:<name>\n"
+      "                   (a bare existing path also works: --graph g.bin)\n"
+      "  --storage KIND   heap (default) or mmap — mmap demand-pages a\n"
+      "                   binary-CSR (.bin) graph instead of loading it\n"
+      "                   (DESIGN.md section 12); works in every mode,\n"
+      "                   including --updates / --kernel / --service\n"
+      "  --budget MB      residency budget for mmap adjacency (0 =\n"
+      "                   uncapped): cold intervals are evicted with\n"
+      "                   madvise(DONTNEED) once the hot set exceeds it\n"
+      "  --save PATH      write the built graph as binary CSR v2 and exit\n"
+      "                   (pairs with --storage mmap on a later run)\n"
       "  --algo NAME      any of --list (default BFS_WSL)\n"
       "  --engine NAME    alias for --algo (reads better for the\n"
       "                   strict-vs-async engine-family choice)\n"
@@ -98,9 +108,21 @@ std::vector<std::string> split(const std::string& text, char sep) {
   return parts;
 }
 
-CsrGraph build_graph(const std::string& spec, std::uint64_t seed) {
-  const auto parts = split(spec, ':');
+CsrGraph build_graph(const std::string& spec, std::uint64_t seed,
+                     const io::CsrLoadOptions& load) {
+  auto parts = split(spec, ':');
+  // Bare-path convenience: `--graph graphs/web.bin` (no generator
+  // prefix, names an existing file) reads as `file:graphs/web.bin`.
+  if (parts.size() == 1 && std::ifstream(spec).good()) {
+    parts = {"file", spec};
+  }
   const std::string& kind = parts.front();
+  if (load.storage == storage::StorageKind::kMmap &&
+      (kind != "file" || !parts.at(1).ends_with(".bin"))) {
+    std::cerr << "--storage mmap needs a binary-CSR input (--graph "
+                 "file:<path>.bin); build one first with --save\n";
+    std::exit(2);
+  }
   auto arg = [&](std::size_t i) -> long long {
     if (i >= parts.size()) {
       std::cerr << "graph spec '" << spec << "' is missing arguments\n";
@@ -158,7 +180,7 @@ CsrGraph build_graph(const std::string& spec, std::uint64_t seed) {
       return CsrGraph::from_edges(io::read_matrix_market_file(path));
     }
     if (path.ends_with(".bin")) {
-      return io::read_binary_csr(path);
+      return io::read_binary_csr(path, load);
     }
     return CsrGraph::from_edges(io::read_edge_list_file(path));
   }
@@ -268,6 +290,7 @@ int run_service_sweep(CsrGraph&& owned, const std::string& graph_spec,
   config.cache_bytes = 0;  // every query is a real dispatch
   config.single_source_engine = algorithm;
   config.bfs = options;
+  config.storage_budget_bytes = options.storage_budget_bytes;
   BfsService service(config);
   const auto shared = std::make_shared<const CsrGraph>(std::move(owned));
   const CsrGraph& graph = *shared;
@@ -571,6 +594,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string updates_path;
   std::string json_path;
+  std::string save_path;
+  io::CsrLoadOptions load;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -579,6 +604,21 @@ int main(int argc, char** argv) {
       return argv[i];
     };
     if (arg == "--graph") graph_spec = next();
+    else if (arg == "--storage") {
+      const std::string kind = next();
+      if (kind == "heap") load.storage = storage::StorageKind::kHeap;
+      else if (kind == "mmap") load.storage = storage::StorageKind::kMmap;
+      else {
+        std::cerr << "--storage must be heap or mmap, not '" << kind << "'\n";
+        return 2;
+      }
+    }
+    else if (arg == "--budget") {
+      options.storage_budget_bytes =
+          std::strtoull(next().c_str(), nullptr, 10) * (1ull << 20);
+      load.budget_bytes = options.storage_budget_bytes;
+    }
+    else if (arg == "--save") save_path = next();
     else if (arg == "--algo" || arg == "--engine") algorithm = next();
     else if (arg == "--subqueues") options.async_subqueues = std::atoi(next().c_str());
     else if (arg == "--batch") options.async_batch_size = std::atoi(next().c_str());
@@ -619,12 +659,22 @@ int main(int argc, char** argv) {
     }
   }
 
-  CsrGraph graph = build_graph(graph_spec, options.seed);
+  CsrGraph graph = build_graph(graph_spec, options.seed, load);
   std::cout << "graph " << graph_spec << ": n=" << graph.num_vertices()
-            << " m=" << graph.num_edges() << "\n";
+            << " m=" << graph.num_edges() << " (storage "
+            << storage::storage_kind_name(graph.storage_kind()) << ")\n";
   if (graph.num_vertices() == 0) {
     std::cerr << "empty graph\n";
     return 1;
+  }
+  if (options.storage_budget_bytes != 0) {
+    graph.set_storage_budget(options.storage_budget_bytes);
+  }
+
+  if (!save_path.empty()) {
+    io::write_binary_csr(save_path, graph);
+    std::cout << "wrote " << save_path << " (binary CSR v2)\n";
+    return 0;
   }
 
   if (!kernel_name.empty()) {

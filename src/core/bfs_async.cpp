@@ -52,7 +52,11 @@ AsyncBFS::AsyncBFS(const CsrGraph& graph, BFSOptions opts)
       barrier_(p_),
       workers_(static_cast<std::size_t>(p_)),
       counters_(p_),
-      team_(p_) {}
+      team_(p_) {
+  if (opts_.storage_budget_bytes != 0) {
+    graph_.set_storage_budget(opts_.storage_budget_bytes);
+  }
+}
 
 void AsyncBFS::run(vid_t source, BFSResult& out) {
   const vid_t n = graph_.num_vertices();
@@ -60,6 +64,8 @@ void AsyncBFS::run(vid_t source, BFSResult& out) {
     throw std::out_of_range("ParallelBFS::run: source out of range");
   }
   const vid_t src = graph_.to_internal(source);
+  // Storage-tier baseline for per-run counter deltas (DESIGN.md §12).
+  const storage::StorageStats storage_before = graph_.storage_stats();
 
   // Arena bookkeeping mirrors BFSEngineBase: a run that finds every
   // buffer already sized is a "reuse" (the service's zero-allocation
@@ -149,6 +155,13 @@ void AsyncBFS::run(vid_t source, BFSResult& out) {
   out.edges_scanned = snap[kEdgesScanned];
   snap[kDuplicatePops] = out.duplicate_explorations();
   snap[kScratchReuses] = grew ? 0 : 1;
+  const storage::StorageStats storage_after = graph_.storage_stats();
+  snap[kStorageMapBytes] = storage_after.map_bytes;
+  snap[kStorageAdviseCalls] =
+      storage_after.advise_calls - storage_before.advise_calls;
+  snap[kStorageEvictions] = storage_after.evictions - storage_before.evictions;
+  snap[kStorageMajorFaults] =
+      storage_after.major_faults - storage_before.major_faults;
   out.counters = snap;
   if (opts_.telemetry != nullptr) opts_.telemetry->add_counters(snap);
 

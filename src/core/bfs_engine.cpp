@@ -56,6 +56,9 @@ BFSEngineBase::BFSEngineBase(std::string name, const CsrGraph& graph,
       discovered_words_.assign(words, 0);
     }
   }
+  if (opts_.storage_budget_bytes != 0) {
+    graph_.set_storage_budget(opts_.storage_budget_bytes);
+  }
 }
 
 void BFSEngineBase::enable_scale_free() {
@@ -213,6 +216,11 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
   if (source >= n) {
     throw std::out_of_range("ParallelBFS::run: source out of range");
   }
+  // Storage-tier baseline: the backend keeps cumulative residency
+  // counters, so per-run deltas are computed here (cold path, before
+  // any worker is dispatched) and folded into the snapshot after the
+  // team joins. All-zero for heap-backed graphs.
+  const storage::StorageStats storage_before = graph_.storage_stats();
   // Sources arrive in original IDs; the whole traversal below runs in
   // the graph's internal (possibly reordered) ID space, and the final
   // materialize pass scatters back. src == source when not reordered.
@@ -423,6 +431,15 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
   // per-thread slabs were reset, so it lands here too.
   snap[kDuplicatePops] = out.duplicate_explorations();
   snap[kScratchReuses] = grew ? 0 : 1;
+  // Storage-tier deltas (DESIGN.md §12): map_bytes is a level, the
+  // rest are per-run deltas against the baseline captured at run entry.
+  const storage::StorageStats storage_after = graph_.storage_stats();
+  snap[kStorageMapBytes] = storage_after.map_bytes;
+  snap[kStorageAdviseCalls] =
+      storage_after.advise_calls - storage_before.advise_calls;
+  snap[kStorageEvictions] = storage_after.evictions - storage_before.evictions;
+  snap[kStorageMajorFaults] =
+      storage_after.major_faults - storage_before.major_faults;
   out.counters = snap;
   if (opts_.telemetry != nullptr) {
     state(0).trace.span(kEvRun, run_t0, source);

@@ -174,6 +174,14 @@ struct BFSOptions {
   /// within a budget rather than hang on a regression.
   int kernel_max_rounds = 0;
 
+  /// Storage tier (DESIGN.md §12): hot-residency cap in bytes for the
+  /// graph's adjacency arrays when it is mmap-backed. Engines and the
+  /// kernel substrate apply it to the graph's storage backend at
+  /// construction; intervals touched beyond the cap evict the coldest
+  /// charged interval (madvise/fadvise DONTNEED). 0 = uncapped. No-op
+  /// on heap-backed graphs.
+  std::uint64_t storage_budget_bytes = 0;
+
   /// Record the frontier size of every level into
   /// BFSResult::level_sizes (tiny cost; off by default to keep
   /// measurement allocations stable).

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
+#include "graph/graph_io.hpp"
 #include "graph/graph_props.hpp"
 
 namespace optibfs {
@@ -226,6 +228,19 @@ void DynamicGraph::compact_locked() {
   auto rebuilt = CsrGraph::from_edges(merged);
   if (config_.reorder != ReorderPolicy::kNone) {
     rebuilt = rebuilt.reorder(config_.reorder);
+  }
+  if (!config_.compact_storage_path.empty()) {
+    // Compact *into* the storage tier: persist the merged CSR (binary
+    // v2 keeps the permutation) and re-open it as the new base. Unlink
+    // first — a previous base may still map the old inode, and POSIX
+    // keeps that inode alive until its last mapping drops; truncating
+    // it in place would SIGBUS concurrent snapshot readers instead.
+    std::remove(config_.compact_storage_path.c_str());
+    io::write_binary_csr(config_.compact_storage_path, rebuilt);
+    io::CsrLoadOptions load;
+    load.storage = config_.compact_storage;
+    load.budget_bytes = config_.compact_storage_budget_bytes;
+    rebuilt = io::read_binary_csr(config_.compact_storage_path, load);
   }
   // Materialize the transpose eagerly: snapshot().for_each_in is used
   // from repair pre-passes and service path reconstruction, and the

@@ -257,6 +257,19 @@ class DynamicGraph {
     /// whenever the fingerprint gates cache retention, since a sampled
     /// fingerprint can miss edits confined to unprobed vertices.
     int fingerprint_samples = 0;
+    /// Storage tier (DESIGN.md §12): when non-empty, each compaction
+    /// writes the merged CSR to this path (binary format v2, the
+    /// permutation included) and re-opens it as the new base through
+    /// `compact_storage` — so a long-lived dynamic graph can live
+    /// out-of-core, paying RAM only for the delta overlay. The path is
+    /// unlinked before each rewrite, so a previous base still mapping
+    /// the old inode stays valid until its last snapshot drops (POSIX
+    /// unlink semantics). Empty keeps compaction heap-backed.
+    std::string compact_storage_path;
+    /// Backend for the re-opened base when compact_storage_path is set.
+    storage::StorageKind compact_storage = storage::StorageKind::kMmap;
+    /// Residency budget for the re-opened mmap base (0 = uncapped).
+    std::uint64_t compact_storage_budget_bytes = 0;
   };
 
   explicit DynamicGraph(std::shared_ptr<const CsrGraph> base)

@@ -4,48 +4,69 @@
 #include <cassert>
 #include <mutex>
 #include <numeric>
+#include <utility>
 
 namespace optibfs {
 
-CsrGraph CsrGraph::from_edges(const EdgeList& edges, bool dedup) {
+void CsrGraph::attach(std::shared_ptr<storage::GraphStorage> s) {
+  assert(s != nullptr);
+  storage_ = std::move(s);
+  num_vertices_ = storage_->num_vertices();
+  num_edges_ = storage_->num_edges();
+  offsets_ = storage_->row_offsets();
+  targets_ = storage_->col_indices();
+}
+
+CsrGraph CsrGraph::from_storage(std::shared_ptr<storage::GraphStorage> s,
+                                std::vector<vid_t> perm,
+                                std::vector<vid_t> inv_perm) {
   CsrGraph g;
+  g.attach(std::move(s));
+  assert(perm.size() == inv_perm.size());
+  assert(perm.empty() || perm.size() == g.num_vertices_);
+  g.perm_ = std::move(perm);
+  g.inv_perm_ = std::move(inv_perm);
+  for (vid_t v = 0; v < g.num_vertices_; ++v) {
+    g.max_out_degree_ = std::max(g.max_out_degree_, g.out_degree(v));
+  }
+  return g;
+}
+
+CsrGraph CsrGraph::from_edges(const EdgeList& edges, bool dedup) {
   const vid_t n = edges.num_vertices();
-  g.num_vertices_ = n;
-  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1, 0);
 
   // Counting pass.
   for (const Edge& e : edges.edges()) {
     assert(e.src < n && e.dst < n);
-    ++g.offsets_[e.src + 1];
+    ++offsets[e.src + 1];
   }
-  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
-    g.offsets_[i] += g.offsets_[i - 1];
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    offsets[i] += offsets[i - 1];
   }
 
   // Placement pass.
-  g.targets_.resize(edges.num_edges());
-  std::vector<eid_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  std::vector<vid_t> targets(edges.num_edges());
+  std::vector<eid_t> cursor(offsets.begin(), offsets.end() - 1);
   for (const Edge& e : edges.edges()) {
-    g.targets_[cursor[e.src]++] = e.dst;
+    targets[cursor[e.src]++] = e.dst;
   }
 
   // Sort each adjacency list so has_edge can binary-search and traversal
   // order is deterministic for the serial reference.
   for (vid_t v = 0; v < n; ++v) {
-    auto* first = g.targets_.data() + g.offsets_[v];
-    auto* last = g.targets_.data() + g.offsets_[v + 1];
-    std::sort(first, last);
+    std::sort(targets.data() + offsets[v], targets.data() + offsets[v + 1]);
   }
 
   if (dedup) {
     // Rebuild offsets/targets with duplicates removed.
     std::vector<eid_t> new_offsets(static_cast<std::size_t>(n) + 1, 0);
     std::vector<vid_t> new_targets;
-    new_targets.reserve(g.targets_.size());
+    new_targets.reserve(targets.size());
     for (vid_t v = 0; v < n; ++v) {
-      auto nbrs = g.out_neighbors(v);
       vid_t prev = kInvalidVertex;
-      for (vid_t w : nbrs) {
+      for (eid_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+        const vid_t w = targets[i];
         if (w != prev) {
           new_targets.push_back(w);
           prev = w;
@@ -53,10 +74,13 @@ CsrGraph CsrGraph::from_edges(const EdgeList& edges, bool dedup) {
       }
       new_offsets[v + 1] = new_targets.size();
     }
-    g.offsets_ = std::move(new_offsets);
-    g.targets_ = std::move(new_targets);
+    offsets = std::move(new_offsets);
+    targets = std::move(new_targets);
   }
 
+  CsrGraph g;
+  g.attach(std::make_shared<storage::HeapStorage>(std::move(offsets),
+                                                  std::move(targets)));
   for (vid_t v = 0; v < n; ++v) {
     g.max_out_degree_ = std::max(g.max_out_degree_, g.out_degree(v));
   }
@@ -77,7 +101,7 @@ const CsrGraph& CsrGraph::transpose() const {
   std::scoped_lock lock(build_mutex);
   if (!transpose_) {
     EdgeList rev(num_vertices_);
-    rev.reserve(targets_.size());
+    rev.reserve(num_edges_);
     for (vid_t v = 0; v < num_vertices_; ++v) {
       for (vid_t w : out_neighbors(v)) rev.add_unchecked(w, v);
     }

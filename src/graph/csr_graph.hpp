@@ -4,6 +4,15 @@
 // paper's algorithms only ever walk out-adjacency lists; the reverse
 // (in-edge) view is materialized on demand for the bottom-up traversals
 // used by the Hong read-based and Beamer direction-optimizing baselines.
+//
+// Where the two CSR arrays physically live is delegated to a
+// storage::GraphStorage handle (heap vectors by default, or a read-only
+// mmap of a binary-CSR-v2 file — see src/storage/). CsrGraph caches the
+// raw array pointers at attach time, so every accessor below is the
+// same branch-free pointer load it was when the vectors were inline
+// members; nothing virtual is on the adjacency path. This is a hard
+// contract: tests/check_storage_abi.cmake and the static_asserts in
+// tests/test_storage.cpp fail the build if it regresses.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +22,7 @@
 
 #include "graph/edge_list.hpp"
 #include "graph/types.hpp"
+#include "storage/graph_storage.hpp"
 
 namespace optibfs {
 
@@ -37,10 +47,19 @@ class CsrGraph {
   /// Builds a CSR from an edge list. Adjacency lists come out sorted by
   /// target. Set `dedup` to drop duplicate edges (the paper keeps
   /// multi-edges from RMAT; duplicates only change constant factors).
+  /// The result is heap-backed.
   static CsrGraph from_edges(const EdgeList& edges, bool dedup = false);
 
+  /// Wraps an existing storage backend (heap or mmap). The optional
+  /// permutation pair makes the graph answer to_internal/to_original in
+  /// the ID space the file was reordered from (binary CSR v2 persists
+  /// it). Validation of the arrays is the storage backend's job.
+  static CsrGraph from_storage(std::shared_ptr<storage::GraphStorage> s,
+                               std::vector<vid_t> perm = {},
+                               std::vector<vid_t> inv_perm = {});
+
   vid_t num_vertices() const { return num_vertices_; }
-  eid_t num_edges() const { return offsets_.empty() ? 0 : offsets_.back(); }
+  eid_t num_edges() const { return num_edges_; }
 
   /// Out-degree of v.
   vid_t out_degree(vid_t v) const {
@@ -49,18 +68,23 @@ class CsrGraph {
 
   /// Out-neighbors of v as a contiguous, immutable span.
   std::span<const vid_t> out_neighbors(vid_t v) const {
-    return {targets_.data() + offsets_[v],
-            targets_.data() + offsets_[v + 1]};
+    return {targets_ + offsets_[v], targets_ + offsets_[v + 1]};
   }
 
   /// Offset of v's adjacency list within the flat target array.
   eid_t out_offset(vid_t v) const { return offsets_[v]; }
 
   /// Flat target array (used by edge-balanced traversal).
-  std::span<const vid_t> targets() const { return targets_; }
+  std::span<const vid_t> targets() const {
+    return {targets_, static_cast<std::size_t>(num_edges_)};
+  }
 
-  /// Offsets array, size num_vertices()+1.
-  std::span<const eid_t> offsets() const { return offsets_; }
+  /// Offsets array, size num_vertices()+1 (empty for a default graph).
+  std::span<const eid_t> offsets() const {
+    return {offsets_,
+            offsets_ == nullptr ? 0
+                                : static_cast<std::size_t>(num_vertices_) + 1};
+  }
 
   /// True if the edge u -> v exists (binary search; adjacency sorted).
   bool has_edge(vid_t u, vid_t v) const;
@@ -69,7 +93,8 @@ class CsrGraph {
   /// The lazy build is serialized behind a mutex, so concurrent callers
   /// are safe; engines cache the returned reference at construction so
   /// no hot path pays for the lock. Shared by the direction-optimizing
-  /// baseline and the hybrid (*_H) optimistic engines.
+  /// baseline and the hybrid (*_H) optimistic engines. Always
+  /// heap-backed, even for an mmap graph (it is derived data).
   const CsrGraph& transpose() const;
 
   /// True if a transpose has already been materialized.
@@ -87,6 +112,10 @@ class CsrGraph {
   /// Reordering an already-reordered graph composes the permutations,
   /// so to_original on the result still yields the *first* graph's IDs.
   /// Multi-edges are preserved (relabeling never drops edges).
+  /// The result is always heap-backed (reordering rewrites the arrays);
+  /// to get a reordered *file-backed* graph, reorder, save with
+  /// io::write_binary_csr (which persists the permutation), and reopen
+  /// with the mmap backend.
   CsrGraph reorder(ReorderPolicy policy) const;
 
   /// True if this graph carries a (non-identity-tracked) permutation.
@@ -108,11 +137,57 @@ class CsrGraph {
   /// internal -> original permutation (empty when not reordered).
   std::span<const vid_t> inv_perm() const { return inv_perm_; }
 
+  // ---- storage tier (DESIGN.md §12) ----
+
+  /// Which backend holds the CSR arrays (heap for default graphs).
+  storage::StorageKind storage_kind() const {
+    return storage_ ? storage_->kind() : storage::StorageKind::kHeap;
+  }
+
+  /// Residency/traffic counters for the backend (all-zero heap stats
+  /// for a default-constructed graph).
+  storage::StorageStats storage_stats() const {
+    return storage_ ? storage_->stats() : storage::StorageStats{};
+  }
+
+  /// Caps hot residency (mmap backend only; no-op on heap). Const on
+  /// purpose: residency is a property of where bytes live, not of the
+  /// graph value — engines receive `const CsrGraph&` and still need to
+  /// apply BFSOptions::storage_budget_bytes.
+  void set_storage_budget(std::uint64_t bytes) const {
+    if (storage_) storage_->set_budget(bytes);
+  }
+
+  /// Residency hint for the adjacency bytes of vertices [first, last).
+  /// Cold path — called per thread-slice per round by the edgemap
+  /// batcher, never per edge.
+  void advise_out_interval(vid_t first, vid_t last,
+                           storage::Advice advice) const {
+    if (storage_) storage_->advise_vertices(first, last, advice);
+  }
+
+  /// Drops charged intervals and page-cache copies (bench run
+  /// boundaries); no-op on heap.
+  void storage_evict_cold() const {
+    if (storage_) storage_->evict_cold();
+  }
+
+  /// Underlying storage handle (may be null for a default graph).
+  const std::shared_ptr<storage::GraphStorage>& storage() const {
+    return storage_;
+  }
+
  private:
+  /// Caches array pointers/sizes out of `s` (the only place they are
+  /// read from the backend).
+  void attach(std::shared_ptr<storage::GraphStorage> s);
+
   vid_t num_vertices_ = 0;
-  std::vector<eid_t> offsets_;  // size num_vertices_ + 1
-  std::vector<vid_t> targets_;  // size num_edges
-  vid_t max_out_degree_ = 0;    // cached by from_edges / reorder
+  eid_t num_edges_ = 0;
+  const eid_t* offsets_ = nullptr;  // cached, size num_vertices_ + 1
+  const vid_t* targets_ = nullptr;  // cached, size num_edges_
+  std::shared_ptr<storage::GraphStorage> storage_;
+  vid_t max_out_degree_ = 0;     // cached by from_edges / from_storage
   std::vector<vid_t> perm_;      // original -> internal (empty = identity)
   std::vector<vid_t> inv_perm_;  // internal -> original (empty = identity)
   mutable std::unique_ptr<CsrGraph> transpose_;

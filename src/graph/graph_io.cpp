@@ -1,14 +1,21 @@
 #include "graph/graph_io.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cctype>
 #include <cstdint>
 #include <fstream>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/binary_format.hpp"
+#include "storage/mmap_storage.hpp"
 
 namespace optibfs::io {
 namespace {
@@ -29,19 +36,59 @@ std::ifstream open_or_throw(const std::string& path) {
   return in;
 }
 
-constexpr std::uint64_t kBinaryMagic = 0x4f50544942465331ULL;  // "OPTIBFS1"
+// Binary CSR format v2 — layout and validation live in
+// storage/binary_format.hpp, shared with the mmap backend.
 
-template <typename T>
-void write_pod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
+/// Position-tracking writer: every short write reports the byte offset
+/// it happened at, which is the difference between "disk full at 7.3 GB"
+/// and a mystery.
+class SectionWriter {
+ public:
+  SectionWriter(const std::string& path)
+      : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+    if (!out_) fail("cannot create '" + path + "'");
+  }
 
-template <typename T>
-T read_pod(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) fail("truncated binary graph file");
-  return value;
+  void write(const void* data, std::uint64_t bytes) {
+    if (bytes == 0) return;
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(bytes));
+    if (!out_) {
+      fail("short write on '" + path_ + "' at byte offset " +
+           std::to_string(pos_) + " (wanted " + std::to_string(bytes) +
+           " more bytes) — disk full or I/O error");
+    }
+    pos_ += bytes;
+  }
+
+  /// Zero-pads up to an absolute byte offset (section alignment).
+  void pad_to(std::uint64_t target) {
+    static const std::array<char, storage::kSectionAlign> zeros{};
+    while (pos_ < target) {
+      write(zeros.data(), std::min<std::uint64_t>(zeros.size(), target - pos_));
+    }
+  }
+
+  std::uint64_t pos() const { return pos_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t pos_ = 0;
+};
+
+/// Seek-and-read with short-read byte-offset diagnostics.
+void read_exact(std::ifstream& in, const std::string& path,
+                std::uint64_t offset, void* data, std::uint64_t bytes) {
+  in.seekg(static_cast<std::streamoff>(offset));
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  const auto got = in.gcount();
+  if (!in || static_cast<std::uint64_t>(got) != bytes) {
+    fail("short read on '" + path + "' at byte offset " +
+         std::to_string(offset + (got > 0 ? static_cast<std::uint64_t>(got) : 0)) +
+         " (wanted " + std::to_string(bytes) + " bytes from offset " +
+         std::to_string(offset) + ") — file truncated?");
+  }
 }
 
 }  // namespace
@@ -142,43 +189,101 @@ void write_edge_list(std::ostream& out, const EdgeList& edges) {
 }
 
 void write_binary_csr(const std::string& path, const CsrGraph& g) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) fail("cannot create '" + path + "'");
-  write_pod(out, kBinaryMagic);
-  write_pod(out, static_cast<std::uint64_t>(g.num_vertices()));
-  write_pod(out, static_cast<std::uint64_t>(g.num_edges()));
-  const auto offsets = g.offsets();
-  const auto targets = g.targets();
-  out.write(reinterpret_cast<const char*>(offsets.data()),
-            static_cast<std::streamsize>(offsets.size_bytes()));
-  out.write(reinterpret_cast<const char*>(targets.data()),
-            static_cast<std::streamsize>(targets.size_bytes()));
-  if (!out) fail("write failure on '" + path + "'");
+  using storage::BinaryCsrHeader;
+  const bool has_perm = g.is_reordered();
+  const BinaryCsrHeader h = storage::make_header(
+      g.num_vertices(), g.num_edges(), has_perm);
+
+  SectionWriter out(path);
+  out.write(&h, sizeof(h));
+  out.pad_to(h.offsets_begin);
+  out.write(g.offsets().data(), h.offsets_bytes);
+  out.pad_to(h.targets_begin);
+  out.write(g.targets().data(), h.targets_bytes);
+  if (has_perm) {
+    out.pad_to(h.perm_begin);
+    out.write(g.perm().data(), g.perm().size_bytes());
+    out.write(g.inv_perm().data(), g.inv_perm().size_bytes());
+  }
 }
 
 CsrGraph read_binary_csr(const std::string& path) {
+  return read_binary_csr(path, CsrLoadOptions{});
+}
+
+CsrGraph read_binary_csr(const std::string& path, const CsrLoadOptions& opts) {
+  using storage::BinaryCsrHeader;
+
+  if (opts.storage == storage::StorageKind::kMmap) {
+    storage::MmapOptions mo;
+    mo.budget_bytes = opts.budget_bytes;
+    if (opts.interval_bytes != 0) mo.interval_bytes = opts.interval_bytes;
+    auto s = storage::MmapStorage::map(path, mo);
+    std::vector<vid_t> perm = s->perm();
+    std::vector<vid_t> inv_perm = s->inv_perm();
+    return CsrGraph::from_storage(std::move(s), std::move(perm),
+                                  std::move(inv_perm));
+  }
+
   auto in = open_or_throw(path);
-  if (read_pod<std::uint64_t>(in) != kBinaryMagic) fail("bad magic");
-  const auto n = read_pod<std::uint64_t>(in);
-  const auto m = read_pod<std::uint64_t>(in);
-  if (n > kInvalidVertex - 1) fail("vertex count exceeds 32-bit id space");
-  // Round-trip through an EdgeList keeps CsrGraph's internals private at
-  // the cost of one extra pass; graph load is not on any measured path.
+  in.seekg(0, std::ios::end);
+  const std::uint64_t actual_size =
+      static_cast<std::uint64_t>(static_cast<std::streamoff>(in.tellg()));
+  BinaryCsrHeader h{};
+  if (actual_size < sizeof(h)) {
+    fail("'" + path + "' is " + std::to_string(actual_size) +
+         " bytes — shorter than the format v2 header (" +
+         std::to_string(sizeof(h)) + " bytes)");
+  }
+  read_exact(in, path, 0, &h, sizeof(h));
+  storage::validate_header(h, path, actual_size);
+
+  const std::uint64_t n = h.num_vertices;
+  const std::uint64_t m = h.num_edges;
   std::vector<eid_t> offsets(n + 1);
   std::vector<vid_t> targets(m);
-  in.read(reinterpret_cast<char*>(offsets.data()),
-          static_cast<std::streamsize>(offsets.size() * sizeof(eid_t)));
-  in.read(reinterpret_cast<char*>(targets.data()),
-          static_cast<std::streamsize>(targets.size() * sizeof(vid_t)));
-  if (!in) fail("truncated binary graph file");
-  EdgeList edges(static_cast<vid_t>(n));
-  edges.reserve(m);
-  for (vid_t v = 0; v < n; ++v) {
-    for (eid_t i = offsets[v]; i < offsets[v + 1]; ++i) {
-      edges.add_unchecked(v, targets[i]);
+  read_exact(in, path, h.offsets_begin, offsets.data(), h.offsets_bytes);
+  read_exact(in, path, h.targets_begin, targets.data(), h.targets_bytes);
+
+  // The heap path validates the arrays in full (the mmap path only
+  // spot-checks targets to preserve lazy loading).
+  if (offsets[0] != 0) fail("'" + path + "': offsets[0] != 0");
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (offsets[v + 1] < offsets[v]) {
+      fail("'" + path + "': row offsets not monotone at vertex " +
+           std::to_string(v));
     }
   }
-  return CsrGraph::from_edges(edges);
+  if (offsets[n] != m) {
+    fail("'" + path + "': offsets[n] != num_edges in header");
+  }
+  for (std::uint64_t i = 0; i < m; ++i) {
+    if (targets[i] >= n) {
+      fail("'" + path + "' at byte offset " +
+           std::to_string(h.targets_begin + i * sizeof(vid_t)) +
+           ": target id " + std::to_string(targets[i]) + " out of range (n=" +
+           std::to_string(n) + ")");
+    }
+  }
+
+  std::vector<vid_t> perm, inv_perm;
+  if ((h.flags & storage::kFlagHasPermutation) != 0) {
+    perm.resize(n);
+    inv_perm.resize(n);
+    read_exact(in, path, h.perm_begin, perm.data(), n * sizeof(vid_t));
+    read_exact(in, path, h.perm_begin + n * sizeof(vid_t), inv_perm.data(),
+               n * sizeof(vid_t));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (perm[i] >= n || inv_perm[perm[i]] != i) {
+        fail("'" + path + "': permutation section is not a permutation");
+      }
+    }
+  }
+
+  auto heap = std::make_shared<storage::HeapStorage>(std::move(offsets),
+                                                     std::move(targets));
+  return CsrGraph::from_storage(std::move(heap), std::move(perm),
+                                std::move(inv_perm));
 }
 
 }  // namespace optibfs::io

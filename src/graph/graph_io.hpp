@@ -7,11 +7,13 @@
 // binary CSR format round out the set.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
 #include "graph/csr_graph.hpp"
 #include "graph/edge_list.hpp"
+#include "storage/graph_storage.hpp"
 
 namespace optibfs::io {
 
@@ -35,9 +37,30 @@ EdgeList read_edge_list_file(const std::string& path, bool has_header = false);
 /// Writes "u v" lines preceded by an "n m" header line.
 void write_edge_list(std::ostream& out, const EdgeList& edges);
 
-/// Binary CSR snapshot (little-endian; magic-checked). Fast path for
-/// benchmark graphs so generation cost is paid once.
+/// How read_binary_csr materializes the graph.
+struct CsrLoadOptions {
+  /// kHeap copies the arrays into owned vectors (fully validated);
+  /// kMmap maps the file read-only and demand-pages it (header and
+  /// offsets fully validated, targets spot-checked).
+  storage::StorageKind storage = storage::StorageKind::kHeap;
+  /// Hot-residency cap for the mmap backend, bytes (0 = uncapped).
+  std::uint64_t budget_bytes = 0;
+  /// Residency-charging granularity for the mmap backend (see
+  /// storage::MmapOptions::interval_bytes). 0 keeps the default.
+  std::uint64_t interval_bytes = 0;
+};
+
+/// Binary CSR snapshot, format v2 ("OPTIBFS2"): versioned 64-bit
+/// header, 4096-aligned sections, optional persisted permutation, and
+/// a header checksum — see src/storage/binary_format.hpp for the
+/// layout. Safe for >4 GiB graphs; every size and section offset in
+/// the header is 64-bit, and short reads/writes fail with the byte
+/// offset where they happened. Format v1 files are rejected with a
+/// regeneration hint. write_binary_csr persists the permutation of a
+/// reordered graph, so a reorder -> save -> mmap-reopen round trip
+/// still answers queries in original vertex IDs.
 void write_binary_csr(const std::string& path, const CsrGraph& g);
-CsrGraph read_binary_csr(const std::string& path);
+CsrGraph read_binary_csr(const std::string& path);  // heap-backed
+CsrGraph read_binary_csr(const std::string& path, const CsrLoadOptions& opts);
 
 }  // namespace optibfs::io

@@ -45,6 +45,20 @@ KernelSubstrate::KernelSubstrate(const CsrGraph& g, const BFSOptions& opts,
   vote_.resize(static_cast<std::size_t>(p_));
   chunk_.assign(static_cast<std::size_t>(p_) + 1, 0);
   flags_.assign(n_, 0);
+
+  mmap_backed_ = g.storage_kind() == storage::StorageKind::kMmap;
+  if (opts.storage_budget_bytes != 0) {
+    g.set_storage_budget(opts.storage_budget_bytes);
+  }
+}
+
+void KernelSubstrate::advise_dense_round() {
+  if (!mmap_backed_) return;
+  for (int t = 0; t < p_; ++t) {
+    g_->advise_out_interval(owned_[static_cast<std::size_t>(t)],
+                            owned_[static_cast<std::size_t>(t) + 1],
+                            storage::Advice::kWillNeed);
+  }
 }
 
 void KernelSubstrate::seed_all() {
@@ -52,6 +66,7 @@ void KernelSubstrate::seed_all() {
   dense_ = true;
   frontier_entries_ = n_;
   round_ = 0;
+  advise_dense_round();
 }
 
 void KernelSubstrate::seed(vid_t v) {
@@ -93,6 +108,7 @@ void KernelSubstrate::advance_serial(int tid) {
   if (dense_) {
     for (vid_t v : frontier_) flags_[v] = 1;
     flags_set_ = true;
+    advise_dense_round();
     return;
   }
 

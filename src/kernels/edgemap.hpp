@@ -215,6 +215,13 @@ class KernelSubstrate {
  private:
   void advance_serial(int tid);
 
+  /// Storage-tier prefetch (DESIGN.md §12): before workers leave the
+  /// serial barrier window into a dense round, hand each degree-aware
+  /// owned slice's adjacency interval one WILLNEED hint, so the mmap
+  /// backend faults the round's edge bytes in ahead of the scan (and
+  /// charges them against the residency budget). No-op on heap.
+  void advise_dense_round();
+
   // Frontier entries below n_/kDenseDivisor stay sparse.
   static constexpr vid_t kDenseDivisor = 16;
 
@@ -249,6 +256,7 @@ class KernelSubstrate {
   bool all_active_ = false;
   bool dense_ = false;
   bool flags_set_ = false;  // flags_ currently holds frontier_'s bits
+  bool mmap_backed_ = false;  // cached at ctor: storage kind never changes
   std::uint64_t frontier_entries_ = 0;
 
   telemetry::CounterRegistry counters_;

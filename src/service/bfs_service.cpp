@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/registry.hpp"
+#include "graph/graph_io.hpp"
 #include "graph/graph_props.hpp"
 #include "harness/source_sampler.hpp"
 #include "harness/timing.hpp"
@@ -159,6 +160,9 @@ void BfsService::rebuild_engines(GraphContext& ctx) {
   BFSOptions opts = config_.bfs;
   opts.num_threads = config_.num_threads;
   opts.prefetch_distance = ctx.prefetch_distance;
+  if (config_.storage_budget_bytes != 0) {
+    opts.storage_budget_bytes = config_.storage_budget_bytes;
+  }
   ctx.single_engine =
       make_bfs(config_.single_source_engine, *ctx.graph, opts);
   // Waves direction-optimize like the (default BFS_CL_H) fallback
@@ -180,6 +184,17 @@ std::uint64_t BfsService::register_graph(
   // the lazy-build mutex off the path-query path.
   auto ctx = std::make_shared<GraphContext>();
   ctx->reorder_policy = resolve_reorder(config_, *graph);
+  if (graph->storage_kind() == storage::StorageKind::kMmap &&
+      config_.reorder == ReorderPolicy::kNone) {
+    // Reorder auto-tuning would materialize an in-RAM reordered copy
+    // and silently defeat the out-of-core backend. mmap graphs are
+    // served as-is; pre-reorder the file offline (format v2 persists
+    // the permutation). An explicit config reorder still wins above.
+    ctx->reorder_policy = ReorderPolicy::kNone;
+  }
+  if (config_.storage_budget_bytes != 0) {
+    graph->set_storage_budget(config_.storage_budget_bytes);
+  }
   if (ctx->reorder_policy != ReorderPolicy::kNone) {
     // Locality preprocessing (DESIGN.md section 3.1a): serve a
     // reordered copy. Transparent to callers — the engines answer in
@@ -227,6 +242,15 @@ std::uint64_t BfsService::register_graph(
     complete(pending, std::move(result));
   }
   return version;
+}
+
+std::uint64_t BfsService::register_graph_file(const std::string& path,
+                                              storage::StorageKind kind) {
+  io::CsrLoadOptions load;
+  load.storage = kind;
+  load.budget_bytes = config_.storage_budget_bytes;
+  return register_graph(
+      std::make_shared<const CsrGraph>(io::read_binary_csr(path, load)));
 }
 
 std::future<std::uint64_t> BfsService::submit_updates(UpdateBatch batch) {
@@ -293,6 +317,14 @@ ServiceStats BfsService::stats() const {
           std::string(ctx_->single_engine->name());
       snapshot.prefetch_distance = ctx_->prefetch_distance;
       snapshot.reorder_policy = reorder_policy_name(ctx_->reorder_policy);
+      const storage::StorageStats ss = ctx_->graph->storage_stats();
+      snapshot.storage_backend = storage::storage_kind_name(ss.kind);
+      snapshot.storage_map_bytes = ss.map_bytes;
+      snapshot.storage_budget_bytes = ss.budget_bytes;
+      snapshot.storage_hot_bytes = ss.hot_bytes;
+      snapshot.storage_advise_calls = ss.advise_calls;
+      snapshot.storage_evictions = ss.evictions;
+      snapshot.storage_major_fault_estimate = ss.major_faults;
     }
   }
   return snapshot;

@@ -185,6 +185,11 @@ struct ServiceConfig {
   /// the probe to matter (n < 32768) are served as-is. The resolved
   /// policy is recorded in ServiceStats::reorder_policy.
   bool autotune_reorder = true;
+  /// Storage tier (DESIGN.md §12): residency budget in bytes applied to
+  /// the registered graph's storage backend (and propagated into every
+  /// engine's BFSOptions). Only meaningful for mmap-backed graphs
+  /// (register_graph_file); heap graphs ignore it. 0 = uncapped.
+  std::uint64_t storage_budget_bytes = 0;
   /// Engine/wave tuning knobs (num_threads is overridden by
   /// `num_threads` above).
   BFSOptions bfs;
@@ -206,6 +211,18 @@ class BfsService {
   /// graph — e.g. with only ServiceConfig::reorder changed — preserves
   /// every valid row, while any content change evicts them all.
   std::uint64_t register_graph(std::shared_ptr<const CsrGraph> graph);
+
+  /// Registers a graph straight from a binary-CSR-v2 file (DESIGN.md
+  /// §12). With kMmap (the default) the graph is demand-paged under
+  /// ServiceConfig::storage_budget_bytes instead of copied into RAM; a
+  /// permutation persisted in the file keeps queries in original
+  /// vertex IDs. Reorder auto-tuning is skipped for mmap graphs (an
+  /// in-RAM reordered copy would defeat the point — pre-reorder the
+  /// file offline instead); an explicit ServiceConfig::reorder still
+  /// wins and falls back to a heap copy.
+  std::uint64_t register_graph_file(
+      const std::string& path,
+      storage::StorageKind kind = storage::StorageKind::kMmap);
 
   std::uint64_t graph_version() const;
 

@@ -82,6 +82,19 @@ struct ServiceStats {
   /// graph is registered.
   std::string reorder_policy;
 
+  // ---- storage tier (decided at register_graph[_file]; DESIGN.md §12) ----
+  /// Backend holding the served graph's CSR arrays ("heap" or "mmap").
+  /// Empty until a graph is registered.
+  std::string storage_backend;
+  std::uint64_t storage_map_bytes = 0;     ///< bytes mapped / heap-owned
+  std::uint64_t storage_budget_bytes = 0;  ///< residency cap (0 = uncapped)
+  std::uint64_t storage_hot_bytes = 0;     ///< bytes currently charged hot
+  std::uint64_t storage_advise_calls = 0;  ///< madvise/fadvise issued
+  std::uint64_t storage_evictions = 0;     ///< intervals dropped
+  /// rusage ru_majflt delta since the graph was mapped (process-wide
+  /// estimate; 0 for heap graphs).
+  std::uint64_t storage_major_fault_estimate = 0;
+
   /// Thin view over the flight-recorder counter snapshot: the service
   /// bumps telemetry counters (one slab under its stats lock) and this
   /// is the single place mapping them back to the report fields. The
@@ -160,6 +173,14 @@ struct ServiceStats {
         << ", \"single_source_engine\": \"" << single_source_engine << "\""
         << ", \"prefetch_distance\": " << prefetch_distance
         << ", \"reorder_policy\": \"" << reorder_policy << "\""
+        << ", \"storage_backend\": \"" << storage_backend << "\""
+        << ", \"storage_map_bytes\": " << storage_map_bytes
+        << ", \"storage_budget_bytes\": " << storage_budget_bytes
+        << ", \"storage_hot_bytes\": " << storage_hot_bytes
+        << ", \"storage_advise_calls\": " << storage_advise_calls
+        << ", \"storage_evictions\": " << storage_evictions
+        << ", \"storage_major_fault_estimate\": "
+        << storage_major_fault_estimate
         << ", \"batch_histogram\": {";
     bool first = true;
     for (std::size_t w = 1; w < batch_histogram.size(); ++w) {

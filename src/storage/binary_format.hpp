@@ -1,0 +1,196 @@
+// On-disk binary CSR, format v2 ("OPTIBFS2") — shared between the
+// stream reader/writer (graph/graph_io.cpp) and the mmap backend
+// (storage/mmap_storage.cpp).
+//
+// Layout (all little-endian, all offsets/sizes 64-bit):
+//
+//   [0, 4096)            BinaryCsrHeader, zero-padded to one page
+//   [offsets_begin, +offsets_bytes)   eid_t row offsets, n+1 entries
+//   [targets_begin, +targets_bytes)   vid_t column indices, m entries
+//   [perm_begin,    +perm_bytes)      optional: vid_t perm[n] then
+//                                     vid_t inv_perm[n] (flag bit 0)
+//
+// Every section begins on a 4096-byte boundary (kSectionAlign), so a
+// whole-file mmap hands out naturally aligned array pointers and
+// madvise ranges never straddle two sections within one page. The
+// header carries explicit begin/size pairs rather than implied
+// positions so future sections can be appended without another
+// version bump; readers must ignore sections they don't know.
+//
+// Format v1 ("OPTIBFS1": magic + n + m + raw arrays, no alignment,
+// no permutation) is detected and rejected with a regeneration hint —
+// see read_binary_csr.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "graph/types.hpp"
+
+namespace optibfs::storage {
+
+inline constexpr std::uint64_t kBinaryMagicV1 = 0x4f50544942465331ULL;  // "OPTIBFS1"
+inline constexpr std::uint64_t kBinaryMagicV2 = 0x4f50544942465332ULL;  // "OPTIBFS2"
+inline constexpr std::uint32_t kBinaryVersion = 2;
+inline constexpr std::uint64_t kSectionAlign = 4096;
+
+/// Header flags.
+inline constexpr std::uint64_t kFlagHasPermutation = 1ULL << 0;
+
+/// Fixed-size header at byte 0. Plain-old-data: written and read as
+/// raw bytes, so members are all fixed-width and the struct must stay
+/// free of padding surprises (static_asserted below).
+struct BinaryCsrHeader {
+  std::uint64_t magic;          // kBinaryMagicV2
+  std::uint32_t version;        // kBinaryVersion
+  std::uint32_t header_bytes;   // kSectionAlign (room reserved on disk)
+  std::uint64_t flags;          // kFlagHasPermutation | ...
+  std::uint64_t num_vertices;   // n
+  std::uint64_t num_edges;      // m
+  std::uint64_t offsets_begin;  // byte offset of the row-offset section
+  std::uint64_t offsets_bytes;  // (n + 1) * sizeof(eid_t)
+  std::uint64_t targets_begin;
+  std::uint64_t targets_bytes;  // m * sizeof(vid_t)
+  std::uint64_t perm_begin;     // 0 when absent
+  std::uint64_t perm_bytes;     // 2 * n * sizeof(vid_t) when present
+  std::uint64_t checksum;       // header_checksum() over all prior fields
+};
+static_assert(sizeof(BinaryCsrHeader) == 12 * 8,
+              "BinaryCsrHeader must be packed (raw-byte I/O)");
+static_assert(sizeof(eid_t) == 8 && sizeof(vid_t) == 4,
+              "format v2 fixes the on-disk element widths");
+
+/// Rounds `x` up to the next section boundary.
+constexpr std::uint64_t align_section(std::uint64_t x) {
+  return (x + kSectionAlign - 1) & ~(kSectionAlign - 1);
+}
+
+/// Header self-check: a mix chain over every field before `checksum`.
+/// Catches torn/garbled headers (e.g. a partial write) before the
+/// section bounds are trusted. Same mix as graph_props fingerprinting,
+/// duplicated here so the format header stays dependency-free.
+constexpr std::uint64_t checksum_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+constexpr std::uint64_t header_checksum(const BinaryCsrHeader& h) {
+  std::uint64_t c = 0x4f50544942465300ULL;
+  c = checksum_mix(c, h.magic);
+  c = checksum_mix(c, (std::uint64_t{h.version} << 32) | h.header_bytes);
+  c = checksum_mix(c, h.flags);
+  c = checksum_mix(c, h.num_vertices);
+  c = checksum_mix(c, h.num_edges);
+  c = checksum_mix(c, h.offsets_begin);
+  c = checksum_mix(c, h.offsets_bytes);
+  c = checksum_mix(c, h.targets_begin);
+  c = checksum_mix(c, h.targets_bytes);
+  c = checksum_mix(c, h.perm_begin);
+  c = checksum_mix(c, h.perm_bytes);
+  return c;
+}
+
+/// Fills a header (including checksum) for a graph of n vertices and
+/// m edges, with or without a permutation section. Section begins are
+/// assigned in file order, each aligned to kSectionAlign.
+inline BinaryCsrHeader make_header(std::uint64_t n, std::uint64_t m,
+                                   bool has_perm) {
+  BinaryCsrHeader h{};
+  h.magic = kBinaryMagicV2;
+  h.version = kBinaryVersion;
+  h.header_bytes = static_cast<std::uint32_t>(kSectionAlign);
+  h.flags = has_perm ? kFlagHasPermutation : 0;
+  h.num_vertices = n;
+  h.num_edges = m;
+  h.offsets_begin = kSectionAlign;
+  h.offsets_bytes = (n + 1) * sizeof(eid_t);
+  h.targets_begin = align_section(h.offsets_begin + h.offsets_bytes);
+  h.targets_bytes = m * sizeof(vid_t);
+  if (has_perm) {
+    h.perm_begin = align_section(h.targets_begin + h.targets_bytes);
+    h.perm_bytes = 2 * n * sizeof(vid_t);
+  }
+  h.checksum = header_checksum(h);
+  return h;
+}
+
+/// Total file size implied by a header.
+constexpr std::uint64_t file_size(const BinaryCsrHeader& h) {
+  const std::uint64_t targets_end = h.targets_begin + h.targets_bytes;
+  return (h.flags & kFlagHasPermutation) ? h.perm_begin + h.perm_bytes
+                                         : targets_end;
+}
+
+/// Validates a header read from `path` (a file of `actual_size` bytes):
+/// magic (with a dedicated "old format" message for v1), version,
+/// checksum, section alignment/size consistency, and that the file is
+/// long enough for every promised section. Shared by the stream reader
+/// and the mmap backend so the two paths cannot drift. Throws
+/// std::runtime_error with byte-offset diagnostics.
+inline void validate_header(const BinaryCsrHeader& h, const std::string& path,
+                            std::uint64_t actual_size) {
+  const auto fail = [&](const std::string& what) {
+    throw std::runtime_error("binary_csr: '" + path + "': " + what);
+  };
+  if (h.magic == kBinaryMagicV1) {
+    fail(
+        "binary CSR format v1 (OPTIBFS1) detected; this build reads format "
+        "v2 (OPTIBFS2) — regenerate the file with write_binary_csr or "
+        "`bfs_cli --save`");
+  }
+  if (h.magic != kBinaryMagicV2) fail("bad magic (not a binary CSR file)");
+  if (h.version != kBinaryVersion) {
+    fail("unsupported format version " + std::to_string(h.version) +
+         " (this build reads version " + std::to_string(kBinaryVersion) + ")");
+  }
+  if (h.checksum != header_checksum(h)) {
+    fail("header checksum mismatch at byte offset " +
+         std::to_string(offsetof(BinaryCsrHeader, checksum)) +
+         " — torn or corrupted header");
+  }
+  if (h.header_bytes < sizeof(BinaryCsrHeader)) {
+    fail("header_bytes smaller than the fixed header");
+  }
+  if (h.num_vertices > kInvalidVertex - 1) {
+    fail("vertex count exceeds 32-bit id space");
+  }
+  if (h.num_edges > (std::uint64_t{1} << 48)) {
+    fail("implausible edge count " + std::to_string(h.num_edges));
+  }
+  if (h.offsets_begin % kSectionAlign != 0 ||
+      h.targets_begin % kSectionAlign != 0 ||
+      ((h.flags & kFlagHasPermutation) != 0 &&
+       h.perm_begin % kSectionAlign != 0)) {
+    fail("section offsets not " + std::to_string(kSectionAlign) + "-aligned");
+  }
+  if (h.offsets_begin < h.header_bytes ||
+      h.targets_begin < h.offsets_begin + h.offsets_bytes ||
+      ((h.flags & kFlagHasPermutation) != 0 &&
+       h.perm_begin < h.targets_begin + h.targets_bytes)) {
+    fail("sections overlap or are out of order");
+  }
+  if (h.offsets_bytes != (h.num_vertices + 1) * sizeof(eid_t)) {
+    fail("offsets section size " + std::to_string(h.offsets_bytes) +
+         " disagrees with num_vertices " + std::to_string(h.num_vertices));
+  }
+  if (h.targets_bytes != h.num_edges * sizeof(vid_t)) {
+    fail("targets section size " + std::to_string(h.targets_bytes) +
+         " disagrees with num_edges " + std::to_string(h.num_edges));
+  }
+  if ((h.flags & kFlagHasPermutation) != 0 &&
+      h.perm_bytes != 2 * h.num_vertices * sizeof(vid_t)) {
+    fail("permutation section size " + std::to_string(h.perm_bytes) +
+         " disagrees with num_vertices " + std::to_string(h.num_vertices));
+  }
+  const std::uint64_t expected = file_size(h);
+  if (actual_size < expected) {
+    fail("file truncated at byte offset " + std::to_string(actual_size) +
+         ": header promises " + std::to_string(expected) + " bytes");
+  }
+}
+
+}  // namespace optibfs::storage

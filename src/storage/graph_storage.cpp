@@ -1,0 +1,41 @@
+#include "storage/graph_storage.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace optibfs::storage {
+
+const char* storage_kind_name(StorageKind kind) {
+  switch (kind) {
+    case StorageKind::kHeap: return "heap";
+    case StorageKind::kMmap: return "mmap";
+  }
+  return "unknown";
+}
+
+StorageStats GraphStorage::stats() const {
+  StorageStats s;
+  s.kind = kind();
+  s.map_bytes = (static_cast<std::uint64_t>(n_) + 1) * sizeof(eid_t) +
+                static_cast<std::uint64_t>(m_) * sizeof(vid_t);
+  return s;
+}
+
+HeapStorage::HeapStorage(std::vector<eid_t> offsets,
+                         std::vector<vid_t> targets)
+    : offsets_vec_(std::move(offsets)), targets_vec_(std::move(targets)) {
+  assert(!offsets_vec_.empty());
+  offsets_ = offsets_vec_.data();
+  targets_ = targets_vec_.data();
+  n_ = static_cast<vid_t>(offsets_vec_.size() - 1);
+  m_ = offsets_vec_.back();
+  assert(targets_vec_.size() == m_);
+}
+
+StorageStats HeapStorage::stats() const {
+  StorageStats s = GraphStorage::stats();
+  s.hot_bytes = s.map_bytes;  // heap is always fully resident
+  return s;
+}
+
+}  // namespace optibfs::storage

@@ -1,0 +1,133 @@
+// Graph storage tier — where the CSR arrays physically live.
+//
+// Every engine in this library traverses one pair of flat arrays
+// (row offsets + column indices). Historically those were two
+// std::vectors inside CsrGraph, capping us at RAM-sized graphs. This
+// abstraction separates "what the arrays contain" (CsrGraph) from
+// "where the bytes live" (GraphStorage):
+//
+//  * HeapStorage — malloc-backed vectors, the default. Zero behavior
+//    change: CsrGraph caches the raw pointers at attach time, so the
+//    hot adjacency path is the same branch-free pointer load it
+//    always was (enforced by tests/check_storage_abi.cmake and the
+//    static_asserts in tests/test_storage.cpp).
+//  * MmapStorage (mmap_storage.hpp) — a read-only mapping of the
+//    on-disk binary-CSR format v2, with budget-aware madvise interval
+//    residency control.
+//
+// Why the paper's discipline makes this safe: optimistic traversal
+// publishes with plain stores and never holds a lock across an edge
+// scan, so a thread stalled in a major page fault mid-adjacency-list
+// delays only itself — no lock convoy, no priority inversion. Other
+// threads keep draining their own segments; the worst case is the
+// faulting vertex being re-explored by someone else, which the
+// optimistic engines already tolerate (it is counted as a revisit,
+// not a correctness event). Mutable per-run state (level[], parent[],
+// frontier queues, scratch arenas) deliberately stays in anonymous
+// memory — only the immutable CSR is ever file-backed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace optibfs::storage {
+
+/// Which backend holds the CSR bytes.
+enum class StorageKind {
+  kHeap,  ///< malloc-backed vectors (default; always resident).
+  kMmap,  ///< read-only file mapping (binary CSR format v2).
+};
+
+/// Human-readable backend name (CLI, ServiceStats, bench JSON).
+const char* storage_kind_name(StorageKind kind);
+
+/// Residency advice for a vertex interval's adjacency bytes. Maps to
+/// madvise on the mmap backend; a no-op on heap.
+enum class Advice {
+  kNormal,      ///< MADV_NORMAL — default kernel readahead.
+  kSequential,  ///< MADV_SEQUENTIAL — aggressive readahead, drop behind.
+  kWillNeed,    ///< MADV_WILLNEED — fault in soon; charges the budget.
+  kDontNeed,    ///< MADV_DONTNEED — drop pages now.
+};
+
+/// Residency/traffic counters, snapshotted by engines around each run
+/// (deltas become the storage_* telemetry counters) and surfaced
+/// verbatim in ServiceStats and bench JSON.
+struct StorageStats {
+  StorageKind kind = StorageKind::kHeap;
+  std::uint64_t map_bytes = 0;      ///< bytes mapped (heap: bytes owned)
+  std::uint64_t budget_bytes = 0;   ///< residency budget (0 = uncapped)
+  std::uint64_t hot_bytes = 0;      ///< bytes currently charged hot
+  std::uint64_t advise_calls = 0;   ///< madvise/fadvise syscalls issued
+  std::uint64_t evictions = 0;      ///< intervals dropped (budget or evict_cold)
+  std::uint64_t major_faults = 0;   ///< rusage ru_majflt delta since map
+                                    ///< (process-wide estimate, mmap only)
+};
+
+/// Abstract owner of the two CSR arrays. The arrays are immutable for
+/// the lifetime of the storage object; accessors hand out raw pointers
+/// that CsrGraph caches, so nothing virtual is ever on a hot path.
+/// The advise/budget methods are cold-path residency hints: safe to
+/// call concurrently (the mmap backend serializes them internally) and
+/// no-ops on heap.
+class GraphStorage {
+ public:
+  virtual ~GraphStorage() = default;
+  GraphStorage(const GraphStorage&) = delete;
+  GraphStorage& operator=(const GraphStorage&) = delete;
+
+  const eid_t* row_offsets() const { return offsets_; }
+  const vid_t* col_indices() const { return targets_; }
+  vid_t num_vertices() const { return n_; }
+  eid_t num_edges() const { return m_; }
+
+  virtual StorageKind kind() const = 0;
+  const char* kind_name() const { return storage_kind_name(kind()); }
+
+  /// Hints that the adjacency bytes of vertices [first, last) are
+  /// about to be scanned (kWillNeed), were scanned sequentially
+  /// (kSequential), or can be dropped (kDontNeed).
+  virtual void advise_vertices(vid_t first, vid_t last, Advice advice) {
+    (void)first;
+    (void)last;
+    (void)advice;
+  }
+
+  /// Caps hot residency at `bytes` (0 = uncapped). Exceeding the cap
+  /// evicts the coldest charged intervals.
+  virtual void set_budget(std::uint64_t bytes) { (void)bytes; }
+
+  /// Drops every charged interval and (on mmap) asks the kernel to
+  /// drop the page-cache copies too, so the next traversal re-faults
+  /// from disk. Used at bench run boundaries to make budget sweeps
+  /// measure steady-state paging, not warm caches.
+  virtual void evict_cold() {}
+
+  virtual StorageStats stats() const;
+
+ protected:
+  GraphStorage() = default;
+
+  const eid_t* offsets_ = nullptr;  // size n_ + 1
+  const vid_t* targets_ = nullptr;  // size m_
+  vid_t n_ = 0;
+  eid_t m_ = 0;
+};
+
+/// Default backend: the CSR arrays live in two owned vectors. This is
+/// byte-for-byte the representation CsrGraph used to hold inline.
+class HeapStorage final : public GraphStorage {
+ public:
+  HeapStorage(std::vector<eid_t> offsets, std::vector<vid_t> targets);
+
+  StorageKind kind() const override { return StorageKind::kHeap; }
+  StorageStats stats() const override;
+
+ private:
+  std::vector<eid_t> offsets_vec_;
+  std::vector<vid_t> targets_vec_;
+};
+
+}  // namespace optibfs::storage

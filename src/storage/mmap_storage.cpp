@@ -1,0 +1,290 @@
+#include "storage/mmap_storage.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <stdexcept>
+
+#include "storage/binary_format.hpp"
+
+namespace optibfs::storage {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("mmap_storage: " + what);
+}
+
+[[noreturn]] void fail_at(const std::string& path, std::uint64_t byte_offset,
+                          const std::string& what) {
+  fail("'" + path + "' at byte offset " + std::to_string(byte_offset) + ": " +
+       what);
+}
+
+long current_major_faults() {
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return ru.ru_majflt;
+}
+
+std::uint64_t page_size() {
+  static const std::uint64_t ps =
+      static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+}  // namespace
+
+std::shared_ptr<MmapStorage> MmapStorage::map(const std::string& path,
+                                              const MmapOptions& options) {
+  if (options.interval_bytes == 0 ||
+      options.interval_bytes % page_size() != 0) {
+    fail("interval_bytes must be a non-zero multiple of the page size (" +
+         std::to_string(page_size()) + "), got " +
+         std::to_string(options.interval_bytes));
+  }
+
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("cannot open '" + path + "': " + std::strerror(errno));
+  // Hand ownership to the object immediately so every error path below
+  // closes the descriptor and unmaps via the destructor.
+  auto self = std::shared_ptr<MmapStorage>(new MmapStorage());
+  self->path_ = path;
+  self->fd_ = fd;
+  self->opt_ = options;
+
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    fail("fstat('" + path + "') failed: " + std::strerror(errno));
+  }
+  const std::uint64_t actual_size = static_cast<std::uint64_t>(st.st_size);
+  if (actual_size < sizeof(BinaryCsrHeader)) {
+    fail_at(path, actual_size, "file shorter than the format v2 header (" +
+                                   std::to_string(sizeof(BinaryCsrHeader)) +
+                                   " bytes) — truncated or not a binary CSR");
+  }
+
+  BinaryCsrHeader h{};
+  if (::pread(fd, &h, sizeof(h), 0) != static_cast<ssize_t>(sizeof(h))) {
+    fail_at(path, 0, "short read of header: " + std::string(std::strerror(errno)));
+  }
+  validate_header(h, path, actual_size);
+
+  void* base = ::mmap(nullptr, actual_size, PROT_READ, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    fail("mmap('" + path + "', " + std::to_string(actual_size) +
+         " bytes) failed: " + std::strerror(errno));
+  }
+  self->base_ = static_cast<unsigned char*>(base);
+  self->map_len_ = actual_size;
+  self->targets_begin_ = h.targets_begin;
+  self->targets_bytes_ = h.targets_bytes;
+
+  self->offsets_ = reinterpret_cast<const eid_t*>(self->base_ + h.offsets_begin);
+  self->targets_ = reinterpret_cast<const vid_t*>(self->base_ + h.targets_begin);
+  self->n_ = static_cast<vid_t>(h.num_vertices);
+  self->m_ = h.num_edges;
+
+  // Validate the offsets array in full (pages it in — that's fine, the
+  // offsets are hot for the graph's whole lifetime anyway). Targets are
+  // spot-checked: full validation would fault in the entire edge array
+  // and defeat lazy loading; the heap reader does the O(m) check.
+  const eid_t* off = self->offsets_;
+  if (off[0] != 0) {
+    fail_at(path, h.offsets_begin, "offsets[0] != 0");
+  }
+  for (std::uint64_t v = 0; v < h.num_vertices; ++v) {
+    if (off[v + 1] < off[v]) {
+      fail_at(path, h.offsets_begin + (v + 1) * sizeof(eid_t),
+              "row offsets not monotone at vertex " + std::to_string(v));
+    }
+  }
+  if (off[h.num_vertices] != h.num_edges) {
+    fail_at(path, h.offsets_begin + h.num_vertices * sizeof(eid_t),
+            "offsets[n] (" + std::to_string(off[h.num_vertices]) +
+                ") != num_edges (" + std::to_string(h.num_edges) + ")");
+  }
+  if (h.num_edges > 0) {
+    constexpr std::uint64_t kProbes = 64;
+    const std::uint64_t stride = std::max<std::uint64_t>(1, h.num_edges / kProbes);
+    for (std::uint64_t i = 0; i < h.num_edges; i += stride) {
+      if (self->targets_[i] >= h.num_vertices) {
+        fail_at(path, h.targets_begin + i * sizeof(vid_t),
+                "target id " + std::to_string(self->targets_[i]) +
+                    " out of range (n=" + std::to_string(h.num_vertices) + ")");
+      }
+    }
+  }
+
+  // Copy the permutation (if any) to anonymous memory — it's consulted
+  // per-query and must never major-fault — then drop its file pages.
+  if (h.flags & kFlagHasPermutation) {
+    const vid_t* p = reinterpret_cast<const vid_t*>(self->base_ + h.perm_begin);
+    self->perm_.assign(p, p + h.num_vertices);
+    self->inv_perm_.assign(p + h.num_vertices, p + 2 * h.num_vertices);
+    const std::uint64_t perm_span =
+        std::min(actual_size - h.perm_begin, align_section(h.perm_bytes));
+    ::madvise(self->base_ + h.perm_begin, perm_span, MADV_DONTNEED);
+  }
+
+  {
+    std::scoped_lock lock(self->mu_);
+    // Offsets stay resident: they're the per-vertex index every engine
+    // touches every round.
+    self->advise_raw_locked(h.offsets_begin, align_section(h.offsets_bytes),
+                            MADV_WILLNEED);
+    if (self->targets_bytes_ > 0) {
+      const int adv = (options.budget_bytes > 0) ? MADV_RANDOM
+                      : options.sequential       ? MADV_SEQUENTIAL
+                                                 : MADV_NORMAL;
+      self->advise_raw_locked(self->targets_begin_,
+                              align_section(self->targets_bytes_), adv);
+    }
+    self->hot_.assign(self->interval_count_locked(), 0);
+  }
+  self->majflt_at_map_ = current_major_faults();
+  return self;
+}
+
+MmapStorage::~MmapStorage() {
+  if (base_ != nullptr) ::munmap(base_, map_len_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint64_t MmapStorage::interval_count_locked() const {
+  if (targets_bytes_ == 0) return 0;
+  return (targets_bytes_ + opt_.interval_bytes - 1) / opt_.interval_bytes;
+}
+
+void MmapStorage::advise_raw_locked(std::uint64_t begin, std::uint64_t bytes,
+                                    int advice) {
+  bytes = std::min(bytes, map_len_ - begin);
+  if (bytes == 0) return;
+  ::madvise(base_ + begin, bytes, advice);
+  ++advise_calls_;
+}
+
+void MmapStorage::touch_interval_locked(std::uint64_t idx) {
+  if (hot_[idx]) return;
+  const std::uint64_t begin = idx * opt_.interval_bytes;
+  const std::uint64_t bytes =
+      std::min(opt_.interval_bytes, targets_bytes_ - begin);
+  advise_raw_locked(targets_begin_ + begin, bytes, MADV_WILLNEED);
+  hot_[idx] = 1;
+  hot_fifo_.push_back(static_cast<std::uint32_t>(idx));
+  hot_bytes_ += bytes;
+  if (opt_.budget_bytes == 0) return;
+  // Keep at least the interval just charged: a budget below one
+  // interval degrades to scan-and-drop rather than thrashing forever.
+  while (hot_bytes_ > opt_.budget_bytes && hot_fifo_.size() > 1) {
+    const std::uint64_t victim = hot_fifo_.front();
+    hot_fifo_.pop_front();
+    evict_interval_locked(victim);
+  }
+}
+
+void MmapStorage::evict_interval_locked(std::uint64_t idx) {
+  if (!hot_[idx]) return;
+  const std::uint64_t begin = idx * opt_.interval_bytes;
+  const std::uint64_t bytes =
+      std::min(opt_.interval_bytes, targets_bytes_ - begin);
+  advise_raw_locked(targets_begin_ + begin, bytes, MADV_DONTNEED);
+  // Also drop the page-cache copy; without this, "evicted" pages on a
+  // large-RAM machine re-fault as minor faults and the budget is fake.
+  ::posix_fadvise(fd_, static_cast<off_t>(targets_begin_ + begin),
+                  static_cast<off_t>(bytes), POSIX_FADV_DONTNEED);
+  ++advise_calls_;
+  hot_[idx] = 0;
+  hot_bytes_ -= bytes;
+  ++evictions_;
+}
+
+void MmapStorage::advise_vertices(vid_t first, vid_t last, Advice advice) {
+  if (first >= last || n_ == 0 || targets_bytes_ == 0) return;
+  last = std::min(last, n_);
+  const std::uint64_t b0 = offsets_[first] * sizeof(vid_t);
+  const std::uint64_t b1 = offsets_[last] * sizeof(vid_t);
+  if (b0 >= b1) return;
+  std::scoped_lock lock(mu_);
+  switch (advice) {
+    case Advice::kWillNeed: {
+      const std::uint64_t i0 = b0 / opt_.interval_bytes;
+      const std::uint64_t i1 = (b1 - 1) / opt_.interval_bytes;
+      for (std::uint64_t i = i0; i <= i1; ++i) touch_interval_locked(i);
+      break;
+    }
+    case Advice::kDontNeed: {
+      const std::uint64_t i0 = b0 / opt_.interval_bytes;
+      const std::uint64_t i1 = (b1 - 1) / opt_.interval_bytes;
+      for (std::uint64_t i = i0; i <= i1; ++i) {
+        if (hot_[i]) {
+          std::erase(hot_fifo_, static_cast<std::uint32_t>(i));
+          evict_interval_locked(i);
+        }
+      }
+      break;
+    }
+    case Advice::kSequential:
+      advise_raw_locked(targets_begin_ + b0, b1 - b0, MADV_SEQUENTIAL);
+      break;
+    case Advice::kNormal:
+      advise_raw_locked(targets_begin_ + b0, b1 - b0, MADV_NORMAL);
+      break;
+  }
+}
+
+void MmapStorage::set_budget(std::uint64_t bytes) {
+  std::scoped_lock lock(mu_);
+  opt_.budget_bytes = bytes;
+  if (bytes == 0) return;
+  // Budgeted maps must not let kernel readahead stream past the cap.
+  if (targets_bytes_ > 0) {
+    advise_raw_locked(targets_begin_, align_section(targets_bytes_),
+                      MADV_RANDOM);
+  }
+  while (hot_bytes_ > bytes && hot_fifo_.size() > 1) {
+    const std::uint64_t victim = hot_fifo_.front();
+    hot_fifo_.pop_front();
+    evict_interval_locked(victim);
+  }
+}
+
+void MmapStorage::evict_cold() {
+  std::scoped_lock lock(mu_);
+  for (const std::uint32_t idx : hot_fifo_) {
+    // evict_interval_locked checks hot_[idx] itself.
+    evict_interval_locked(idx);
+  }
+  hot_fifo_.clear();
+  if (targets_bytes_ > 0) {
+    advise_raw_locked(targets_begin_, targets_bytes_, MADV_DONTNEED);
+    ::posix_fadvise(fd_, static_cast<off_t>(targets_begin_),
+                    static_cast<off_t>(targets_bytes_), POSIX_FADV_DONTNEED);
+    ++advise_calls_;
+  }
+  hot_bytes_ = 0;
+}
+
+StorageStats MmapStorage::stats() const {
+  std::scoped_lock lock(mu_);
+  StorageStats s;
+  s.kind = StorageKind::kMmap;
+  s.map_bytes = map_len_;
+  s.budget_bytes = opt_.budget_bytes;
+  s.hot_bytes = hot_bytes_;
+  s.advise_calls = advise_calls_;
+  s.evictions = evictions_;
+  const long now = current_major_faults();
+  s.major_faults =
+      now > majflt_at_map_ ? static_cast<std::uint64_t>(now - majflt_at_map_)
+                           : 0;
+  return s;
+}
+
+}  // namespace optibfs::storage

@@ -1,0 +1,113 @@
+// mmap-backed CSR storage with budget-aware interval residency.
+//
+// Maps a binary-CSR-v2 file read-only and serves the offset/target
+// arrays straight out of the mapping — the graph is demand-paged, so
+// graphs larger than RAM (or larger than an operator-imposed budget)
+// traverse correctly, just slower. Residency control works on fixed
+// byte intervals of the targets section (default 8 MiB):
+//
+//  * advise_vertices(first, last, kWillNeed) — the edgemap batcher's
+//    hint that a degree-balanced slice is about to be scanned. Each
+//    newly-touched interval gets one MADV_WILLNEED and is charged
+//    against the budget; when charged bytes exceed the budget the
+//    coldest interval (FIFO) is evicted with MADV_DONTNEED +
+//    posix_fadvise(POSIX_FADV_DONTNEED). The fadvise matters: on a
+//    big-RAM box DONTNEED alone leaves the page-cache copy warm and
+//    the "eviction" would be free, which is not what a budget sweep
+//    is trying to measure.
+//  * evict_cold() — drops every charged interval and the page cache
+//    behind the whole targets section; benches call it between runs
+//    so each cell starts cold.
+//
+// All residency bookkeeping is mutex-guarded and cold-path (one
+// advise per thread-slice per dense round, not per edge). The hot
+// adjacency loads themselves are plain pointer dereferences into the
+// mapping — indistinguishable from heap to the engines, which is the
+// whole point.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/graph_storage.hpp"
+
+namespace optibfs::storage {
+
+struct MmapOptions {
+  /// Hot-residency cap for the targets section, bytes. 0 = uncapped.
+  std::uint64_t budget_bytes = 0;
+  /// Residency-charging granularity. Benches/tests shrink this so a
+  /// tiny graph still exercises eviction; must be a multiple of the
+  /// page size (enforced by map()).
+  std::uint64_t interval_bytes = std::uint64_t{8} << 20;
+  /// Advise MADV_SEQUENTIAL on the targets section at map time (good
+  /// default for uncapped whole-graph traversal; budgeted maps switch
+  /// to MADV_RANDOM so kernel readahead can't blow past the budget).
+  bool sequential = true;
+};
+
+class MmapStorage final : public GraphStorage {
+ public:
+  /// Maps `path` (binary CSR format v2). Validates the header
+  /// (magic/version/checksum/bounds) and the full offsets array;
+  /// targets are spot-checked only, so mapping stays O(header + n),
+  /// not O(m) page-ins. Throws std::runtime_error with byte-offset
+  /// diagnostics on any mismatch.
+  static std::shared_ptr<MmapStorage> map(const std::string& path,
+                                          const MmapOptions& options = {});
+
+  ~MmapStorage() override;
+
+  StorageKind kind() const override { return StorageKind::kMmap; }
+  void advise_vertices(vid_t first, vid_t last, Advice advice) override;
+  void set_budget(std::uint64_t bytes) override;
+  void evict_cold() override;
+  StorageStats stats() const override;
+
+  const std::string& path() const { return path_; }
+
+  /// True when the file carries a permutation section (the graph was
+  /// reordered before saving).
+  bool has_permutation() const { return !perm_.empty(); }
+
+  /// Permutation copied out of the file at map time (empty when
+  /// absent). Heap copies on purpose: CsrGraph mutates nothing, but
+  /// the permutation is consulted per-query by the service and should
+  /// never major-fault.
+  const std::vector<vid_t>& perm() const { return perm_; }
+  const std::vector<vid_t>& inv_perm() const { return inv_perm_; }
+
+ private:
+  MmapStorage() = default;
+
+  // All four helpers require mu_ held.
+  std::uint64_t interval_count_locked() const;
+  void touch_interval_locked(std::uint64_t idx);
+  void evict_interval_locked(std::uint64_t idx);
+  void advise_raw_locked(std::uint64_t begin, std::uint64_t bytes, int advice);
+
+  std::string path_;
+  int fd_ = -1;
+  unsigned char* base_ = nullptr;
+  std::uint64_t map_len_ = 0;
+  std::uint64_t targets_begin_ = 0;  // byte offset of targets in the file
+  std::uint64_t targets_bytes_ = 0;
+  MmapOptions opt_;
+  long majflt_at_map_ = 0;
+
+  std::vector<vid_t> perm_;
+  std::vector<vid_t> inv_perm_;
+
+  mutable std::mutex mu_;
+  std::vector<std::uint8_t> hot_;       // interval -> charged?
+  std::deque<std::uint32_t> hot_fifo_;  // charge order (eviction queue)
+  std::uint64_t hot_bytes_ = 0;
+  std::uint64_t advise_calls_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace optibfs::storage

@@ -93,6 +93,11 @@ namespace optibfs::telemetry {
   X(kKernelRepairFixes,        "kernel_repair_fixes")                        \
   X(kKernelConflictDemotes,    "kernel_conflict_demotes")                    \
   X(kKernelRmwOps,             "kernel_rmw_ops")                             \
+  /* storage tier (DESIGN.md section 12) */                                  \
+  X(kStorageMapBytes,          "storage_map_bytes")                          \
+  X(kStorageAdviseCalls,       "storage_advise_calls")                       \
+  X(kStorageEvictions,         "storage_evictions")                          \
+  X(kStorageMajorFaults,       "storage_major_fault_estimate")               \
   /* query service */                                                        \
   X(kQueriesSubmitted,         "queries_submitted")                          \
   X(kQueriesCompleted,         "queries_completed")                          \

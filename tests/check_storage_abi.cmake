@@ -1,0 +1,46 @@
+# Enforces the storage-tier hot-path contract (DESIGN.md section 12):
+# CsrGraph fronts a storage::GraphStorage backend, but its adjacency
+# accessors must stay branch-free pointer loads — nothing virtual on
+# CsrGraph itself, no out-of-line out_neighbors/out_degree/out_offset
+# bodies the engines would call through. The accessor *types* are
+# pinned by static_asserts in tests/test_storage.cpp; this script
+# guards the symbol-level half: a vtable for CsrGraph means someone
+# made it polymorphic, and a *strong* (T/t) definition of an accessor
+# means its body moved out of the header into a .cpp, past the
+# inliner's reach. Weak (W) symbols are tolerated — the compiler may
+# emit an out-of-line copy of an in-class inline function at -O0, and
+# that does not change what the optimized engines inline. Run as
+#   cmake -DLIBRARY=<liboptibfs.a> [-DNM=<nm>] -P check_storage_abi.cmake
+# (registered as ctest "storage/abi_stays_inline").
+if(NOT LIBRARY)
+  message(FATAL_ERROR "pass -DLIBRARY=<path to liboptibfs archive>")
+endif()
+if(NOT NM)
+  set(NM nm)
+endif()
+
+execute_process(
+  COMMAND ${NM} --defined-only -C ${LIBRARY}
+  OUTPUT_VARIABLE symbols
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${NM} failed on ${LIBRARY} (rc=${rc})")
+endif()
+
+string(REPLACE "\n" ";" lines "${symbols}")
+set(leaks "")
+foreach(line IN LISTS lines)
+  if(line MATCHES "vtable for optibfs::CsrGraph")
+    list(APPEND leaks "${line}")
+  elseif(line MATCHES " [Tt] .*optibfs::CsrGraph::(out_neighbors|out_degree|out_offset)")
+    list(APPEND leaks "${line}")
+  endif()
+endforeach()
+
+if(leaks)
+  message(FATAL_ERROR
+    "CsrGraph adjacency accessors are no longer inline pointer loads: "
+    "${leaks}. The storage refactor must keep the hot path branch-free "
+    "(cache raw pointers at attach time — see src/graph/csr_graph.hpp).")
+endif()
+message(STATUS "ok: ${LIBRARY} keeps CsrGraph adjacency accessors inline")
