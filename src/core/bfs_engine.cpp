@@ -19,6 +19,27 @@ std::pair<vid_t, vid_t> slice(vid_t n, int tid, int p) {
   return {static_cast<vid_t>(n * t / pp), static_cast<vid_t>(n * (t + 1) / pp)};
 }
 
+/// Topology policy resolution (DESIGN.md §13): num_sockets == 0 asks
+/// for the physical machine; pin_threads alone also detects it (the pin
+/// map needs real cpu ids) but the NUMA *policy* stays off unless
+/// numa_aware says otherwise.
+Topology make_engine_topology(int p, const BFSOptions& o) {
+  if (o.numa_aware && o.num_sockets == 0) return Topology::physical(p);
+  if (o.numa_aware) return Topology(p, std::max(1, o.num_sockets));
+  if (o.pin_threads) return Topology::physical(p);
+  return Topology::flat(p);
+}
+
+/// Pin map for the worker team: the topology's own cpu map when it is
+/// physical, otherwise a fresh physical detection (simulated-socket
+/// topologies carry no cpu ids). Empty (no pinning) unless requested.
+std::vector<int> make_pin_map(const Topology& topo, int p,
+                              const BFSOptions& o) {
+  if (!o.pin_threads) return {};
+  if (!topo.cpu_map().empty()) return topo.cpu_map();
+  return Topology::physical(p).cpu_map();
+}
+
 }  // namespace
 
 BFSEngineBase::BFSEngineBase(std::string name, const CsrGraph& graph,
@@ -26,8 +47,11 @@ BFSEngineBase::BFSEngineBase(std::string name, const CsrGraph& graph,
     : graph_(graph),
       opts_(opts),
       p_(std::max(1, opts.num_threads)),
-      topology_(p_, opts.numa_aware ? std::max(1, opts.num_sockets) : 1),
-      queues_(p_, graph.num_vertices() == 0 ? 1 : graph.num_vertices()),
+      topology_(make_engine_topology(p_, opts)),
+      // Slabs stay unfaulted until the first run's parallel region
+      // zeroes each queue from its owner thread (first-touch).
+      queues_(p_, graph.num_vertices() == 0 ? 1 : graph.num_vertices(),
+              /*defer_init=*/true, opts.huge_pages),
       barrier_(p_),
       ts_(static_cast<std::size_t>(p_)),
       counters_(p_),
@@ -36,7 +60,8 @@ BFSEngineBase::BFSEngineBase(std::string name, const CsrGraph& graph,
       name_(opts_.direction_mode == DirectionMode::kHybrid
                 ? std::move(name) + "_H"
                 : std::move(name)),
-      team_(p_) {
+      team_(p_, make_pin_map(topology_, p_, opts_)) {
+  thp_baseline_ = opts_.huge_pages ? mem::anon_huge_bytes() : 0;
   if (opts_.parent_claim_dedup) {
     claim_ = std::vector<std::atomic<std::int32_t>>(graph_.num_vertices());
   }
@@ -50,14 +75,30 @@ BFSEngineBase::BFSEngineBase(std::string name, const CsrGraph& graph,
     transpose_ = &graph_.transpose();
     const std::size_t words =
         (static_cast<std::size_t>(graph_.num_vertices()) + 63) / 64;
-    frontier_bits_ = std::vector<std::atomic<std::uint64_t>>(words);
+    // Word slices are owner-computes too, so these defer their zeroing
+    // to the first run's parallel region like the arena buffers.
+    placement_huge_advises_ +=
+        frontier_bits_.grow(words, opts_.huge_pages) ? 1 : 0;
     if (opts_.bottom_up_word_scan) {
-      unvisited_words_.assign(words, 0);
-      discovered_words_.assign(words, 0);
+      placement_huge_advises_ +=
+          unvisited_words_.grow(words, opts_.huge_pages) ? 1 : 0;
+      placement_huge_advises_ +=
+          discovered_words_.grow(words, opts_.huge_pages) ? 1 : 0;
     }
   }
   if (opts_.storage_budget_bytes != 0) {
     graph_.set_storage_budget(opts_.storage_budget_bytes);
+  }
+  placement_huge_advises_ += static_cast<std::uint32_t>(queues_.huge_advises());
+  // CSR placement: huge pages for TLB reach; interleave the (already
+  // touched at build time; MPOL_MF_MOVE migrates) adjacency across
+  // sockets when the NUMA policy is live — there is no owner socket for
+  // the shared read-only arrays, so spreading the bandwidth wins.
+  if (opts_.huge_pages || (opts_.numa_aware && topology_.num_sockets() > 1)) {
+    const storage::PlacementResult placed = graph_.place_storage(
+        opts_.huge_pages, opts_.numa_aware && topology_.num_sockets() > 1);
+    placement_huge_advises_ += placed.huge_advises;
+    placement_numa_binds_ += placed.numa_binds;
   }
 }
 
@@ -231,8 +272,13 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
   const bool grew = stamped_level_.size() < n ||
                     out.level.capacity() < n || out.parent.capacity() < n;
   if (stamped_level_.size() < n) {
-    stamped_level_.assign(n, 0);  // stamp 0 = epoch 0, never current
-    parent_scratch_.resize(n);
+    // Allocation only — the "stamp 0 = epoch 0, never current" zeroing
+    // happens in the first run's parallel region below, slice by slice,
+    // so first-touch places each page on its owner's socket.
+    placement_huge_advises_ +=
+        stamped_level_.grow(n, opts_.huge_pages) ? 1 : 0;
+    placement_huge_advises_ +=
+        parent_scratch_.grow(n, opts_.huge_pages) ? 1 : 0;
   }
   out.level.resize(n);
   out.parent.resize(n);
@@ -245,10 +291,11 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
   // now decode as unvisited. On the (once per ~4e9 runs) wrap the
   // sentinel epoch 0 would become current, so wipe for real.
   if (++epoch_ == 0) {
-    std::fill(stamped_level_.begin(), stamped_level_.end(), stamp_t{0});
+    std::fill(stamped_level_.data(), stamped_level_.data() + n, stamp_t{0});
     epoch_ = 1;
     ++arena_.epoch_wraps;
   }
+  const bool first_run = !first_run_done_;
 
   out.num_levels = 0;
   out.vertices_visited = 0;
@@ -290,6 +337,35 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
                         static_cast<std::uint64_t>(tid) * 7919 + source);
 
     const auto [lo, hi] = slice(n, tid, p_);
+    if (first_run) {
+      // First-touch initialization (DESIGN.md §13): every placed buffer
+      // is zeroed here, by the thread whose owner-computes slice the
+      // pages belong to, so the faults land socket-locally (and, with
+      // pin_threads, stay there). This replaces the constructor-thread
+      // value-init the std::vector arena used to get. The barrier below
+      // publishes the zeroes before any cross-thread access.
+      std::fill(stamped_level_.data() + lo, stamped_level_.data() + hi,
+                stamp_t{0});
+      std::fill(parent_scratch_.data() + lo, parent_scratch_.data() + hi,
+                vid_t{0});
+      queues_.init_queue(tid);
+      if (!frontier_bits_.empty()) {
+        const std::size_t words = frontier_bits_.size();
+        const std::size_t wlo = words * static_cast<std::size_t>(tid) /
+                                static_cast<std::size_t>(p_);
+        const std::size_t whi = words * (static_cast<std::size_t>(tid) + 1) /
+                                static_cast<std::size_t>(p_);
+        for (std::size_t w = wlo; w < whi; ++w) {
+          frontier_bits_[w].store(0, std::memory_order_relaxed);
+        }
+        if (!unvisited_words_.empty()) {
+          std::fill(unvisited_words_.data() + wlo,
+                    unvisited_words_.data() + whi, std::uint64_t{0});
+          std::fill(discovered_words_.data() + wlo,
+                    discovered_words_.data() + whi, std::uint64_t{0});
+        }
+      }
+    }
     // No level/parent wipe: the epoch bump above already invalidated
     // every stamp. Only the optional §IV-D structures still need their
     // per-run reset.
@@ -433,6 +509,27 @@ void BFSEngineBase::run(vid_t source, BFSResult& out) {
   snap[kScratchReuses] = grew ? 0 : 1;
   // Storage-tier deltas (DESIGN.md §12): map_bytes is a level, the
   // rest are per-run deltas against the baseline captured at run entry.
+  // Placement telemetry (DESIGN.md §13): one-time facts recorded on the
+  // first run, when the first-touch region actually executed. The THP
+  // figure is an AnonHugePages delta — promotion is asynchronous and
+  // process-wide, so it is an estimate, recorded as such.
+  if (first_run) {
+    first_run_done_ = true;
+    std::uint64_t touched =
+        static_cast<std::uint64_t>(n) * (sizeof(stamp_t) + sizeof(vid_t)) +
+        queues_.slab_bytes();
+    touched += frontier_bits_.capacity_bytes() +
+               unvisited_words_.capacity_bytes() +
+               discovered_words_.capacity_bytes();
+    snap[kFirstTouchBytes] = touched;
+    snap[kHugePageAdvises] = placement_huge_advises_;
+    snap[kNumaBindCalls] = placement_numa_binds_;
+    snap[kThreadPins] = static_cast<std::uint64_t>(team_.pinned_threads());
+    if (opts_.huge_pages) {
+      const std::uint64_t now = mem::anon_huge_bytes();
+      snap[kThpBytesPromoted] = now > thp_baseline_ ? now - thp_baseline_ : 0;
+    }
+  }
   const storage::StorageStats storage_after = graph_.storage_stats();
   snap[kStorageMapBytes] = storage_after.map_bytes;
   snap[kStorageAdviseCalls] =

@@ -35,6 +35,7 @@
 #include "core/steal_stats.hpp"
 #include "graph/csr_graph.hpp"
 #include "runtime/cache_aligned.hpp"
+#include "runtime/mem_topology.hpp"
 #include "runtime/rng.hpp"
 #include "runtime/spin_barrier.hpp"
 #include "runtime/spin_lock.hpp"
@@ -69,6 +70,11 @@ class ParallelBFS {
   /// buffers across runs (the optimistic engine family, MS-BFS). The
   /// default — serial oracle, baselines — reports nothing.
   virtual ArenaStats arena_stats() const { return {}; }
+
+  /// Worker threads successfully pinned to a cpu (BFSOptions::
+  /// pin_threads). The default — engines without a persistent team, or
+  /// with pinning off — reports 0.
+  virtual int pinned_threads() const { return 0; }
 };
 
 class BFSEngineBase : public ParallelBFS {
@@ -77,6 +83,7 @@ class BFSEngineBase : public ParallelBFS {
   std::string_view name() const final { return name_; }
   const BFSOptions& options() const final { return opts_; }
   ArenaStats arena_stats() const final { return arena_; }
+  int pinned_threads() const final { return team_.pinned_threads(); }
 
  protected:
   BFSEngineBase(std::string name, const CsrGraph& graph, BFSOptions opts);
@@ -221,11 +228,21 @@ class BFSEngineBase : public ParallelBFS {
   // stamps, counts the visited slice, and scatters level/parent into
   // `out` in *original* IDs — one O(n) pass where the old scheme spent
   // two (init wipe + final count). Sized lazily on first run, then
-  // reused forever (ArenaStats audits this).
-  std::vector<stamp_t> stamped_level_;  ///< packed (epoch, level) words
-  std::vector<vid_t> parent_scratch_;   ///< internal-ID parents
+  // reused forever (ArenaStats audits this). PlacedBuffers (DESIGN.md
+  // §13): allocation leaves pages unfaulted; the first run's parallel
+  // region zeroes each thread's owner-computes slice, so first-touch
+  // places every page on the worker's socket, and huge_pages advises
+  // 2 MiB backing.
+  mem::PlacedBuffer<stamp_t> stamped_level_;  ///< packed (epoch, level)
+  mem::PlacedBuffer<vid_t> parent_scratch_;   ///< internal-ID parents
   std::uint32_t epoch_ = 0;             ///< current run's stamp epoch
   ArenaStats arena_;
+
+  // ---- placement bookkeeping (DESIGN.md §13) ----
+  bool first_run_done_ = false;  ///< first-touch init still pending
+  std::uint64_t thp_baseline_ = 0;       ///< AnonHugePages at ctor
+  std::uint32_t placement_huge_advises_ = 0;
+  std::uint32_t placement_numa_binds_ = 0;
 
   // §IV-D parent-claim array (allocated only when the option is on).
   std::vector<std::atomic<std::int32_t>> claim_;
@@ -245,7 +262,7 @@ class BFSEngineBase : public ParallelBFS {
   /// the words of its own word-aligned slice (relaxed stores; the level
   /// barrier publishes them) — word granularity is what removes the
   /// fetch_or the direction-optimizing baseline needs.
-  std::vector<std::atomic<std::uint64_t>> frontier_bits_;
+  mem::PlacedBuffer<std::atomic<std::uint64_t>> frontier_bits_;
   /// Word-scan summary bitmaps (bottom_up_word_scan; DESIGN.md §3.1a).
   /// Bit v of word v/64 set = v still unvisited / discovered this
   /// bottom-up level. Strictly thread-private at word granularity: the
@@ -253,8 +270,8 @@ class BFSEngineBase : public ParallelBFS {
   /// writes a word, in every pass, so these are plain (non-atomic)
   /// vectors — stricter even than the benign-race discipline the rest
   /// of the engine runs under.
-  std::vector<std::uint64_t> unvisited_words_;
-  std::vector<std::uint64_t> discovered_words_;
+  mem::PlacedBuffer<std::uint64_t> unvisited_words_;
+  mem::PlacedBuffer<std::uint64_t> discovered_words_;
   /// True while unvisited_words_/discovered_words_ describe the current
   /// frontier (consecutive word-scan bottom-up levels). Single writer:
   /// the barrier-window thread in prepare_direction.

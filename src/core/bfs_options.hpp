@@ -107,9 +107,28 @@ struct BFSOptions {
   /// first. Uses `topology`; meaningless when topology has one socket.
   bool numa_aware = false;
 
-  /// Simulated socket layout (defaults to all threads on one socket).
-  /// Ignored unless numa_aware is set.
+  /// Socket layout for the NUMA policy. The default 1 simulates a
+  /// single socket; any other positive value simulates that many.
+  /// 0 = detect the physical machine from /sys/devices/system/node
+  /// (Topology::physical) so socket ids are real NUMA nodes — degrades
+  /// to flat on machines without sysfs. Ignored unless numa_aware.
   int num_sockets = 1;
+
+  /// Pin each worker to a logical cpu of its socket
+  /// (pthread_setaffinity_np via the physical topology's cpu map).
+  /// Best-effort: failed pins leave workers floating; the count that
+  /// stuck is reported in telemetry/ServiceStats. Combined with the
+  /// engines' first-touch initialization this is what makes placement
+  /// real instead of advisory. No-op with OPTIBFS_NUMA=OFF.
+  bool pin_threads = false;
+
+  /// Back the engines' large per-run buffers (stamped level arena,
+  /// parent scratch, packed-word bitmaps, frontier-queue slot slabs,
+  /// and the CSR adjacency) with transparent huge pages via
+  /// madvise(MADV_HUGEPAGE). Honored only when the kernel's THP mode
+  /// is `always` or `madvise`; telemetry records both advises issued
+  /// and an AnonHugePages-delta estimate of pages actually promoted.
+  bool huge_pages = false;
 
   /// Collect the Table VI steal/duplicate statistics. Counter updates
   /// are thread-local so the cost is negligible either way; the flag

@@ -1,27 +1,43 @@
 #include "core/frontier_queues.hpp"
 
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 
 namespace optibfs {
 
-FrontierQueues::FrontierQueues(int num_queues, vid_t max_vertices)
+FrontierQueues::FrontierQueues(int num_queues, vid_t max_vertices,
+                               bool defer_init, bool huge_pages)
     : num_queues_(num_queues),
       capacity_(static_cast<std::int64_t>(max_vertices) + 1),
-      a_(static_cast<std::size_t>(num_queues) *
-         static_cast<std::size_t>(capacity_)),
-      b_(static_cast<std::size_t>(num_queues) *
-         static_cast<std::size_t>(capacity_)),
       out_count_(static_cast<std::size_t>(num_queues)),
       in_rear_(static_cast<std::size_t>(num_queues)),
       in_front_(static_cast<std::size_t>(num_queues)) {
   if (num_queues < 1) {
     throw std::invalid_argument("FrontierQueues: need at least one queue");
   }
+  const std::size_t slots = static_cast<std::size_t>(num_queues) *
+                            static_cast<std::size_t>(capacity_);
+  a_.grow(slots, huge_pages);
+  b_.grow(slots, huge_pages);
   in_ = a_.data();
   out_ = b_.data();
-  // std::vector<std::atomic<vid_t>> value-initializes -> all slots are 0,
-  // which is the empty sentinel. The swap discipline keeps them that way.
+  // All slots must read 0 (the empty sentinel) before first use; the
+  // swap discipline keeps them that way afterwards. Deferred init hands
+  // that zeroing to the per-queue owner threads (first-touch placement);
+  // otherwise do it here, matching the old vector value-init behavior.
+  if (!defer_init) {
+    for (int q = 0; q < num_queues_; ++q) init_queue(q);
+  }
+}
+
+void FrontierQueues::init_queue(int q) {
+  const std::size_t bytes =
+      static_cast<std::size_t>(capacity_) * sizeof(std::atomic<vid_t>);
+  const std::size_t offset =
+      static_cast<std::size_t>(q) * static_cast<std::size_t>(capacity_);
+  std::memset(static_cast<void*>(a_.data() + offset), 0, bytes);
+  std::memset(static_cast<void*>(b_.data() + offset), 0, bytes);
 }
 
 void FrontierQueues::push_out(int tid, vid_t v, vid_t degree) {
@@ -51,8 +67,7 @@ void FrontierQueues::swap_and_prepare() {
 }
 
 void FrontierQueues::hard_reset() {
-  for (auto& slot : a_) slot.store(0, std::memory_order_relaxed);
-  for (auto& slot : b_) slot.store(0, std::memory_order_relaxed);
+  for (int q = 0; q < num_queues_; ++q) init_queue(q);
   for (auto& count : out_count_) count.value = OutCount{};
   for (auto& rear : in_rear_) rear.value.store(0, std::memory_order_relaxed);
   for (auto& front : in_front_) {

@@ -25,6 +25,7 @@
 
 #include "graph/types.hpp"
 #include "runtime/cache_aligned.hpp"
+#include "runtime/mem_topology.hpp"
 
 namespace optibfs {
 
@@ -34,7 +35,33 @@ class FrontierQueues {
   /// plus the trailing sentinel. A vertex can appear at most once per
   /// queue (each thread checks level[] before pushing), so max_vertices
   /// = n always suffices.
-  FrontierQueues(int num_queues, vid_t max_vertices);
+  ///
+  /// With `defer_init` the slot slabs are allocated but left unfaulted:
+  /// the owning engine must call init_queue(q) for every queue (from
+  /// the worker that owns queue q, inside its first parallel region)
+  /// before any push/consume — that first-touch zeroing is what places
+  /// each thread's queue segment on its own socket. Without it the
+  /// constructor zeroes everything itself (previous behavior).
+  /// `huge_pages` requests MADV_HUGEPAGE backing for the slabs.
+  FrontierQueues(int num_queues, vid_t max_vertices,
+                 bool defer_init = false, bool huge_pages = false);
+
+  /// Zeroes queue q's slots on both sides (the deferred part of
+  /// construction). Call from the thread that owns queue q.
+  void init_queue(int q);
+
+  /// Huge-page advises accepted for the two slot slabs (0, 1, or 2) —
+  /// folded into the engine's placement telemetry.
+  int huge_advises() const {
+    return (a_.huge_advised() ? 1 : 0) + (b_.huge_advised() ? 1 : 0);
+  }
+
+  /// Bytes a full init_queue sweep touches (both sides) — the engine's
+  /// first_touch_bytes telemetry contribution.
+  std::uint64_t slab_bytes() const {
+    return static_cast<std::uint64_t>(2 * num_queues_) *
+           static_cast<std::uint64_t>(capacity_) * sizeof(std::atomic<vid_t>);
+  }
 
   int num_queues() const { return num_queues_; }
   std::int64_t capacity() const { return capacity_; }
@@ -127,14 +154,16 @@ class FrontierQueues {
   }
 
  private:
-  std::vector<std::atomic<vid_t>>& side(int s) { return s == 0 ? a_ : b_; }
-
   const int num_queues_;
   const std::int64_t capacity_;  // slots per queue incl. sentinel
 
-  // Two flat slot arrays; `in_` / `out_` point at them and swap.
-  std::vector<std::atomic<vid_t>> a_;
-  std::vector<std::atomic<vid_t>> b_;
+  // Two flat slot slabs; `in_` / `out_` point at them and swap.
+  // PlacedBuffers so a deferred init can first-touch per owner thread;
+  // slots are plain lock-free atomics zeroed bytewise before first use
+  // (memset-then-atomic-ops on trivially-laid-out atomics — same
+  // pragmatism as the clearing trick itself).
+  mem::PlacedBuffer<std::atomic<vid_t>> a_;
+  mem::PlacedBuffer<std::atomic<vid_t>> b_;
   std::atomic<vid_t>* in_ = nullptr;
   std::atomic<vid_t>* out_ = nullptr;
 

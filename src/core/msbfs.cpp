@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -21,14 +22,13 @@ MsBfsSession::MsBfsSession(const CsrGraph& graph, const BFSOptions& options)
           std::max(1, options.num_threads))),
       pool_(owned_pool_.get()),
       p_(pool_->num_workers()),
-      seen_(graph.num_vertices()),
-      visit_(graph.num_vertices()),
-      visit_next_(graph.num_vertices()),
       queues_(p_, graph.num_vertices()),
       barrier_(p_),
       explored_(static_cast<std::size_t>(p_)),
       counters_(p_),
-      traces_(static_cast<std::size_t>(p_)) {}
+      traces_(static_cast<std::size_t>(p_)) {
+  init_masks();
+}
 
 MsBfsSession::MsBfsSession(const CsrGraph& graph, const BFSOptions& options,
                            ForkJoinPool& pool)
@@ -39,14 +39,33 @@ MsBfsSession::MsBfsSession(const CsrGraph& graph, const BFSOptions& options,
       transpose_(hybrid_ ? &graph.transpose() : nullptr),
       pool_(&pool),
       p_(std::min(std::max(1, options.num_threads), pool.num_workers())),
-      seen_(graph.num_vertices()),
-      visit_(graph.num_vertices()),
-      visit_next_(graph.num_vertices()),
       queues_(p_, graph.num_vertices()),
       barrier_(p_),
       explored_(static_cast<std::size_t>(p_)),
       counters_(p_),
-      traces_(static_cast<std::size_t>(p_)) {}
+      traces_(static_cast<std::size_t>(p_)) {
+  init_masks();
+}
+
+void MsBfsSession::init_masks() {
+  const vid_t n = graph_.num_vertices();
+  seen_.grow(n, opts_.huge_pages);
+  visit_.grow(n, opts_.huge_pages);
+  visit_next_.grow(n, opts_.huge_pages);
+  if (n == 0) return;
+  // First-touch: each pool chunk zeroes its own slice, so the mask
+  // pages fault near the workers that will hammer them. memset into
+  // atomic storage is the same pragmatism class as the clearing trick
+  // (DESIGN.md §13); the pool join publishes the zeroes before any
+  // wave runs.
+  pool_->parallel_for(0, n, 4096, [&](std::int64_t lo, std::int64_t hi) {
+    const std::size_t bytes = static_cast<std::size_t>(hi - lo) *
+                              sizeof(std::atomic<std::uint64_t>);
+    std::memset(static_cast<void*>(seen_.data() + lo), 0, bytes);
+    std::memset(static_cast<void*>(visit_.data() + lo), 0, bytes);
+    std::memset(static_cast<void*>(visit_next_.data() + lo), 0, bytes);
+  });
+}
 
 void MsBfsSession::run(const std::vector<vid_t>& sources, MsBfsResult& out) {
   const vid_t n = graph_.num_vertices();

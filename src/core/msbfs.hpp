@@ -45,6 +45,7 @@
 #include "graph/csr_graph.hpp"
 #include "runtime/cache_aligned.hpp"
 #include "runtime/fork_join_pool.hpp"
+#include "runtime/mem_topology.hpp"
 #include "runtime/spin_barrier.hpp"
 #include "telemetry/counters.hpp"
 #include "telemetry/recorder.hpp"
@@ -127,6 +128,11 @@ class MsBfsSession {
   ArenaStats arena_stats() const { return arena_; }
 
  private:
+  /// Grows + first-touches the three mask arrays (both ctors). The
+  /// pool zeroes chunk-owned slices so pages fault near their workers;
+  /// the memset also establishes the all-zero invariant visit_/
+  /// visit_next_ rely on.
+  void init_masks();
   void run_wave(int tid, MsBfsResult& out);
   void run_level_bottom_up(int tid, level_t depth, MsBfsResult& out);
   /// Scatters out.distance rows from internal to original vertex IDs
@@ -147,10 +153,12 @@ class MsBfsSession {
   // Per-vertex source masks. `seen_` is cleared at wave start (in
   // parallel); `visit_`/`visit_next_` rely on the end-of-wave all-zero
   // invariant (every processed vertex exchanges its mask away, and the
-  // final level swap happens with an empty next frontier).
-  std::vector<std::atomic<std::uint64_t>> seen_;
-  std::vector<std::atomic<std::uint64_t>> visit_;
-  std::vector<std::atomic<std::uint64_t>> visit_next_;
+  // final level swap happens with an empty next frontier). Placed
+  // (DESIGN.md §13): raw unfaulted allocations, optionally huge-page
+  // advised, first-touch zeroed by the worker pool in init_masks().
+  mem::PlacedBuffer<std::atomic<std::uint64_t>> seen_;
+  mem::PlacedBuffer<std::atomic<std::uint64_t>> visit_;
+  mem::PlacedBuffer<std::atomic<std::uint64_t>> visit_next_;
 
   FrontierQueues queues_;
   SpinBarrier barrier_;

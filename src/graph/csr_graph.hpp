@@ -166,6 +166,24 @@ class CsrGraph {
     if (storage_) storage_->advise_vertices(first, last, advice);
   }
 
+  /// Async flavor of advise_out_interval(kWillNeed): the mmap backend
+  /// queues it to a background advisor so the caller's (serial barrier
+  /// window) time is not spent in madvise — next-round paging overlaps
+  /// compute. Degrades to the synchronous hint elsewhere.
+  void advise_out_interval_async(vid_t first, vid_t last) const {
+    if (storage_) storage_->advise_vertices_async(first, last);
+  }
+
+  /// Memory placement for the CSR arrays (DESIGN.md §13): huge-page
+  /// backing and/or socket interleave, where the backend supports it.
+  /// Const for the same reason as set_storage_budget. Returns the
+  /// accepted syscall counts (all-zero on degraded machines).
+  storage::PlacementResult place_storage(bool huge_pages,
+                                         bool interleave) const {
+    return storage_ ? storage_->place(huge_pages, interleave)
+                    : storage::PlacementResult{};
+  }
+
   /// Drops charged intervals and page-cache copies (bench run
   /// boundaries); no-op on heap.
   void storage_evict_cold() const {

@@ -1,6 +1,7 @@
 #include "harness/json_writer.hpp"
 
 #include "harness/machine_info.hpp"
+#include "runtime/mem_topology.hpp"
 
 namespace optibfs {
 
@@ -92,13 +93,23 @@ JsonWriter& JsonWriter::raw(const std::string& json) {
 }
 
 void write_result_header(JsonWriter& w) {
-  w.key("schema_version").value(std::int64_t{2});
+  // v3: adds the memory-topology facts (sockets/pinning/huge_pages) so
+  // BENCH files from NUMA and flat machines are distinguishable.
+  w.key("schema_version").value(std::int64_t{3});
   const MachineInfo machine = detect_machine();
+  const mem::PhysicalTopology& topo = mem::system_topology();
   w.key("machine").begin_object();
   w.key("cpu").value(machine.cpu_model);
   w.key("logical_cpus").value(machine.logical_cpus);
   w.key("ram_mb").value(static_cast<std::int64_t>(machine.total_ram_mb));
   w.key("os").value(machine.os);
+  w.key("sockets").value(static_cast<std::int64_t>(topo.nodes.size()));
+  w.key("topology_detected").value(topo.detected);
+  w.key("pinning").value(mem::pinning_available());
+  w.key("huge_pages").begin_object();
+  w.key("thp_mode").value(std::string(mem::thp_mode_name(mem::thp_mode())));
+  w.key("supported").value(mem::huge_pages_supported());
+  w.end_object();
   w.end_object();
   w.key("build").begin_object();
 #if defined(__clang__)

@@ -57,10 +57,13 @@ class JsonWriter {
 };
 
 /// Emits the shared result-file header onto an open top-level object:
-///   "schema_version": 2,
-///   "machine": {cpu, logical_cpus, ram_mb, os},
+///   "schema_version": 3,
+///   "machine": {cpu, logical_cpus, ram_mb, os, sockets,
+///               topology_detected, pinning,
+///               huge_pages: {thp_mode, supported}},
 ///   "build": {compiler, build_type, telemetry}
 /// so every BENCH_*.json self-describes the environment it came from.
+/// v3 added the memory-topology block (DESIGN.md §13).
 void write_result_header(JsonWriter& w);
 
 }  // namespace optibfs

@@ -52,7 +52,9 @@ void ComponentsKernel::run(KernelResult& out) {
           else
             rlx_store(labels_[u], lu);
         }
-        sub_.for_neighbors(u, [&](vid_t w) {
+        // Prefetch the label probe `prefetch_distance` neighbors ahead
+        // — the same lookahead the BFS engines run over level[].
+        sub_.for_neighbors_prefetch(u, labels_.data(), [&](vid_t w) {
           const vid_t lw = rlx_load(labels_[w]);
           if (lu < lw) {
             if (use_cas_) {
@@ -83,7 +85,7 @@ void ComponentsKernel::run(KernelResult& out) {
         if (tid == 0) ++c[telemetry::kKernelRepairPasses];
         sub_.for_owned(tid, [&](vid_t v) {
           vid_t best = rlx_load(labels_[v]);
-          sub_.for_neighbors(v, [&](vid_t w) {
+          sub_.for_neighbors_prefetch(v, labels_.data(), [&](vid_t w) {
             best = std::min(best, rlx_load(labels_[w]));
           });
           if (best < rlx_load(labels_[v])) {

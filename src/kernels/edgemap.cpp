@@ -1,8 +1,20 @@
 #include "kernels/edgemap.hpp"
 
 #include <algorithm>
+#include <cstring>
+
+#include "runtime/topology.hpp"
 
 namespace optibfs::kernels {
+
+namespace {
+// Same pin policy as the BFS engines: pin_threads maps worker tid ->
+// physical cpu via sysfs detection; empty map = no pinning.
+std::vector<int> kernel_pin_map(const BFSOptions& opts, int p) {
+  if (!opts.pin_threads) return {};
+  return Topology::physical(p).cpu_map();
+}
+}  // namespace
 
 KernelSubstrate::KernelSubstrate(const CsrGraph& g, const BFSOptions& opts,
                                  bool undirected_view)
@@ -13,7 +25,8 @@ KernelSubstrate::KernelSubstrate(const CsrGraph& g, const BFSOptions& opts,
       max_rounds_(opts.kernel_max_rounds),
       counters_(std::max(1, opts.num_threads)),
       barrier_(std::max(1, opts.num_threads)),
-      team_(std::max(1, opts.num_threads)) {
+      team_(std::max(1, opts.num_threads),
+            kernel_pin_map(opts, std::max(1, opts.num_threads))) {
   degree_.resize(n_);
   for (vid_t v = 0; v < n_; ++v) {
     vid_t d = g_->out_degree(v);
@@ -40,12 +53,25 @@ KernelSubstrate::KernelSubstrate(const CsrGraph& g, const BFSOptions& opts,
     }
   }
 
-  stamp_.assign(n_, 0);
   act_.resize(static_cast<std::size_t>(p_));
   vote_.resize(static_cast<std::size_t>(p_));
   chunk_.assign(static_cast<std::size_t>(p_) + 1, 0);
   flags_.assign(n_, 0);
 
+  // Place the stamp array (DESIGN.md §13): raw unfaulted allocation,
+  // then each worker zeroes its own degree-balanced slice so the pages
+  // fault on the owning thread's socket (and, with pin_threads, stay
+  // there for the lifetime of the substrate).
+  stamp_.grow(n_, opts.huge_pages);
+  team_.run([this](int tid) {
+    const auto [b, e] = owned(tid);
+    if (b < e) {
+      std::memset(static_cast<void*>(stamp_.data() + b), 0,
+                  static_cast<std::size_t>(e - b) * sizeof(stamp_t));
+    }
+  });
+
+  prefetch_dist_ = opts.prefetch_distance > 0 ? opts.prefetch_distance : 0;
   mmap_backed_ = g.storage_kind() == storage::StorageKind::kMmap;
   if (opts.storage_budget_bytes != 0) {
     g.set_storage_budget(opts.storage_budget_bytes);
@@ -55,9 +81,8 @@ KernelSubstrate::KernelSubstrate(const CsrGraph& g, const BFSOptions& opts,
 void KernelSubstrate::advise_dense_round() {
   if (!mmap_backed_) return;
   for (int t = 0; t < p_; ++t) {
-    g_->advise_out_interval(owned_[static_cast<std::size_t>(t)],
-                            owned_[static_cast<std::size_t>(t) + 1],
-                            storage::Advice::kWillNeed);
+    g_->advise_out_interval_async(owned_[static_cast<std::size_t>(t)],
+                                  owned_[static_cast<std::size_t>(t) + 1]);
   }
 }
 

@@ -36,6 +36,7 @@
 #include "core/bfs_options.hpp"
 #include "core/scratch_arena.hpp"
 #include "graph/csr_graph.hpp"
+#include "runtime/mem_topology.hpp"
 #include "runtime/spin_barrier.hpp"
 #include "runtime/thread_team.hpp"
 #include "telemetry/counters.hpp"
@@ -184,6 +185,23 @@ class KernelSubstrate {
       for (vid_t w : tr_->out_neighbors(v)) f(w);
   }
 
+  /// for_neighbors with the engines' software-prefetch lookahead
+  /// (DESIGN.md §3.1a, extended to kernels in §13): while visiting
+  /// nbrs[i], issue `__builtin_prefetch(&data[nbrs[i + dist]])` so the
+  /// random per-neighbor array probe (CC labels, MIS states, PageRank
+  /// residuals) is in flight before f touches it. `data` is whatever
+  /// per-vertex array the kernel reads for each neighbor. dist == 0
+  /// degrades to plain iteration.
+  template <class T, class F>
+  void for_neighbors_prefetch(vid_t v, const T* data, F&& f) const {
+    visit_prefetch(g_->out_neighbors(v), data, f);
+    if (tr_ != nullptr) visit_prefetch(tr_->out_neighbors(v), data, f);
+  }
+
+  /// Effective prefetch lookahead (BFSOptions::prefetch_distance, as
+  /// tuned by the service's register_graph probe).
+  int prefetch_distance() const { return prefetch_dist_; }
+
   /// Raw neighbor spans, for kernels that need early-exit scans.
   std::span<const vid_t> out_nbrs(vid_t v) const {
     return g_->out_neighbors(v);
@@ -215,11 +233,25 @@ class KernelSubstrate {
  private:
   void advance_serial(int tid);
 
+  template <class T, class F>
+  void visit_prefetch(std::span<const vid_t> nbrs, const T* data,
+                      F& f) const {
+    const std::size_t d = static_cast<std::size_t>(prefetch_dist_);
+    const std::size_t sz = nbrs.size();
+    for (std::size_t i = 0; i < sz; ++i) {
+      if (d != 0 && i + d < sz) __builtin_prefetch(&data[nbrs[i + d]], 0, 3);
+      f(nbrs[i]);
+    }
+  }
+
   /// Storage-tier prefetch (DESIGN.md §12): before workers leave the
   /// serial barrier window into a dense round, hand each degree-aware
   /// owned slice's adjacency interval one WILLNEED hint, so the mmap
   /// backend faults the round's edge bytes in ahead of the scan (and
-  /// charges them against the residency budget). No-op on heap.
+  /// charges them against the residency budget). Hints go through the
+  /// async advisor (DESIGN.md §13): the serial window only enqueues,
+  /// and the kernel pages the next round's slices in while this
+  /// round's compute is still running. No-op on heap.
   void advise_dense_round();
 
   // Frontier entries below n_/kDenseDivisor stay sparse.
@@ -237,8 +269,10 @@ class KernelSubstrate {
 
   // Activation stamps: stamp_[v] == next_stamp_ means "already queued
   // for the next round". Bumping next_stamp_ retires every stamp at
-  // once — the scratch-arena idiom, no wipes.
-  std::vector<stamp_t> stamp_;
+  // once — the scratch-arena idiom, no wipes. Placed (DESIGN.md §13):
+  // raw unfaulted allocation, zeroed by the team over owned slices in
+  // the ctor so each thread's pages fault on its own socket.
+  mem::PlacedBuffer<stamp_t> stamp_;
   stamp_t next_stamp_ = 1;
 
   struct alignas(64) ActList {
@@ -257,6 +291,7 @@ class KernelSubstrate {
   bool dense_ = false;
   bool flags_set_ = false;  // flags_ currently holds frontier_'s bits
   bool mmap_backed_ = false;  // cached at ctor: storage kind never changes
+  int prefetch_dist_ = 0;     // BFSOptions::prefetch_distance (tuned)
   std::uint64_t frontier_entries_ = 0;
 
   telemetry::CounterRegistry counters_;

@@ -1,10 +1,17 @@
 #include "runtime/thread_team.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "runtime/mem_topology.hpp"
 
 namespace optibfs {
 
-ThreadTeam::ThreadTeam(int num_threads) : num_threads_(num_threads) {
+ThreadTeam::ThreadTeam(int num_threads)
+    : ThreadTeam(num_threads, std::vector<int>{}) {}
+
+ThreadTeam::ThreadTeam(int num_threads, std::vector<int> pin_cpus)
+    : num_threads_(num_threads), pin_cpus_(std::move(pin_cpus)) {
   if (num_threads < 1) {
     throw std::invalid_argument("ThreadTeam: need at least one thread");
   }
@@ -36,6 +43,15 @@ void ThreadTeam::run(const std::function<void(int)>& body) {
 }
 
 void ThreadTeam::worker_loop(int tid) {
+  // Pin before the first region so even first-run first-touch faults
+  // land on the right socket. Best-effort: failure just leaves this
+  // worker floating (the container's cpuset may not include the cpu).
+  if (static_cast<std::size_t>(tid) < pin_cpus_.size() &&
+      pin_cpus_[static_cast<std::size_t>(tid)] >= 0 &&
+      mem::pin_current_thread_to_cpu(
+          pin_cpus_[static_cast<std::size_t>(tid)])) {
+    pinned_.fetch_add(1, std::memory_order_relaxed);
+  }
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const std::function<void(int)>* body = nullptr;

@@ -31,12 +31,25 @@ class ThreadTeam {
  public:
   /// Creates `num_threads` persistent workers (>= 1).
   explicit ThreadTeam(int num_threads);
+
+  /// Same, but worker tid additionally pins itself to pin_cpus[tid]
+  /// before its first region (entries < 0 or past the vector's end mean
+  /// "don't pin"). Pinning is best-effort: a failed setaffinity leaves
+  /// the worker floating, and pinned_threads() reports how many sticks
+  /// actually took — the figure ServiceStats and the benches record.
+  ThreadTeam(int num_threads, std::vector<int> pin_cpus);
   ~ThreadTeam();
 
   ThreadTeam(const ThreadTeam&) = delete;
   ThreadTeam& operator=(const ThreadTeam&) = delete;
 
   int num_threads() const { return num_threads_; }
+
+  /// Workers whose affinity call succeeded (0 when constructed without
+  /// a pin map or on platforms without pinning).
+  int pinned_threads() const {
+    return pinned_.load(std::memory_order_relaxed);
+  }
 
   /// Runs body(tid) for tid in [0, num_threads) in parallel; blocks
   /// until all finish. Rethrows the first worker exception.
@@ -46,6 +59,8 @@ class ThreadTeam {
   void worker_loop(int tid);
 
   const int num_threads_;
+  const std::vector<int> pin_cpus_;
+  std::atomic<int> pinned_{0};
   std::vector<std::thread> threads_;
 
   std::mutex mutex_;

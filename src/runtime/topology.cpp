@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "runtime/mem_topology.hpp"
+
 namespace optibfs {
 
 Topology::Topology(int num_threads, int num_sockets)
@@ -13,15 +15,37 @@ Topology::Topology(int num_threads, int num_sockets)
   num_sockets_ = std::min(num_sockets_, std::max(1, num_threads));
   socket_of_.resize(static_cast<std::size_t>(num_threads));
   peers_.resize(static_cast<std::size_t>(num_sockets_));
-  // Block assignment: threads [0, t/s) on socket 0, etc. — matches how
-  // cluster schedulers hand out consecutive hardware threads per socket.
-  const int per_socket =
-      (num_threads + num_sockets_ - 1) / std::max(1, num_sockets_);
+  // Contiguous block assignment — consecutive thread ids share a socket,
+  // matching how schedulers hand out consecutive hardware threads. The
+  // t*S/T mapping keeps block sizes within one of each other for uneven
+  // splits (a ceil(T/S) blocking starves the last socket: T=10,S=4 gave
+  // 3/3/3/1 instead of 3/2/3/2).
   for (int t = 0; t < num_threads; ++t) {
-    const int s = std::min(t / std::max(1, per_socket), num_sockets_ - 1);
+    const int s = static_cast<int>(
+        (static_cast<long long>(t) * num_sockets_) / num_threads);
     socket_of_[static_cast<std::size_t>(t)] = s;
     peers_[static_cast<std::size_t>(s)].push_back(t);
   }
+}
+
+Topology Topology::physical(int num_threads) {
+  const mem::PhysicalTopology& sys = mem::system_topology();
+  const int sockets = std::max(1, static_cast<int>(sys.nodes.size()));
+  Topology topo(num_threads, sockets);
+  topo.physical_ = sys.detected;
+  topo.cpu_of_.assign(static_cast<std::size_t>(num_threads), -1);
+  // Thread t pins round-robin onto its own node's cpu list. Note
+  // num_sockets() may be < sockets when num_threads < node count; the
+  // socket id is still a valid index into sys.nodes.
+  std::vector<std::size_t> next(sys.nodes.size(), 0);
+  for (int t = 0; t < num_threads; ++t) {
+    const auto s = static_cast<std::size_t>(topo.socket_of(t));
+    if (s >= sys.nodes.size() || sys.nodes[s].cpus.empty()) continue;
+    const std::vector<int>& cpus = sys.nodes[s].cpus;
+    topo.cpu_of_[static_cast<std::size_t>(t)] =
+        cpus[next[s]++ % cpus.size()];
+  }
+  return topo;
 }
 
 }  // namespace optibfs

@@ -1,13 +1,15 @@
-// Simulated machine topology for the NUMA-aware policies of paper §IV-C.
+// Machine topology for the NUMA-aware policies of paper §IV-C.
 //
 // The paper sketches NUMA extensions: work-stealing threads should prefer
 // victims on their own socket, and decentralized-queue threads should
-// migrate between queue pools socket-locally. The container this library
-// is developed in has no NUMA (single core), so what we reproduce is the
-// *policy logic*: a Topology assigns each thread id to a socket, and the
-// stealing/migration code consults it. On a real NUMA machine the same
-// Topology can be constructed from the physical layout and combined with
-// thread pinning (ThreadTeam::Options::pin_threads).
+// migrate between queue pools socket-locally. Historically this library
+// only reproduced the *policy logic* over a simulated socket count; a
+// Topology can now also be built from the physical machine
+// (Topology::physical, backed by runtime/mem_topology's sysfs parse), in
+// which case it additionally carries a thread -> logical-cpu pin map that
+// ThreadTeam uses to keep each worker on its socket. On machines where
+// detection fails the physical constructor degrades to the same flat
+// shape the simulated one produces.
 #pragma once
 
 #include <vector>
@@ -19,7 +21,15 @@ class Topology {
   /// Flat topology: all threads on one socket (NUMA policy disabled).
   static Topology flat(int num_threads) { return Topology(num_threads, 1); }
 
-  /// `num_threads` threads spread round-robin-block over `num_sockets`.
+  /// Topology of the real machine: one "socket" per detected NUMA node,
+  /// threads block-assigned to nodes and mapped round-robin onto each
+  /// node's local cpus. Degrades to flat (with a best-effort cpu map)
+  /// when sysfs detection is unavailable.
+  static Topology physical(int num_threads);
+
+  /// `num_threads` threads spread in contiguous blocks over
+  /// `num_sockets`; block sizes differ by at most one when the split is
+  /// uneven.
   Topology(int num_threads, int num_sockets);
 
   int num_threads() const { return static_cast<int>(socket_of_.size()); }
@@ -31,9 +41,25 @@ class Topology {
     return peers_[socket_of_[thread_id]];
   }
 
+  /// True when this topology reflects a successful physical detection
+  /// (so socket ids are real NUMA node indices).
+  bool physical_detected() const { return physical_; }
+
+  /// Logical cpu for thread_id to pin to, or -1 when unknown. Only
+  /// physical() topologies carry a map; simulated ones return -1.
+  int cpu_of(int thread_id) const {
+    return cpu_of_.empty() ? -1 : cpu_of_[thread_id];
+  }
+
+  /// The whole pin map (empty for simulated topologies) — handed to
+  /// ThreadTeam when BFSOptions::pin_threads is set.
+  const std::vector<int>& cpu_map() const { return cpu_of_; }
+
  private:
   int num_sockets_ = 1;
+  bool physical_ = false;
   std::vector<int> socket_of_;
+  std::vector<int> cpu_of_;
   std::vector<std::vector<int>> peers_;
 };
 

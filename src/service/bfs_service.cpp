@@ -9,6 +9,8 @@
 #include "harness/source_sampler.hpp"
 #include "harness/timing.hpp"
 #include "kernels/kernel_registry.hpp"
+#include "runtime/mem_topology.hpp"
+#include "service/prefetch_tuner.hpp"
 
 namespace optibfs {
 
@@ -94,43 +96,6 @@ BfsService::~BfsService() {
 
 namespace {
 
-/// Satellite of the locality layer: a fixed prefetch_distance default
-/// regressed BENCH_locality on mesh-like graphs, so the service probes
-/// instead of trusting it. Times each candidate distance on the
-/// single-source engine (2 runs each on one sampled source, best-of)
-/// and returns the winner. Cost: a handful of BFS runs at registration,
-/// amortized over the graph's whole serving lifetime.
-int probe_prefetch_distance(const ServiceConfig& config,
-                            const CsrGraph& graph) {
-  constexpr vid_t kMinVerticesForProbe = 32768;
-  if (!config.autotune_prefetch ||
-      graph.num_vertices() < kMinVerticesForProbe) {
-    return config.bfs.prefetch_distance;
-  }
-  const vid_t source = sample_sources(graph, 1, config.bfs.seed).front();
-  int best = 0;
-  double best_ms = -1.0;
-  BFSResult scratch;
-  for (const int candidate : {0, 8}) {
-    BFSOptions opts = config.bfs;
-    opts.num_threads = config.num_threads;
-    opts.prefetch_distance = candidate;
-    const auto engine = make_bfs(config.single_source_engine, graph, opts);
-    double candidate_ms = -1.0;
-    for (int rep = 0; rep < 2; ++rep) {
-      Timer timer;
-      engine->run(source, scratch);
-      const double ms = timer.elapsed_ms();
-      if (candidate_ms < 0.0 || ms < candidate_ms) candidate_ms = ms;
-    }
-    if (best_ms < 0.0 || candidate_ms < best_ms) {
-      best_ms = candidate_ms;
-      best = candidate;
-    }
-  }
-  return best;
-}
-
 /// Reorder auto-selection (satellite of the locality layer): a fixed
 /// ServiceConfig::reorder forces its policy; otherwise a degree-
 /// distribution probe picks one per graph. Scale-free graphs — heavy
@@ -169,6 +134,7 @@ void BfsService::rebuild_engines(GraphContext& ctx) {
   // engine; set config.bfs.alpha = 0 to force top-down-only waves.
   BFSOptions wave_opts = opts;
   wave_opts.direction_mode = DirectionMode::kHybrid;
+  wave_opts.prefetch_distance = ctx.wave_prefetch_distance;
   ctx.session =
       std::make_shared<MsBfsSession>(*ctx.graph, wave_opts, *pool_);
   if (ctx.graph->num_vertices() > 0) ctx.graph->transpose();
@@ -211,7 +177,13 @@ std::uint64_t BfsService::register_graph(
   ctx->dynamic = std::make_shared<DynamicGraph>(ctx->graph, dyn_config);
   ctx->fingerprint = ctx->dynamic->content_fingerprint();
   ctx->snapshot = ctx->dynamic->snapshot();
-  ctx->prefetch_distance = probe_prefetch_distance(config_, *ctx->graph);
+  const PrefetchPlan prefetch =
+      tune_prefetch(*ctx->graph, config_.bfs, config_.single_source_engine,
+                    config_.num_threads, config_.autotune_prefetch);
+  ctx->prefetch_distance = prefetch.single_source.distance;
+  ctx->wave_prefetch_distance = prefetch.wave.distance;
+  ctx->kernel_prefetch_distance = prefetch.kernel.distance;
+  ctx->prefetch_probed = prefetch.single_source.probed;
   rebuild_engines(*ctx);
   IncrementalBfsEngine::Config repair_config;
   repair_config.cone_recompute_fraction = config_.cone_recompute_fraction;
@@ -316,6 +288,11 @@ ServiceStats BfsService::stats() const {
       snapshot.single_source_engine =
           std::string(ctx_->single_engine->name());
       snapshot.prefetch_distance = ctx_->prefetch_distance;
+      snapshot.wave_prefetch_distance = ctx_->wave_prefetch_distance;
+      snapshot.kernel_prefetch_distance = ctx_->kernel_prefetch_distance;
+      snapshot.prefetch_provenance =
+          ctx_->prefetch_probed ? "probed" : "configured";
+      snapshot.pinned_threads = ctx_->single_engine->pinned_threads();
       snapshot.reorder_policy = reorder_policy_name(ctx_->reorder_policy);
       const storage::StorageStats ss = ctx_->graph->storage_stats();
       snapshot.storage_backend = storage::storage_kind_name(ss.kind);
@@ -327,6 +304,14 @@ ServiceStats BfsService::stats() const {
       snapshot.storage_major_fault_estimate = ss.major_faults;
     }
   }
+  // Machine facts (DESIGN.md §13) — independent of whether a graph is
+  // registered; degrade to the flat answers on single-node machines
+  // and OPTIBFS_NUMA=OFF builds.
+  const mem::PhysicalTopology& topo = mem::system_topology();
+  snapshot.sockets = static_cast<int>(topo.nodes.size());
+  snapshot.topology_detected = topo.detected;
+  snapshot.huge_pages = config_.bfs.huge_pages;
+  snapshot.thp_mode = mem::thp_mode_name(mem::thp_mode());
   return snapshot;
 }
 
@@ -802,6 +787,7 @@ void BfsService::execute_kernel_queries(
     }
     BFSOptions opts = config_.bfs;
     opts.num_threads = config_.num_threads;
+    opts.prefetch_distance = ctx->kernel_prefetch_distance;
     if (need_cc && !cc_hit) {
       kernels::KernelResult out;
       kernels::make_kernel("CC", *view, opts)->run(out);

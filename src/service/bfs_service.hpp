@@ -161,15 +161,20 @@ struct ServiceConfig {
   /// recorded in ServiceStats::single_source_engine so BENCH
   /// comparisons are self-describing.
   std::string single_source_engine = "BFS_CL_H";
-  /// Prefetch auto-tune (DESIGN.md section 3.1a): at register_graph,
-  /// time a cheap probe of prefetch_distance candidates {0, 8} on the
-  /// single-source engine and build the graph's engines with the
-  /// winner, instead of trusting a fixed default (a fixed 8 regressed
-  /// BENCH_locality on mesh-like graphs; a fixed 0 leaves rmat wins on
-  /// the table). Skipped — config_.bfs.prefetch_distance is used as-is
-  /// — when disabled or when the graph is too small for the probe to
-  /// measure anything (n < 32768). The chosen distance is recorded in
-  /// ServiceStats::prefetch_distance either way.
+  /// Prefetch auto-tune (DESIGN.md sections 3.1a and 13): at
+  /// register_graph, time prefetch_distance candidates {0, 4, 8, 16}
+  /// and build the graph's engines with the winners, instead of
+  /// trusting a fixed default (a fixed 8 regressed BENCH_locality on
+  /// mesh-like graphs; a fixed 0 leaves rmat wins on the table — the
+  /// postmortem is in EXPERIMENTS.md). Three traversal families are
+  /// probed independently (service/prefetch_tuner): the single-source
+  /// engine, MS-BFS waves, and the edgemap kernels, whose hot probe
+  /// arrays differ. Skipped — config_.bfs.prefetch_distance is used
+  /// as-is — when disabled or when the graph is too small for the
+  /// probe to measure anything (n < 32768). The chosen distances land
+  /// in ServiceStats::{prefetch_distance, wave_prefetch_distance,
+  /// kernel_prefetch_distance}, with prefetch_provenance recording
+  /// whether they were probed or passed through.
   bool autotune_prefetch = true;
   /// Vertex-reorder preprocessing applied to every registered graph
   /// (CsrGraph::reorder). Purely internal: queries, results, and cached
@@ -320,9 +325,14 @@ class BfsService {
     std::shared_ptr<const CsrGraph> graph;  ///< current base CSR
     std::uint64_t version = 0;
     std::uint64_t fingerprint = 0;  ///< cache key: content identity
-    /// Prefetch lookahead this graph's engines were built with (the
-    /// auto-tune probe's winner, or config.bfs.prefetch_distance).
-    int prefetch_distance = 0;
+    /// Prefetch lookaheads this graph's engines were built with (the
+    /// auto-tune probes' per-family winners, or
+    /// config.bfs.prefetch_distance when the probe was skipped —
+    /// prefetch_probed records which).
+    int prefetch_distance = 0;         ///< batch-of-1 engine
+    int wave_prefetch_distance = 0;    ///< MS-BFS session
+    int kernel_prefetch_distance = 0;  ///< kernel memo runs
+    bool prefetch_probed = false;      ///< probed vs configured
     std::shared_ptr<DynamicGraph> dynamic;
     GraphSnapshot snapshot;  ///< CSR ∪ delta at this version
     std::shared_ptr<ParallelBFS> single_engine;

@@ -69,12 +69,21 @@ struct ServiceStats {
   /// hybrid like BFS_CL_H, or the asynchronous BFS_ASYNC). Empty until
   /// a graph is registered.
   std::string single_source_engine;
-  /// Prefetch lookahead the registered graph's engines run with. -1
-  /// until a graph is registered; otherwise the auto-tune probe's
-  /// winner (ServiceConfig::autotune_prefetch) or the configured fixed
-  /// value — recorded here so a regressing default cannot ship silently
-  /// (the BENCH_locality pf8 lesson).
+  /// Prefetch lookaheads the registered graph's engines run with (-1
+  /// until a graph is registered): the batch-of-1 engine, the MS-BFS
+  /// wave session, and the kernel memo runs, probed independently —
+  /// their hot probe arrays (level[], mask words, kernel state) have
+  /// different win profiles. Recorded here so a regressing default
+  /// cannot ship silently (the BENCH_locality pf8 lesson).
   int prefetch_distance = -1;
+  int wave_prefetch_distance = -1;
+  int kernel_prefetch_distance = -1;
+  /// "probed" when the distances won registration-time timing on this
+  /// graph; "configured" when the probe was skipped (autotune off or
+  /// graph below the probe floor) and the configured value passed
+  /// through. Empty until a graph is registered. Fixes the provenance
+  /// gap where a skipped probe reported its input as a tuning result.
+  std::string prefetch_provenance;
   /// Resolved vertex-reorder policy the registered graph is served
   /// under: the configured one, or — with ServiceConfig::reorder ==
   /// kNone and autotune_reorder on — the registration-time degree-probe
@@ -94,6 +103,21 @@ struct ServiceStats {
   /// rusage ru_majflt delta since the graph was mapped (process-wide
   /// estimate; 0 for heap graphs).
   std::uint64_t storage_major_fault_estimate = 0;
+
+  // ---- memory topology (DESIGN.md §13) ----
+  /// NUMA nodes the machine reports (1 on flat/degraded machines).
+  int sockets = 1;
+  /// true when sysfs topology detection succeeded (false means the
+  /// flat fallback is in effect and `sockets` is nominal).
+  bool topology_detected = false;
+  /// Worker threads of the batch-of-1 engine successfully pinned to
+  /// their assigned cpus (0 when pinning is off or unavailable).
+  int pinned_threads = 0;
+  /// Whether the engines were built with BFSOptions::huge_pages.
+  bool huge_pages = false;
+  /// Kernel transparent-huge-page mode ("always"/"madvise"/"never"/
+  /// "unknown") — what a huge_pages=true request can actually achieve.
+  std::string thp_mode;
 
   /// Thin view over the flight-recorder counter snapshot: the service
   /// bumps telemetry counters (one slab under its stats lock) and this
@@ -172,6 +196,9 @@ struct ServiceStats {
         << ", \"cache_bytes\": " << cache_bytes
         << ", \"single_source_engine\": \"" << single_source_engine << "\""
         << ", \"prefetch_distance\": " << prefetch_distance
+        << ", \"wave_prefetch_distance\": " << wave_prefetch_distance
+        << ", \"kernel_prefetch_distance\": " << kernel_prefetch_distance
+        << ", \"prefetch_provenance\": \"" << prefetch_provenance << "\""
         << ", \"reorder_policy\": \"" << reorder_policy << "\""
         << ", \"storage_backend\": \"" << storage_backend << "\""
         << ", \"storage_map_bytes\": " << storage_map_bytes
@@ -181,6 +208,11 @@ struct ServiceStats {
         << ", \"storage_evictions\": " << storage_evictions
         << ", \"storage_major_fault_estimate\": "
         << storage_major_fault_estimate
+        << ", \"sockets\": " << sockets
+        << ", \"topology_detected\": " << (topology_detected ? "true" : "false")
+        << ", \"pinned_threads\": " << pinned_threads
+        << ", \"huge_pages\": " << (huge_pages ? "true" : "false")
+        << ", \"thp_mode\": \"" << thp_mode << "\""
         << ", \"batch_histogram\": {";
     bool first = true;
     for (std::size_t w = 1; w < batch_histogram.size(); ++w) {

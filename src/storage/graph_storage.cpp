@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "runtime/mem_topology.hpp"
+
 namespace optibfs::storage {
 
 const char* storage_kind_name(StorageKind kind) {
@@ -36,6 +38,25 @@ StorageStats HeapStorage::stats() const {
   StorageStats s = GraphStorage::stats();
   s.hot_bytes = s.map_bytes;  // heap is always fully resident
   return s;
+}
+
+PlacementResult HeapStorage::place(bool huge_pages, bool interleave) {
+  PlacementResult r;
+  auto* offsets = const_cast<eid_t*>(offsets_);
+  auto* targets = const_cast<vid_t*>(targets_);
+  const std::size_t offset_bytes = offsets_vec_.size() * sizeof(eid_t);
+  const std::size_t target_bytes = targets_vec_.size() * sizeof(vid_t);
+  if (huge_pages) {
+    // Post-touch advise still pays off: khugepaged collapses resident
+    // 4 KiB runs into 2 MiB pages asynchronously.
+    if (mem::advise_huge_pages(offsets, offset_bytes)) ++r.huge_advises;
+    if (mem::advise_huge_pages(targets, target_bytes)) ++r.huge_advises;
+  }
+  if (interleave) {
+    if (mem::interleave_across_nodes(offsets, offset_bytes)) ++r.numa_binds;
+    if (mem::interleave_across_nodes(targets, target_bytes)) ++r.numa_binds;
+  }
+  return r;
 }
 
 }  // namespace optibfs::storage

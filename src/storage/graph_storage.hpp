@@ -66,6 +66,14 @@ struct StorageStats {
                                     ///< (process-wide estimate, mmap only)
 };
 
+/// Accepted placement syscalls from a place() call (DESIGN.md §13) —
+/// folded into the engines' huge_page_advises / numa_bind_calls
+/// telemetry. All-zero when the machine can't honor the request.
+struct PlacementResult {
+  std::uint32_t huge_advises = 0;
+  std::uint32_t numa_binds = 0;
+};
+
 /// Abstract owner of the two CSR arrays. The arrays are immutable for
 /// the lifetime of the storage object; accessors hand out raw pointers
 /// that CsrGraph caches, so nothing virtual is ever on a hot path.
@@ -93,6 +101,25 @@ class GraphStorage {
     (void)first;
     (void)last;
     (void)advice;
+  }
+
+  /// Same hint as advise_vertices(kWillNeed), but the backend may
+  /// service it off the calling thread (the mmap backend queues it to a
+  /// background advisor). The edgemap batcher uses this from its serial
+  /// barrier window to overlap next-round paging with compute. Default:
+  /// degrade to the synchronous call.
+  virtual void advise_vertices_async(vid_t first, vid_t last) {
+    advise_vertices(first, last, Advice::kWillNeed);
+  }
+
+  /// Memory placement for the CSR arrays (DESIGN.md §13): request
+  /// transparent-huge-page backing and/or socket-interleaving. Safe to
+  /// call repeatedly (idempotent advice); returns what the kernel
+  /// accepted. Default: nothing to place.
+  virtual PlacementResult place(bool huge_pages, bool interleave) {
+    (void)huge_pages;
+    (void)interleave;
+    return {};
   }
 
   /// Caps hot residency at `bytes` (0 = uncapped). Exceeding the cap
@@ -124,6 +151,13 @@ class HeapStorage final : public GraphStorage {
 
   StorageKind kind() const override { return StorageKind::kHeap; }
   StorageStats stats() const override;
+
+  /// Heap arrays are anonymous memory: MADV_HUGEPAGE applies directly,
+  /// and mbind with MPOL_MF_MOVE migrates the build-time-touched pages
+  /// into an interleave across the detected nodes. (The mmap backend
+  /// inherits the no-op default: file-backed pages live in the page
+  /// cache, whose placement the kernel owns.)
+  PlacementResult place(bool huge_pages, bool interleave) override;
 
  private:
   std::vector<eid_t> offsets_vec_;

@@ -153,8 +153,49 @@ std::shared_ptr<MmapStorage> MmapStorage::map(const std::string& path,
 }
 
 MmapStorage::~MmapStorage() {
+  // Stop the advisor before the mapping goes away: its queued hints
+  // dereference base_ (inside advise_vertices) and must not outlive it.
+  {
+    std::scoped_lock lock(mu_);
+    advisor_stop_ = true;
+  }
+  advisor_cv_.notify_all();
+  if (advisor_.joinable()) advisor_.join();
   if (base_ != nullptr) ::munmap(base_, map_len_);
   if (fd_ >= 0) ::close(fd_);
+}
+
+void MmapStorage::advise_vertices_async(vid_t first, vid_t last) {
+  if (first >= last || n_ == 0 || targets_bytes_ == 0) return;
+  {
+    std::scoped_lock lock(mu_);
+    if (advisor_stop_) return;
+    if (!advisor_.joinable()) {
+      advisor_ = std::thread([this] { advisor_loop(); });
+    }
+    advisor_queue_.emplace_back(first, last);
+  }
+  advisor_cv_.notify_one();
+}
+
+void MmapStorage::advisor_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    advisor_cv_.wait(lock, [this] {
+      return advisor_stop_ || !advisor_queue_.empty();
+    });
+    if (advisor_stop_) return;  // queued hints are moot at teardown
+    const auto [first, last] = advisor_queue_.front();
+    advisor_queue_.pop_front();
+    advisor_busy_ = true;
+    lock.unlock();
+    // Re-enters mu_ inside; the drop keeps enqueuers (the serial
+    // barrier window) from ever waiting on madvise syscall time.
+    advise_vertices(first, last, Advice::kWillNeed);
+    lock.lock();
+    advisor_busy_ = false;
+    advisor_cv_.notify_all();  // wake stats() drains
+  }
 }
 
 std::uint64_t MmapStorage::interval_count_locked() const {
@@ -272,7 +313,14 @@ void MmapStorage::evict_cold() {
 }
 
 StorageStats MmapStorage::stats() const {
-  std::scoped_lock lock(mu_);
+  std::unique_lock lock(mu_);
+  // Drain pending async advice first. stats() is a cold diagnostics
+  // path, and tests/benches read the counters right after a run —
+  // without the drain, hints still queued behind advise_vertices_async
+  // would make advise_calls/hot_bytes racy.
+  advisor_cv_.wait(lock, [this] {
+    return (advisor_queue_.empty() && !advisor_busy_) || advisor_stop_;
+  });
   StorageStats s;
   s.kind = StorageKind::kMmap;
   s.map_bytes = map_len_;

@@ -26,11 +26,14 @@
 // whole point.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "storage/graph_storage.hpp"
@@ -64,6 +67,16 @@ class MmapStorage final : public GraphStorage {
 
   StorageKind kind() const override { return StorageKind::kMmap; }
   void advise_vertices(vid_t first, vid_t last, Advice advice) override;
+
+  /// Double-buffered WILLNEED (DESIGN.md §13): enqueues the interval to
+  /// a lazily-started background advisor thread and returns
+  /// immediately, so the edgemap batcher's serial window is not spent
+  /// in madvise — the kernel pages the *next* round's slices in while
+  /// the current round computes. Ordering with concurrent synchronous
+  /// advice is best-effort, which is fine: WILLNEED is a hint, and the
+  /// budget/eviction bookkeeping is serialized by mu_ either way.
+  void advise_vertices_async(vid_t first, vid_t last) override;
+
   void set_budget(std::uint64_t bytes) override;
   void evict_cold() override;
   StorageStats stats() const override;
@@ -108,6 +121,17 @@ class MmapStorage final : public GraphStorage {
   std::uint64_t hot_bytes_ = 0;
   std::uint64_t advise_calls_ = 0;
   std::uint64_t evictions_ = 0;
+
+  // Background advisor (advise_vertices_async). Started on first use,
+  // joined in the destructor before the mapping goes away. Guarded by
+  // mu_ (cold path; the advisor drops the lock around the actual
+  // madvise work, which re-serializes inside advise_vertices).
+  void advisor_loop();
+  mutable std::condition_variable advisor_cv_;  // stats() drains on it
+  std::deque<std::pair<vid_t, vid_t>> advisor_queue_;
+  std::thread advisor_;
+  bool advisor_busy_ = false;  // an advise is in flight (lock dropped)
+  bool advisor_stop_ = false;
 };
 
 }  // namespace optibfs::storage

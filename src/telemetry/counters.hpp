@@ -93,6 +93,12 @@ namespace optibfs::telemetry {
   X(kKernelRepairFixes,        "kernel_repair_fixes")                        \
   X(kKernelConflictDemotes,    "kernel_conflict_demotes")                    \
   X(kKernelRmwOps,             "kernel_rmw_ops")                             \
+  /* memory topology / placement (DESIGN.md section 13) */                   \
+  X(kFirstTouchBytes,          "first_touch_bytes")                          \
+  X(kHugePageAdvises,          "huge_page_advises")                          \
+  X(kThpBytesPromoted,         "thp_bytes_promoted")                         \
+  X(kThreadPins,               "thread_pins")                                \
+  X(kNumaBindCalls,            "numa_bind_calls")                            \
   /* storage tier (DESIGN.md section 12) */                                  \
   X(kStorageMapBytes,          "storage_map_bytes")                          \
   X(kStorageAdviseCalls,       "storage_advise_calls")                       \

@@ -1,0 +1,57 @@
+# Enforces the OPTIBFS_NUMA=OFF escape hatch: with the flag off,
+# runtime/mem_topology.hpp provides inline always-degrade stubs and
+# runtime/mem_topology.cpp is not compiled, so the library archive must
+# not carry any *out-of-line* memory-topology machinery. Weak/unique
+# symbols (W/V/u) are the compiler's per-TU emission of the inline
+# stubs themselves (system_topology()'s function-local static topo) and
+# are exactly the header-only contract working — only strong
+# definitions (T/D/B/R) mean the compile-time gate leaked. Run as
+#   cmake -DLIBRARY=<liboptibfs.a> [-DNM=<nm>] -P check_no_numa_symbols.cmake
+# (registered automatically as ctest "topology/no_symbols_when_off" in
+# OFF-configured trees).
+if(NOT LIBRARY)
+  message(FATAL_ERROR "pass -DLIBRARY=<path to liboptibfs archive>")
+endif()
+if(NOT NM)
+  set(NM nm)
+endif()
+
+execute_process(
+  COMMAND ${NM} --defined-only -C ${LIBRARY}
+  OUTPUT_VARIABLE symbols
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${NM} failed on ${LIBRARY} (rc=${rc})")
+endif()
+
+# Keep only strong global definitions; drop weak (W/V) and GNU-unique
+# (u) lines, which inline functions and their static locals produce.
+string(REGEX MATCHALL "[^\n]+" lines "${symbols}")
+set(leaks "")
+foreach(line IN LISTS lines)
+  if(NOT line MATCHES "[ \t][TDBR][ \t]")
+    continue()
+  endif()
+  foreach(marker
+      "mem::parse_node_tree"
+      "mem::system_topology"
+      "mem::advise_huge_pages"
+      "mem::anon_huge_bytes"
+      "mem::pin_current_thread_to_cpu"
+      "mem::bind_to_node"
+      "mem::interleave_across_nodes")
+    string(FIND "${line}" "${marker}" at)
+    if(NOT at EQUAL -1)
+      list(APPEND leaks "${line}")
+    endif()
+  endforeach()
+endforeach()
+
+if(leaks)
+  message(FATAL_ERROR
+    "OPTIBFS_NUMA=OFF build still defines out-of-line memory-topology "
+    "symbols: ${leaks}. The compile-time gate in "
+    "src/runtime/mem_topology.hpp or src/CMakeLists.txt has leaked.")
+endif()
+message(STATUS
+  "ok: ${LIBRARY} defines no out-of-line memory-topology symbols")
