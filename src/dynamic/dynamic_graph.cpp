@@ -102,7 +102,11 @@ void DynamicGraph::refresh_max_out_degree() {
 }
 
 BatchSummary DynamicGraph::apply(const UpdateBatch& batch) {
-  assert(roster_.quiescent() &&
+  // Quiescent-window mode: readers and the mutator strictly alternate,
+  // so a pinned roster here is a caller bug. Concurrent-reader mode
+  // (scale-out replicas): pinned readers hold immutable COW snapshots
+  // of earlier versions, so overlapping them is the whole point.
+  assert((config_.concurrent_readers || roster_.quiescent()) &&
          "DynamicGraph::apply outside a quiescent window");
   const vid_t n = base_->num_vertices();
 
@@ -211,7 +215,7 @@ bool DynamicGraph::current_has_edge_in(const DeltaOverlay& d, vid_t u,
 }
 
 bool DynamicGraph::compact() {
-  assert(roster_.quiescent() &&
+  assert((config_.concurrent_readers || roster_.quiescent()) &&
          "DynamicGraph::compact outside a quiescent window");
   if (!has_delta()) return false;
   compact_locked();

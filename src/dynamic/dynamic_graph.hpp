@@ -204,10 +204,24 @@ class GraphSnapshot {
 /// Fixed-slot reader roster: reader r publishes the snapshot version it
 /// is traversing into its own cache-line-padded slot with a plain
 /// (relaxed) store, and clears it the same way when done. The mutator
-/// scans the roster only at quiescent windows (between waves, after a
-/// team join), so the plain stores are race-benign in exactly the
-/// paper's sense — the scan is advisory for "may I retire this
-/// version", never a synchronization point. No locks, no atomic RMW.
+/// scans the roster only at advisory points (between waves, after a
+/// team join, or — in the scale-out tier's concurrent-reader mode —
+/// right before an apply), so the plain stores are race-benign in
+/// exactly the paper's sense: the scan answers "may I retire this
+/// version" / "is a reader overlapping me", never acts as a
+/// synchronization point. No locks, no atomic RMW.
+///
+/// Two disciplines share this type (DESIGN.md sections 9 and 14):
+///
+///   * quiescent-window mode (BfsService): one reader slot, and the
+///     mutator asserts quiescent() before every apply — readers and
+///     the mutator strictly alternate.
+///   * concurrent-reader mode (ScaleoutService): one slot per replica,
+///     each pinning the snapshot version its in-flight dispatch
+///     traverses. The mutator applies *while* readers are pinned —
+///     copy-on-write snapshots keep every pinned version alive — and
+///     the roster becomes the observable proof that an update
+///     overlapped live readers instead of waiting for them.
 class EpochRoster {
  public:
   static constexpr std::uint64_t kUnpinned = ~std::uint64_t{0};
@@ -224,6 +238,25 @@ class EpochRoster {
   }
   void unpin(int slot) { pin(slot, kUnpinned); }
 
+  /// RAII pin for the lifetime of one dispatch. Unpinning on every exit
+  /// path keeps the roster honest even when an engine throws mid-batch
+  /// (promoted here from the service's private RosterPin so every
+  /// reader tier shares one implementation).
+  class Pin {
+   public:
+    Pin(EpochRoster& roster, int slot, std::uint64_t version)
+        : roster_(roster), slot_(slot) {
+      roster_.pin(slot_, version);
+    }
+    ~Pin() { roster_.unpin(slot_); }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+
+   private:
+    EpochRoster& roster_;
+    int slot_;
+  };
+
   /// Smallest pinned version, or kUnpinned when nobody is pinned.
   std::uint64_t min_pinned() const {
     std::uint64_t low = kUnpinned;
@@ -236,6 +269,18 @@ class EpochRoster {
     return low;
   }
   bool quiescent() const { return min_pinned() == kUnpinned; }
+
+  /// Readers currently pinned (advisory, like min_pinned).
+  int pinned_slots() const {
+    int pinned = 0;
+    for (const auto& s : slots_) {
+      if (std::atomic_ref<const std::uint64_t>(s.value).load(
+              std::memory_order_relaxed) != kUnpinned) {
+        ++pinned;
+      }
+    }
+    return pinned;
+  }
 
  private:
   std::vector<CacheAligned<std::uint64_t>> slots_;
@@ -270,6 +315,16 @@ class DynamicGraph {
     storage::StorageKind compact_storage = storage::StorageKind::kMmap;
     /// Residency budget for the re-opened mmap base (0 = uncapped).
     std::uint64_t compact_storage_budget_bytes = 0;
+    /// Concurrent-reader mode (DESIGN.md section 14): false keeps the
+    /// quiescent-window contract — apply()/compact() assert an empty
+    /// roster, readers and the mutator strictly alternate. true lets
+    /// the single mutator apply *while* readers are pinned on earlier
+    /// versions: every published overlay and base CSR is immutable and
+    /// shared_ptr-owned, so a pinned snapshot stays valid across any
+    /// number of applies and compactions — the roster degrades from a
+    /// gate to an observability surface (how many readers did this
+    /// apply overlap?). Single-mutator remains mandatory either way.
+    bool concurrent_readers = false;
   };
 
   explicit DynamicGraph(std::shared_ptr<const CsrGraph> base)

@@ -271,6 +271,22 @@ void IncrementalBfsEngine::finish_run(RepairOutcome& out) {
   }
 }
 
+bool batch_affects_levels(const GraphSnapshot& snap,
+                          const std::vector<level_t>& levels,
+                          const BatchSummary& summary) {
+  for (const auto& [u, v] : summary.inserts) {
+    if (levels[u] == kUnvisited) continue;
+    if ((levels[v] == kUnvisited || levels[u] + 1 < levels[v]) &&
+        snap.has_edge(u, v)) {
+      return true;
+    }
+  }
+  for (const auto& [u, v] : summary.deletes) {
+    if (levels[u] != kUnvisited && levels[v] == levels[u] + 1) return true;
+  }
+  return false;
+}
+
 RepairOutcome IncrementalBfsEngine::repair(const GraphSnapshot& snap,
                                            const BatchSummary& batch,
                                            vid_t source,

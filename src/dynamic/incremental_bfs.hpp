@@ -45,6 +45,20 @@
 
 namespace optibfs {
 
+/// Can `summary` change any distance in `levels` (a correct level array
+/// for the snapshot *before* the batch)? Exact for inserts — an insert
+/// matters only if it relaxes its target *and* survived into the
+/// post-batch snapshot (one batch may insert and then delete the same
+/// edge, listing it on both sides) — and conservative for deletes: a
+/// severed shortest-path-tree edge (levels[v] == levels[u] + 1 with u
+/// reached) *may* have an alternate parent, so a true return means
+/// "repair and compare", not "distances changed". Shared by the
+/// service's cone-scoped cache migration and the scale-out tier's
+/// continuous-query rollforward (DESIGN.md sections 9 and 14).
+bool batch_affects_levels(const GraphSnapshot& snap,
+                          const std::vector<level_t>& levels,
+                          const BatchSummary& summary);
+
 /// What one repair() did (also the bench's per-batch record).
 struct RepairOutcome {
   /// False = the deletion cone blew past the threshold and the level

@@ -37,6 +37,7 @@
 #include "kernels/kernel.hpp"          // IWYU pragma: export
 #include "kernels/kernel_registry.hpp" // IWYU pragma: export
 #include "kernels/reference.hpp"       // IWYU pragma: export
+#include "scaleout/scaleout_service.hpp"  // IWYU pragma: export
 #include "service/bfs_service.hpp" // IWYU pragma: export
 #include "storage/graph_storage.hpp"  // IWYU pragma: export
 #include "storage/mmap_storage.hpp"   // IWYU pragma: export

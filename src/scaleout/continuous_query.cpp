@@ -1,0 +1,145 @@
+#include "scaleout/continuous_query.hpp"
+
+#include <algorithm>
+
+namespace optibfs::scaleout {
+
+namespace {
+
+/// Registration-time baseline: a plain serial BFS over CSR ∪ delta.
+/// Cold path by construction (one per new watched source), so it stays
+/// off the parallel engine the mutator owns.
+void serial_levels(const GraphSnapshot& snap, vid_t source,
+                   std::vector<level_t>& levels) {
+  levels.assign(snap.num_vertices(), kUnvisited);
+  if (source >= snap.num_vertices()) return;
+  std::vector<vid_t> frontier{source}, next;
+  levels[source] = 0;
+  level_t d = 0;
+  while (!frontier.empty()) {
+    next.clear();
+    for (const vid_t u : frontier) {
+      snap.for_each_out(u, [&](vid_t w) {
+        if (levels[w] == kUnvisited) {
+          levels[w] = d + 1;
+          next.push_back(w);
+        }
+      });
+    }
+    frontier.swap(next);
+    ++d;
+  }
+}
+
+}  // namespace
+
+WatchTicket ContinuousQueryTable::add(const GraphSnapshot& snap,
+                                      std::uint64_t version, vid_t source,
+                                      vid_t target, WatchCallback callback) {
+  std::lock_guard lock(mutex_);
+  SourceState& st = by_source_[source];
+  if (st.refs == 0 || st.version != version) {
+    // First watch on this source (or its cache is stamped with another
+    // epoch — a watch raced an in-flight apply): establish the baseline
+    // against the caller's snapshot. A stale-stamped refresh is safe
+    // for the existing watches too: their `last` values are compared
+    // against whatever epoch the next roll_forward lands on.
+    serial_levels(snap, source, st.levels);
+    st.version = version;
+  }
+  ++st.refs;
+  Watch w;
+  w.id = ++next_id_;
+  w.source = source;
+  w.target = target;
+  w.last = st.levels[target];
+  w.callback = std::move(callback);
+  watches_.push_back(std::move(w));
+  WatchTicket ticket;
+  ticket.id = watches_.back().id;
+  ticket.initial_distance = watches_.back().last;
+  ticket.version = st.version;
+  return ticket;
+}
+
+bool ContinuousQueryTable::remove(WatchId id) {
+  std::lock_guard lock(mutex_);
+  const auto it =
+      std::find_if(watches_.begin(), watches_.end(),
+                   [id](const Watch& w) { return w.id == id; });
+  if (it == watches_.end()) return false;
+  const auto st = by_source_.find(it->source);
+  if (st != by_source_.end() && --st->second.refs == 0) {
+    by_source_.erase(st);
+  }
+  watches_.erase(it);
+  return true;
+}
+
+std::size_t ContinuousQueryTable::size() const {
+  std::lock_guard lock(mutex_);
+  return watches_.size();
+}
+
+ContinuousQueryTable::Rollforward ContinuousQueryTable::roll_forward(
+    IncrementalBfsEngine& engine, const GraphSnapshot& snap,
+    std::uint64_t prev_version, std::uint64_t new_version,
+    const BatchSummary& summary) {
+  Rollforward out;
+  std::lock_guard lock(mutex_);
+  for (auto& [source, st] : by_source_) {
+    bool advanced = true;  // levels now valid at new_version?
+    if (st.version == new_version) {
+      // Registered against the post-batch epoch while this apply was in
+      // flight: already current, nothing to advance.
+    } else if (st.version != prev_version) {
+      // Stamp skew (registered against an even older epoch): the batch
+      // summary alone cannot bridge more than one version, so recompute.
+      engine.recompute(snap, source, st.levels);
+      st.version = new_version;
+      ++out.recomputes;
+    } else if (!batch_affects_levels(snap, st.levels, summary)) {
+      // Provably unaffected: re-stamp without touching the array, and
+      // skip the per-watch comparison below — no distance changed.
+      st.version = new_version;
+      advanced = false;
+    } else {
+      const RepairOutcome r = engine.repair(snap, summary, source, st.levels);
+      if (r.repaired) {
+        ++out.repairs;
+      } else {
+        // Deletion cone covered too much of the graph: the watch's
+        // distances are cheapest to re-derive from scratch.
+        engine.recompute(snap, source, st.levels);
+        ++out.recomputes;
+      }
+      st.version = new_version;
+    }
+    for (Watch& w : watches_) {
+      if (w.source != source) continue;
+      if (!advanced) {
+        ++out.unchanged;
+        continue;
+      }
+      const level_t now = st.levels[w.target];
+      if (now == w.last) {
+        ++out.unchanged;
+        continue;
+      }
+      WatchEvent event;
+      event.tenant = tenant_;
+      event.watch = w.id;
+      event.source = w.source;
+      event.target = w.target;
+      event.old_distance = w.last;
+      event.new_distance = now;
+      event.version = new_version;
+      w.last = now;
+      out.notifications.emplace_back(w.callback, event);
+      ++out.notified;
+    }
+  }
+  return out;
+}
+
+}  // namespace optibfs::scaleout

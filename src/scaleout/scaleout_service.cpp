@@ -1,0 +1,753 @@
+#include "scaleout/scaleout_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace optibfs::scaleout {
+
+using enum telemetry::Counter;
+
+namespace {
+
+ScaleoutConfig sanitized(ScaleoutConfig config) {
+  config.replicas = std::clamp(config.replicas, 1, 32);
+  config.threads_per_replica = std::max(1, config.threads_per_replica);
+  config.claim_batch = std::max(1, config.claim_batch);
+  config.shed_ewma_alpha = std::clamp(config.shed_ewma_alpha, 0.01, 1.0);
+  return config;
+}
+
+bool is_kernel_query(QueryKind kind) {
+  return kind == QueryKind::kComponents || kind == QueryKind::kCoreNumber ||
+         kind == QueryKind::kRankTopK;
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+IncrementalBfsEngine::Config engine_config(const ScaleoutConfig& config) {
+  IncrementalBfsEngine::Config ec;
+  ec.cone_recompute_fraction = config.cone_recompute_fraction;
+  ec.bfs = config.bfs;
+  ec.bfs.num_threads = config.threads_per_replica;
+  return ec;
+}
+
+}  // namespace
+
+ScaleoutService::ScaleoutService(ScaleoutConfig config)
+    : config_(sanitized(std::move(config))),
+      cache_(config_.cache_bytes),
+      counters_(config_.replicas + 2),
+      mutator_slot_(config_.replicas),
+      front_slot_(config_.replicas + 1) {
+  replicas_.reserve(static_cast<std::size_t>(config_.replicas));
+  for (int r = 0; r < config_.replicas; ++r) {
+    auto replica = std::make_unique<Replica>();
+    replica->engine =
+        std::make_unique<IncrementalBfsEngine>(engine_config(config_));
+    replicas_.push_back(std::move(replica));
+  }
+  mutator_engine_ =
+      std::make_unique<IncrementalBfsEngine>(engine_config(config_));
+  for (int r = 0; r < config_.replicas; ++r) {
+    replicas_[static_cast<std::size_t>(r)]->thread =
+        std::thread([this, r] { replica_loop(r); });
+  }
+  mutator_ = std::thread([this] { mutator_loop(); });
+}
+
+ScaleoutService::~ScaleoutService() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  mutator_cv_.notify_all();
+  if (mutator_.joinable()) mutator_.join();
+  for (auto& replica : replicas_) {
+    if (replica->thread.joinable()) replica->thread.join();
+  }
+  // Single-threaded from here: every still-queued future resolves
+  // (queries with kShutdown, updates with an explicit error) so no
+  // caller hangs on a destroyed service.
+  std::vector<QueuedQuery> flush;
+  registry_.for_each([&](TenantContext& tenant) {
+    while (!tenant.queue.empty()) {
+      flush.push_back(std::move(tenant.queue.front()));
+      tenant.queue.pop_front();
+    }
+  });
+  for (QueuedQuery& pending : flush) {
+    QueryResult result;
+    result.status = QueryStatus::kShutdown;
+    complete(front_slot_, pending, std::move(result));
+  }
+  for (PendingUpdate& update : update_queue_) {
+    update.promise.set_exception(std::make_exception_ptr(std::runtime_error(
+        "ScaleoutService::apply_updates: service shut down")));
+  }
+}
+
+TenantId ScaleoutService::register_tenant(
+    std::string name, std::shared_ptr<const CsrGraph> graph,
+    TenantQuota quota) {
+  DynamicGraph::Config dyn_config;
+  dyn_config.compact_threshold = config_.compact_threshold;
+  // (concurrent_readers is forced on by the registry.)
+  std::lock_guard lock(mutex_);
+  if (shutdown_) {
+    throw std::runtime_error(
+        "ScaleoutService::register_tenant: service shut down");
+  }
+  return registry_
+      .create(std::move(name), std::move(graph), quota, dyn_config)
+      ->id;
+}
+
+bool ScaleoutService::deregister_tenant(TenantId tenant_id) {
+  std::vector<QueuedQuery> flush;
+  {
+    std::lock_guard lock(mutex_);
+    auto tenant = registry_.find(tenant_id);
+    if (!tenant) return false;
+    registry_.erase(tenant_id);
+    std::erase(ready_, tenant_id);
+    tenant->in_ready = false;
+    while (!tenant->queue.empty()) {
+      flush.push_back(std::move(tenant->queue.front()));
+      tenant->queue.pop_front();
+    }
+    // Claims already on a replica hold their own shared_ptr to the
+    // context and epoch; they complete normally against the detached
+    // tenant. Updates still queued fail at the mutator (no such
+    // tenant), and the watch table dies with the context.
+  }
+  for (QueuedQuery& pending : flush) {
+    QueryResult result;
+    result.status = QueryStatus::kStaleGraph;
+    complete(front_slot_, pending, std::move(result));
+  }
+  return true;
+}
+
+std::uint64_t ScaleoutService::graph_version(TenantId tenant_id) const {
+  std::lock_guard lock(mutex_);
+  const auto tenant = registry_.find(tenant_id);
+  return tenant ? tenant->epoch->version : 0;
+}
+
+QueryResult ScaleoutService::distance(TenantId tenant, vid_t source,
+                                      vid_t target) {
+  Query q;
+  q.kind = QueryKind::kDistance;
+  q.source = source;
+  q.target = target;
+  return query(tenant, q);
+}
+
+std::future<QueryResult> ScaleoutService::submit(TenantId tenant_id,
+                                                 const Query& query) {
+  QueuedQuery pending;
+  pending.query = query;
+  pending.submitted = Clock::now();
+  auto future = pending.promise.get_future();
+  counters_.bump_relaxed(front_slot_, kQueriesSubmitted);
+
+  std::shared_ptr<const TenantEpoch> epoch;
+  QueryStatus refusal = QueryStatus::kOk;
+  {
+    std::lock_guard lock(mutex_);
+    if (shutdown_) {
+      refusal = QueryStatus::kShutdown;
+    } else if (const auto tenant = registry_.find(tenant_id)) {
+      epoch = tenant->epoch;
+      const vid_t n = epoch->snapshot.num_vertices();
+      bool invalid = query.source >= n;
+      if (!invalid) {
+        switch (query.kind) {
+          case QueryKind::kDistance:
+            invalid = query.target != kInvalidVertex && query.target >= n;
+            break;
+          case QueryKind::kPath:
+            invalid = query.target >= n;
+            break;
+          case QueryKind::kLevelSet:
+            invalid = query.depth < 0;
+            break;
+          case QueryKind::kComponents:
+          case QueryKind::kCoreNumber:
+            break;  // source range already checked above
+          case QueryKind::kRankTopK:
+            invalid = query.topk < 1;
+            break;
+        }
+      }
+      if (invalid) {
+        refusal = QueryStatus::kInvalid;
+      } else if (!tenant->bucket.try_take(pending.submitted)) {
+        refusal = QueryStatus::kQuotaRejected;
+      }
+    } else {
+      refusal = QueryStatus::kInvalid;  // unknown tenant
+    }
+  }
+  if (refusal != QueryStatus::kOk) {
+    QueryResult result;
+    result.status = refusal;
+    complete(front_slot_, pending, std::move(result));
+    return future;
+  }
+
+  // Front-door cache fast path: a repeat source for this tenant's
+  // current edge set never touches a queue or a replica.
+  if (!is_kernel_query(query.kind)) {
+    if (auto cached = cache_.lookup(epoch->fingerprint, query.source)) {
+      counters_.bump_relaxed(front_slot_, kQueriesCacheHit);
+      complete(front_slot_, pending,
+               finalize_levels_query(query, epoch->snapshot, epoch->version,
+                                     std::move(cached), /*cache_hit=*/true));
+      return future;
+    }
+  }
+
+  const double timeout =
+      query.timeout_ms < 0 ? config_.default_timeout_ms : query.timeout_ms;
+  if (timeout >= 0) {
+    pending.has_deadline = true;
+    pending.deadline =
+        pending.submitted +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(timeout));
+  }
+
+  {
+    std::lock_guard lock(mutex_);
+    if (shutdown_) {
+      refusal = QueryStatus::kShutdown;
+    } else if (const auto tenant = registry_.find(tenant_id)) {
+      if (tenant->queue.size() >= config_.max_queue_per_tenant) {
+        refusal = QueryStatus::kRejectedQueueFull;
+      } else {
+        tenant->queue.push_back(std::move(pending));
+        if (!tenant->in_ready) {
+          tenant->in_ready = true;
+          ready_.push_back(tenant_id);
+        }
+      }
+    } else {
+      // Deregistered between validation and enqueue: same answer the
+      // queue flush would have given.
+      refusal = QueryStatus::kStaleGraph;
+    }
+  }
+  if (refusal == QueryStatus::kOk) {
+    work_cv_.notify_one();
+    return future;
+  }
+  QueryResult result;
+  result.status = refusal;
+  complete(front_slot_, pending, std::move(result));
+  return future;
+}
+
+std::future<std::uint64_t> ScaleoutService::submit_updates(TenantId tenant_id,
+                                                           UpdateBatch batch) {
+  PendingUpdate update;
+  update.tenant = tenant_id;
+  update.batch = std::move(batch);
+  auto future = update.promise.get_future();
+  bool queued = false;
+  bool shut = false;
+  {
+    std::lock_guard lock(mutex_);
+    shut = shutdown_;
+    if (!shut && registry_.find(tenant_id) != nullptr) {
+      update_queue_.push_back(std::move(update));
+      queued = true;
+    }
+  }
+  if (queued) {
+    mutator_cv_.notify_one();
+    return future;
+  }
+  // Same message contract as BfsService::submit_updates, extended to
+  // the dispatcher: shutdown always wins the race (a batch submitted
+  // against a closing service reports the shutdown, not a misleading
+  // missing-tenant error).
+  if (shut) {
+    update.promise.set_exception(std::make_exception_ptr(std::runtime_error(
+        "ScaleoutService::apply_updates: service shut down")));
+  } else {
+    update.promise.set_exception(
+        std::make_exception_ptr(std::invalid_argument(
+            "ScaleoutService::apply_updates: no such tenant")));
+  }
+  return future;
+}
+
+std::uint64_t ScaleoutService::apply_updates(TenantId tenant_id,
+                                             UpdateBatch batch) {
+  return submit_updates(tenant_id, std::move(batch)).get();
+}
+
+WatchTicket ScaleoutService::watch_distance(TenantId tenant_id, vid_t source,
+                                            vid_t target,
+                                            WatchCallback callback) {
+  std::shared_ptr<TenantContext> tenant;
+  std::shared_ptr<const TenantEpoch> epoch;
+  {
+    std::lock_guard lock(mutex_);
+    tenant = registry_.find(tenant_id);
+    if (!tenant) {
+      throw std::invalid_argument(
+          "ScaleoutService::watch_distance: no such tenant");
+    }
+    epoch = tenant->epoch;
+  }
+  const vid_t n = epoch->snapshot.num_vertices();
+  if (source >= n || target >= n) {
+    throw std::invalid_argument(
+        "ScaleoutService::watch_distance: vertex out of range");
+  }
+  return tenant->watches.add(epoch->snapshot, epoch->version, source, target,
+                             std::move(callback));
+}
+
+bool ScaleoutService::unwatch(TenantId tenant_id, WatchId watch) {
+  std::shared_ptr<TenantContext> tenant;
+  {
+    std::lock_guard lock(mutex_);
+    tenant = registry_.find(tenant_id);
+  }
+  return tenant && tenant->watches.remove(watch);
+}
+
+ScaleoutStats ScaleoutService::stats() const {
+  ScaleoutStats stats = ScaleoutStats::from(counters_.aggregate());
+  {
+    std::lock_guard lock(stats_mutex_);
+    ServiceStats latency;  // reuse the reservoir's percentile extraction
+    latencies_.fill(latency);
+    stats.latency_samples = latency.latency_samples;
+    stats.mean_latency_ms = latency.mean_latency_ms;
+    stats.p50_latency_ms = latency.p50_latency_ms;
+    stats.p99_latency_ms = latency.p99_latency_ms;
+    stats.max_latency_ms = latency.max_latency_ms;
+  }
+  stats.cache_entries = cache_.entries();
+  stats.cache_bytes = cache_.bytes();
+  stats.cache_evictions = cache_.evictions();
+  stats.replicas = replicas();
+  {
+    std::lock_guard lock(mutex_);
+    stats.tenants = registry_.size();
+    registry_.for_each([&](const TenantContext& tenant) {
+      stats.watches += tenant.watches.size();
+    });
+  }
+  return stats;
+}
+
+void ScaleoutService::replica_loop(int r) {
+  for (;;) {
+    Claim claim;
+    bool more = false;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [&] { return shutdown_ || !ready_.empty(); });
+      if (shutdown_) return;
+      const TenantId id = ready_.front();
+      ready_.pop_front();
+      const auto tenant = registry_.find(id);
+      if (!tenant || tenant->queue.empty()) {
+        if (tenant) tenant->in_ready = false;
+        continue;
+      }
+      claim.tenant = tenant;
+      claim.epoch = tenant->epoch;
+      const std::size_t take =
+          std::min(tenant->queue.size(),
+                   static_cast<std::size_t>(config_.claim_batch));
+      claim.batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        claim.batch.push_back(std::move(tenant->queue.front()));
+        tenant->queue.pop_front();
+      }
+      if (!tenant->queue.empty()) {
+        // Leftover work re-queues immediately: a second idle replica
+        // may claim it and serve this tenant concurrently with us.
+        ready_.push_back(id);
+        more = true;
+      } else {
+        tenant->in_ready = false;
+      }
+    }
+    if (more) work_cv_.notify_one();
+    execute_claim(r, claim);
+  }
+}
+
+void ScaleoutService::execute_claim(int r, Claim& claim) {
+  Replica& rep = *replicas_[static_cast<std::size_t>(r)];
+  const auto now = Clock::now();
+
+  std::vector<QueuedQuery> run;
+  run.reserve(claim.batch.size());
+  for (QueuedQuery& pending : claim.batch) {
+    if (pending.has_deadline && pending.deadline <= now) {
+      QueryResult result;
+      result.status = QueryStatus::kTimeout;
+      complete(r, pending, std::move(result));
+    } else {
+      run.push_back(std::move(pending));
+    }
+  }
+
+  if (config_.shedding && rep.ewma_ms > 0.0 && !run.empty()) {
+    // Shed lowest-slack first: walk in ascending slack order (deadline-
+    // less queries last — they are never shed) accumulating predicted
+    // work for the queries we keep; a deadline that cannot cover the
+    // work queued in front of it would miss anyway, so answering kShed
+    // now is strictly cheaper than executing into a miss.
+    std::stable_sort(run.begin(), run.end(),
+                     [](const QueuedQuery& a, const QueuedQuery& b) {
+                       if (a.has_deadline != b.has_deadline)
+                         return a.has_deadline;
+                       if (!a.has_deadline) return false;
+                       return a.deadline < b.deadline;
+                     });
+    std::vector<QueuedQuery> kept;
+    kept.reserve(run.size());
+    double predicted_ms = 0.0;
+    for (QueuedQuery& pending : run) {
+      if (pending.has_deadline) {
+        const double slack_ms =
+            std::chrono::duration<double, std::milli>(pending.deadline - now)
+                .count();
+        if (slack_ms < predicted_ms + rep.ewma_ms) {
+          QueryResult result;
+          result.status = QueryStatus::kShed;
+          complete(r, pending, std::move(result));
+          continue;
+        }
+      }
+      predicted_ms += rep.ewma_ms;
+      kept.push_back(std::move(pending));
+    }
+    run.swap(kept);
+  }
+  if (run.empty()) return;
+
+  counters_.bump_relaxed(r, kReplicaDispatches);
+  const auto exec_start = Clock::now();
+  {
+    // Pin this replica's roster slot with the epoch it serves: the
+    // mutator reads the roster (relaxed) right before each apply to
+    // record reader overlap — the observable form of "updates proceed
+    // without quiescing the fleet".
+    const EpochRoster::Pin pin(claim.tenant->dynamic->roster(), r,
+                               claim.epoch->version);
+    std::vector<QueuedQuery> levels_queries, kernel_queries;
+    for (QueuedQuery& pending : run) {
+      (is_kernel_query(pending.query.kind) ? kernel_queries : levels_queries)
+          .push_back(std::move(pending));
+    }
+    if (!levels_queries.empty()) run_levels_queries(r, claim, levels_queries);
+    if (!kernel_queries.empty()) run_kernel_queries(r, claim, kernel_queries);
+  }
+  const double exec_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - exec_start)
+          .count();
+  const double per_query_ms = exec_ms / static_cast<double>(run.size());
+  rep.ewma_ms = rep.ewma_ms < 0.0
+                    ? per_query_ms
+                    : config_.shed_ewma_alpha * per_query_ms +
+                          (1.0 - config_.shed_ewma_alpha) * rep.ewma_ms;
+}
+
+void ScaleoutService::run_levels_queries(int r, const Claim& claim,
+                                         std::vector<QueuedQuery>& queries) {
+  Replica& rep = *replicas_[static_cast<std::size_t>(r)];
+  const TenantEpoch& epoch = *claim.epoch;
+
+  std::vector<vid_t> sources;
+  sources.reserve(queries.size());
+  for (const QueuedQuery& pending : queries) {
+    if (std::find(sources.begin(), sources.end(), pending.query.source) ==
+        sources.end()) {
+      sources.push_back(pending.query.source);
+    }
+  }
+  std::vector<ResultCache::LevelsPtr> levels;
+  std::vector<bool> hit;
+  levels.reserve(sources.size());
+  hit.reserve(sources.size());
+  for (const vid_t source : sources) {
+    ResultCache::LevelsPtr row = cache_.lookup(epoch.fingerprint, source);
+    hit.push_back(row != nullptr);
+    if (!row) {
+      // The incremental engine's from-scratch wave path is the replica
+      // engine: delta-aware (CSR ∪ delta), team-parallel on the
+      // replica's own pool, all plain-store optimistic machinery.
+      rep.engine->recompute(epoch.snapshot, source, rep.scratch);
+      row = std::make_shared<const std::vector<level_t>>(rep.scratch);
+      cache_.insert(epoch.fingerprint, source, row);
+    }
+    levels.push_back(std::move(row));
+  }
+
+  for (QueuedQuery& pending : queries) {
+    const std::size_t slot = static_cast<std::size_t>(
+        std::find(sources.begin(), sources.end(), pending.query.source) -
+        sources.begin());
+    if (hit[slot]) counters_.bump_relaxed(r, kQueriesCacheHit);
+    complete(r, pending,
+             finalize_levels_query(pending.query, epoch.snapshot,
+                                   epoch.version, levels[slot], hit[slot]));
+  }
+}
+
+void ScaleoutService::run_kernel_queries(int r, const Claim& claim,
+                                         std::vector<QueuedQuery>& queries) {
+  const TenantEpoch& epoch = *claim.epoch;
+  bool need_cc = false, need_core = false, need_rank = false;
+  for (const QueuedQuery& pending : queries) {
+    switch (pending.query.kind) {
+      case QueryKind::kComponents:
+        need_cc = true;
+        break;
+      case QueryKind::kCoreNumber:
+        need_core = true;
+        break;
+      case QueryKind::kRankTopK:
+        need_rank = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  BFSOptions opts = config_.bfs;
+  opts.num_threads = config_.threads_per_replica;
+  // Replica-aware sharing: the memo lives on the epoch, so two replicas
+  // serving the same tenant version converge on one kernel run — the
+  // second blocks on the memo mutex and wakes to a filled result.
+  const SharedKernelMemo::Access access = epoch.kernels->ensure(
+      need_cc, need_core, need_rank,
+      [&]() -> std::shared_ptr<const CsrGraph> {
+        if (epoch.snapshot.has_delta()) {
+          return std::make_shared<const CsrGraph>(
+              CsrGraph::from_edges(epoch.snapshot.to_edge_list()));
+        }
+        return epoch.base;
+      },
+      opts);
+
+  std::uint64_t hits = 0;
+  for (const QueuedQuery& pending : queries) {
+    const QueryKind kind = pending.query.kind;
+    if ((kind == QueryKind::kComponents && access.components_hit) ||
+        (kind == QueryKind::kCoreNumber && access.core_hit) ||
+        (kind == QueryKind::kRankTopK && access.rank_hit)) {
+      ++hits;
+    }
+  }
+  counters_.bump_relaxed(r, kKernelQueries,
+                         static_cast<std::uint64_t>(queries.size()));
+  counters_.bump_relaxed(r, kKernelCacheHits, hits);
+  counters_.bump_relaxed(r, kKernelRecomputes, access.recomputes);
+
+  const SharedKernelMemo& memo = *epoch.kernels;
+  for (QueuedQuery& pending : queries) {
+    QueryResult result;
+    result.status = QueryStatus::kOk;
+    result.graph_version = epoch.version;
+    switch (pending.query.kind) {
+      case QueryKind::kComponents:
+        result.component = memo.components()[pending.query.source];
+        result.component_size = memo.size_by_label()[result.component];
+        result.cache_hit = access.components_hit;
+        break;
+      case QueryKind::kCoreNumber:
+        result.core = memo.core()[pending.query.source];
+        result.cache_hit = access.core_hit;
+        break;
+      case QueryKind::kRankTopK: {
+        const auto& ranked = memo.rank_sorted();
+        const std::size_t k = std::min(
+            static_cast<std::size_t>(pending.query.topk), ranked.size());
+        result.topk.assign(ranked.begin(),
+                           ranked.begin() + static_cast<std::ptrdiff_t>(k));
+        result.cache_hit = access.rank_hit;
+        break;
+      }
+      default:
+        result.status = QueryStatus::kInvalid;
+        break;
+    }
+    complete(r, pending, std::move(result));
+  }
+}
+
+void ScaleoutService::mutator_loop() {
+  for (;;) {
+    PendingUpdate update;
+    {
+      std::unique_lock lock(mutex_);
+      mutator_cv_.wait(lock,
+                       [&] { return shutdown_ || !update_queue_.empty(); });
+      if (shutdown_) return;  // leftovers flushed by the destructor
+      update = std::move(update_queue_.front());
+      update_queue_.pop_front();
+    }
+    apply_one(update);
+  }
+}
+
+void ScaleoutService::apply_one(PendingUpdate& update) {
+  std::shared_ptr<TenantContext> tenant;
+  {
+    std::lock_guard lock(mutex_);
+    tenant = registry_.find(update.tenant);
+  }
+  if (!tenant) {
+    update.promise.set_exception(std::make_exception_ptr(
+        std::invalid_argument(
+            "ScaleoutService::apply_updates: no such tenant")));
+    return;
+  }
+  // Only this (mutator) thread swaps epochs, so reading the current one
+  // without the lock is single-writer-safe.
+  const std::shared_ptr<const TenantEpoch> prev = tenant->epoch;
+
+  // Reader overlap census, taken right before the apply: any pinned
+  // roster slot is a replica traversing a (COW-protected) snapshot
+  // while we mutate — the acceptance evidence that apply proceeds with
+  // no fleet quiescence.
+  if (tenant->dynamic->roster().pinned_slots() > 0) {
+    counters_.bump_relaxed(mutator_slot_, kUpdatesOverlappedReads);
+  }
+
+  BatchSummary summary;
+  try {
+    summary = tenant->dynamic->apply(update.batch);
+  } catch (...) {
+    update.promise.set_exception(std::current_exception());
+    return;
+  }
+
+  auto next = std::make_shared<TenantEpoch>();
+  next->snapshot = tenant->dynamic->snapshot();
+  next->base = tenant->dynamic->base_csr();
+  next->version = prev->version + 1;
+  next->fingerprint = tenant->dynamic->content_fingerprint();
+  // The kernel memo answers for one edge set only; the fresh epoch
+  // starts empty and the first kernel query at this version refills it.
+  next->kernels = std::make_shared<SharedKernelMemo>();
+
+  // Cone-scoped migration of this tenant's cache rows (extract_all is
+  // fingerprint-keyed, so other tenants' rows are untouched): provably
+  // unaffected rows are re-inserted as-is, affected rows are repaired
+  // in place, and rows whose deletion cone defeats repair are dropped
+  // (recomputed on next demand).
+  std::uint64_t repaired = 0, revalidated = 0;
+  if (summary.changed() && cache_.enabled() &&
+      next->fingerprint != prev->fingerprint) {
+    auto rows = cache_.extract_all(prev->fingerprint);
+    for (auto& [source, row] : rows) {
+      if (!row) continue;
+      if (!batch_affects_levels(next->snapshot, *row, summary)) {
+        cache_.insert(next->fingerprint, source, std::move(row));
+        ++revalidated;
+        continue;
+      }
+      std::vector<level_t> fixed(*row);
+      const RepairOutcome out =
+          mutator_engine_->repair(next->snapshot, summary, source, fixed);
+      if (out.repaired) {
+        cache_.insert(
+            next->fingerprint, source,
+            std::make_shared<const std::vector<level_t>>(std::move(fixed)));
+        ++repaired;
+      }
+    }
+  }
+
+  {
+    std::lock_guard lock(mutex_);
+    tenant->epoch = next;
+  }
+
+  counters_.bump_relaxed(mutator_slot_, kUpdateBatches);
+  counters_.bump_relaxed(mutator_slot_, kEdgesInserted, summary.inserted);
+  counters_.bump_relaxed(mutator_slot_, kEdgesDeleted, summary.erased);
+  if (summary.compacted) {
+    counters_.bump_relaxed(mutator_slot_, kCompactions);
+  }
+  counters_.bump_relaxed(mutator_slot_, kResultsRepaired, repaired);
+  counters_.bump_relaxed(mutator_slot_, kResultsRevalidated, revalidated);
+
+  // Continuous queries ride the same batch: roll every watched source
+  // forward (repair, or recompute when the cone covers the watch) and
+  // collect the distance transitions.
+  ContinuousQueryTable::Rollforward roll = tenant->watches.roll_forward(
+      *mutator_engine_, next->snapshot, prev->version, next->version,
+      summary);
+  counters_.bump_relaxed(mutator_slot_, kWatchRepairs, roll.repairs);
+  counters_.bump_relaxed(mutator_slot_, kWatchRecomputes, roll.recomputes);
+  counters_.bump_relaxed(mutator_slot_, kWatchesUnchanged, roll.unchanged);
+  counters_.bump_relaxed(mutator_slot_, kWatchesNotified, roll.notified);
+
+  // Notify with no locks held (callbacks may re-enter the service),
+  // and *before* resolving the update future: when apply_updates()
+  // returns, every notification for that batch has been delivered.
+  for (auto& [callback, event] : roll.notifications) {
+    try {
+      callback(event);
+    } catch (...) {
+      // A throwing callback must not kill the update pipeline.
+    }
+  }
+  update.promise.set_value(next->version);
+}
+
+void ScaleoutService::complete(int slot, QueuedQuery& pending,
+                               QueryResult result) {
+  result.latency_ms = ms_since(pending.submitted);
+  switch (result.status) {
+    case QueryStatus::kOk:
+      counters_.bump_relaxed(slot, kQueriesCompleted);
+      {
+        std::lock_guard lock(stats_mutex_);
+        latencies_.record(result.latency_ms);
+      }
+      break;
+    case QueryStatus::kRejectedQueueFull:
+      counters_.bump_relaxed(slot, kQueriesRejected);
+      break;
+    case QueryStatus::kTimeout:
+      counters_.bump_relaxed(slot, kQueriesTimedOut);
+      break;
+    case QueryStatus::kStaleGraph:
+      counters_.bump_relaxed(slot, kQueriesStaleGraph);
+      break;
+    case QueryStatus::kShutdown:
+      counters_.bump_relaxed(slot, kQueriesShutdownFlushed);
+      break;
+    case QueryStatus::kInvalid:
+      break;
+    case QueryStatus::kQuotaRejected:
+      counters_.bump_relaxed(slot, kQueriesQuotaRejected);
+      break;
+    case QueryStatus::kShed:
+      counters_.bump_relaxed(slot, kQueriesShed);
+      break;
+  }
+  pending.promise.set_value(std::move(result));
+}
+
+}  // namespace optibfs::scaleout

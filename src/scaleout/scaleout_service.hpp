@@ -1,0 +1,226 @@
+// Scale-out front tier (DESIGN.md section 14): multi-graph tenancy,
+// replica engine teams, and continuous queries over the single-graph
+// machinery of service/bfs_service.
+//
+//   callers --submit(tenant, q)--> per-tenant queues --+
+//                        (token-bucket quota,          |  pull-based
+//                         bounded, deadline-stamped)   v  dispatch
+//                                        ready list <--> N replica threads
+//                                                         (engine team each)
+//   updates --submit_updates--> mutator thread: apply -> epoch publish
+//                                -> cache migration -> watch rollforward
+//
+// * Tenancy: each tenant owns a graph (DynamicGraph in concurrent-
+//   reader mode), a token-bucket quota, and a bounded admission queue.
+//   Quota exhaustion answers kQuotaRejected at the front door; a full
+//   queue answers kRejectedQueueFull.
+// * Dispatch: idle replicas *pull* the oldest ready tenant — least-
+//   loaded dispatch emerges from the pull discipline with no load
+//   accounting. A tenant whose queue outlives one claim is re-queued
+//   immediately, so two replicas may serve the same tenant's disjoint
+//   claims concurrently.
+// * Concurrent reader epochs: a replica pins its roster slot (relaxed
+//   plain store) with the epoch version it serves; the mutator applies
+//   the next version *while* readers are pinned — copy-on-write
+//   snapshots keep every claimed epoch alive, and the roster records
+//   how many applies overlapped live readers (kUpdatesOverlappedReads:
+//   the measurable "no fleet quiescence" claim).
+// * Shedding: each replica keeps an EWMA of its per-query execution
+//   time; at claim time it walks the claim in ascending-slack order and
+//   sheds (kShed) any deadline query whose slack cannot cover the
+//   predicted work queued in front of it — protecting the p99 of the
+//   queries it keeps instead of missing every deadline a little.
+// * Continuous queries: watch_distance(s, t) subscriptions are answered
+//   as a byproduct of each update batch (scaleout/continuous_query),
+//   re-notifying only when the watched distance actually changes.
+//
+// Lock census (the paper's discipline governs traversal hot paths; the
+// front-of-house exemptions are deliberate and bounded, like the
+// ForkJoinPool's): the admission mutex (queues, ready list, registry,
+// epoch swaps), the stats mutex (latency reservoir), each tenant's
+// watch-table mutex, the shared result cache's internal mutex, and each
+// epoch's kernel-memo mutex (blocking on it IS the replica-sharing
+// mechanism). Traversals themselves — replica recomputes, repair waves,
+// kernel runs — run the engines' lock-free optimistic machinery;
+// scale-out counters use relaxed per-slot bumps because stats() may
+// aggregate while every writer is live.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/bfs_options.hpp"
+#include "dynamic/incremental_bfs.hpp"
+#include "graph/csr_graph.hpp"
+#include "scaleout/scaleout_stats.hpp"
+#include "scaleout/tenant_registry.hpp"
+#include "service/bfs_service.hpp"
+#include "service/result_cache.hpp"
+#include "service/service_stats.hpp"
+#include "telemetry/counters.hpp"
+
+namespace optibfs::scaleout {
+
+struct ScaleoutConfig {
+  /// Replica engine teams (dispatch width), clamped to [1, 32].
+  int replicas = 2;
+  /// Worker threads per replica team (and for the mutator's repair
+  /// engine).
+  int threads_per_replica = 2;
+  /// Per-tenant admission-queue bound (kRejectedQueueFull beyond it).
+  std::size_t max_queue_per_tenant = 1024;
+  /// Default queue-wait deadline (ms); < 0 = none. Query::timeout_ms
+  /// overrides per query.
+  double default_timeout_ms = -1.0;
+  /// Deadline-aware load shedding (see header). Off answers every
+  /// admitted query even when hopelessly late — the bench's baseline.
+  bool shedding = true;
+  /// Max queries one replica claims per pull (the shedding/batching
+  /// granule).
+  int claim_batch = 16;
+  /// Shared result-cache byte budget across all tenants and replicas
+  /// (rows are fingerprint-keyed, so tenants never collide; 0 disables).
+  std::size_t cache_bytes = std::size_t{64} << 20;
+  /// EWMA smoothing for the per-replica execution-time estimate.
+  double shed_ewma_alpha = 0.2;
+  /// Dynamic-graph compaction threshold (per tenant).
+  double compact_threshold = 0.125;
+  /// Repair-vs-recompute crossover for cache migration and watches.
+  double cone_recompute_fraction = 0.25;
+  /// Engine tuning (num_threads is overridden by threads_per_replica).
+  BFSOptions bfs;
+};
+
+class ScaleoutService {
+ public:
+  explicit ScaleoutService(ScaleoutConfig config = {});
+  ~ScaleoutService();
+
+  ScaleoutService(const ScaleoutService&) = delete;
+  ScaleoutService& operator=(const ScaleoutService&) = delete;
+
+  /// Registers a tenant serving `graph` under `quota`. Returns its id.
+  TenantId register_tenant(std::string name,
+                           std::shared_ptr<const CsrGraph> graph,
+                           TenantQuota quota = {});
+
+  /// Removes a tenant. Queries still queued complete with kStaleGraph;
+  /// claims already in flight on a replica finish normally against the
+  /// detached context (deregistration never blocks on them); updates
+  /// still queued for it fail with std::invalid_argument. Returns false
+  /// for an unknown id.
+  bool deregister_tenant(TenantId tenant);
+
+  /// Current epoch version of a tenant's graph (0 = unknown tenant).
+  std::uint64_t graph_version(TenantId tenant) const;
+
+  /// Asynchronous entry point: quota + validation + cache fast path at
+  /// the front door, then the tenant queue. The future always resolves.
+  std::future<QueryResult> submit(TenantId tenant, const Query& query);
+
+  QueryResult query(TenantId tenant, const Query& q) {
+    return submit(tenant, q).get();
+  }
+  QueryResult distance(TenantId tenant, vid_t source,
+                       vid_t target = kInvalidVertex);
+
+  /// Queues an update batch for the mutator thread; resolves to the
+  /// tenant's new epoch version. Applies *concurrently* with replica
+  /// reads (no fleet quiescence). Errors mirror BfsService::
+  /// submit_updates: runtime_error after shutdown, invalid_argument for
+  /// an unknown tenant — including a tenant deregistered between submit
+  /// and apply.
+  std::future<std::uint64_t> submit_updates(TenantId tenant,
+                                            UpdateBatch batch);
+  std::uint64_t apply_updates(TenantId tenant, UpdateBatch batch);
+
+  /// Registers a continuous query on tenant's graph: `callback` fires
+  /// (on the mutator thread, outside service locks) whenever an update
+  /// batch changes dist(source, target) — including to/from
+  /// unreachable. Throws std::invalid_argument for an unknown tenant or
+  /// out-of-range vertices.
+  WatchTicket watch_distance(TenantId tenant, vid_t source, vid_t target,
+                             WatchCallback callback);
+  bool unwatch(TenantId tenant, WatchId watch);
+
+  ScaleoutStats stats() const;
+  int replicas() const { return static_cast<int>(replicas_.size()); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One engine team: a pull-dispatch thread owning a private
+  /// IncrementalBfsEngine (its ForkJoinPool is the team). ewma_ms is
+  /// replica-thread-local state for the shedding predictor.
+  struct Replica {
+    std::unique_ptr<IncrementalBfsEngine> engine;
+    std::vector<level_t> scratch;
+    double ewma_ms = -1.0;  ///< per-query execution estimate; <0 = none
+    std::thread thread;
+  };
+
+  /// Work one pull claimed: the tenant, the epoch it will be served
+  /// against, and the queries moved out of the tenant queue.
+  struct Claim {
+    std::shared_ptr<TenantContext> tenant;
+    std::shared_ptr<const TenantEpoch> epoch;
+    std::vector<QueuedQuery> batch;
+  };
+
+  struct PendingUpdate {
+    TenantId tenant = 0;
+    UpdateBatch batch;
+    std::promise<std::uint64_t> promise;
+  };
+
+  void replica_loop(int r);
+  void mutator_loop();
+  void execute_claim(int r, Claim& claim);
+  void run_levels_queries(int r, const Claim& claim,
+                          std::vector<QueuedQuery>& queries);
+  void run_kernel_queries(int r, const Claim& claim,
+                          std::vector<QueuedQuery>& queries);
+  /// Applies one update end to end on the mutator thread: dynamic
+  /// apply, epoch publish, cone-scoped cache migration, watch
+  /// rollforward + notification dispatch.
+  void apply_one(PendingUpdate& update);
+  /// Completes one query, bumping the status counter on `slot`.
+  void complete(int slot, QueuedQuery& pending, QueryResult result);
+
+  ScaleoutConfig config_;
+  ResultCache cache_;  ///< shared across tenants and replicas
+
+  mutable std::mutex mutex_;  ///< admission: registry/queues/ready/epochs
+  std::condition_variable work_cv_;     ///< replicas wait here
+  std::condition_variable mutator_cv_;  ///< mutator waits here
+  TenantRegistry registry_;
+  std::deque<TenantId> ready_;  ///< tenants with queued queries, FIFO
+  std::deque<PendingUpdate> update_queue_;
+  bool shutdown_ = false;
+
+  /// Slots: [0, R) replicas, R mutator, R+1 front door (submit paths).
+  /// All bumps are relaxed — stats() aggregates while writers are live.
+  telemetry::CounterRegistry counters_;
+  int mutator_slot_ = 0;
+  int front_slot_ = 0;
+
+  mutable std::mutex stats_mutex_;
+  LatencyReservoir latencies_;
+
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  /// Mutator-thread-only engine: cache-row migration and watch
+  /// rollforward repairs.
+  std::unique_ptr<IncrementalBfsEngine> mutator_engine_;
+  std::thread mutator_;  ///< joined before replicas in the destructor
+};
+
+}  // namespace optibfs::scaleout

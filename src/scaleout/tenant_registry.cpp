@@ -1,0 +1,30 @@
+#include "scaleout/tenant_registry.hpp"
+
+#include <stdexcept>
+
+namespace optibfs::scaleout {
+
+std::shared_ptr<TenantContext> TenantRegistry::create(
+    std::string name, std::shared_ptr<const CsrGraph> graph,
+    TenantQuota quota, DynamicGraph::Config dyn_config) {
+  if (!graph) {
+    throw std::invalid_argument(
+        "TenantRegistry::create: null graph for tenant \"" + name + "\"");
+  }
+  dyn_config.concurrent_readers = true;
+  const TenantId id = ++next_;
+  auto tenant = std::make_shared<TenantContext>(id, std::move(name), quota);
+  tenant->dynamic =
+      std::make_shared<DynamicGraph>(std::move(graph), dyn_config);
+  auto epoch = std::make_shared<TenantEpoch>();
+  epoch->snapshot = tenant->dynamic->snapshot();
+  epoch->base = tenant->dynamic->base_csr();
+  epoch->version = 1;
+  epoch->fingerprint = tenant->dynamic->content_fingerprint();
+  epoch->kernels = std::make_shared<SharedKernelMemo>();
+  tenant->epoch = std::move(epoch);
+  tenants_.emplace(id, tenant);
+  return tenant;
+}
+
+}  // namespace optibfs::scaleout

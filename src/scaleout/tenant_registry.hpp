@@ -1,0 +1,141 @@
+// Multi-graph tenancy (DESIGN.md section 14): the bookkeeping half of
+// the scale-out front tier.
+//
+// A *tenant* is one served graph plus its admission policy: a dynamic
+// graph (single mutator, concurrent COW readers), the current published
+// epoch (snapshot + version + fingerprint + kernel memo, swapped as one
+// immutable object), a token-bucket quota, a bounded admission queue,
+// and the tenant's continuous-query table. TenantRegistry allocates ids
+// and owns the id -> context map.
+//
+// The registry itself is NOT thread-safe: every call is made under
+// ScaleoutService's admission mutex (the documented front-of-house lock
+// exemption). Contexts are handed out as shared_ptr so a dispatch
+// claimed before deregister_tenant() finishes cleanly against the
+// detached context — deregistration never waits for in-flight work.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "dynamic/dynamic_graph.hpp"
+#include "graph/csr_graph.hpp"
+#include "scaleout/continuous_query.hpp"
+#include "service/bfs_service.hpp"
+#include "service/kernel_memo.hpp"
+
+namespace optibfs::scaleout {
+
+/// Per-tenant admission quota. rate_qps <= 0 means unlimited.
+struct TenantQuota {
+  double rate_qps = 0.0;  ///< sustained queries/second
+  double burst = 32.0;    ///< bucket capacity (max queries in one burst)
+};
+
+/// Token bucket refilled from the monotonic clock on each admission
+/// attempt. Guarded by the caller's (service admission) mutex.
+class TokenBucket {
+ public:
+  explicit TokenBucket(TenantQuota quota)
+      : quota_(quota), tokens_(quota.burst) {}
+
+  bool try_take(std::chrono::steady_clock::time_point now) {
+    if (quota_.rate_qps <= 0.0) return true;
+    if (started_) {
+      const double elapsed =
+          std::chrono::duration<double>(now - last_).count();
+      tokens_ = std::min(quota_.burst, tokens_ + elapsed * quota_.rate_qps);
+    }
+    started_ = true;
+    last_ = now;
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  TenantQuota quota_;
+  double tokens_;
+  bool started_ = false;
+  std::chrono::steady_clock::time_point last_;
+};
+
+/// One published graph version, swapped as a unit under the admission
+/// mutex. Immutable after publication: replicas claim a shared_ptr and
+/// serve against it even while the mutator publishes successors (the
+/// COW snapshot keeps the edge set alive; the kernel memo is shared by
+/// every replica serving this version).
+struct TenantEpoch {
+  GraphSnapshot snapshot;
+  std::shared_ptr<const CsrGraph> base;  ///< kernel-view fast path
+  std::uint64_t version = 0;
+  std::uint64_t fingerprint = 0;  ///< shared result-cache key
+  std::shared_ptr<SharedKernelMemo> kernels;
+};
+
+/// One admitted query waiting in (or claimed from) a tenant queue.
+struct QueuedQuery {
+  Query query;
+  std::promise<QueryResult> promise;
+  std::chrono::steady_clock::time_point submitted;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline;
+};
+
+struct TenantContext {
+  TenantContext(TenantId id_, std::string name_, TenantQuota quota)
+      : id(id_), name(std::move(name_)), bucket(quota), watches(id_) {}
+
+  const TenantId id;
+  const std::string name;
+  /// Single-mutator dynamic graph in concurrent-reader mode; only the
+  /// service's mutator thread calls apply()/compact(). Replicas touch
+  /// it solely through the (relaxed-atomic) epoch roster.
+  std::shared_ptr<DynamicGraph> dynamic;
+  /// Current epoch; swapped (never mutated) under the admission mutex.
+  std::shared_ptr<const TenantEpoch> epoch;
+  TokenBucket bucket;              ///< admission mutex
+  ContinuousQueryTable watches;    ///< own internal mutex
+  std::deque<QueuedQuery> queue;   ///< admission mutex
+  bool in_ready = false;           ///< queued in the dispatcher's ready list
+};
+
+class TenantRegistry {
+ public:
+  /// Builds a tenant over `graph`. The dynamic graph is forced into
+  /// concurrent-reader mode regardless of `dyn_config` — the scale-out
+  /// mutator applies while replicas hold pinned snapshots by design.
+  /// Throws std::invalid_argument on a null graph.
+  std::shared_ptr<TenantContext> create(std::string name,
+                                        std::shared_ptr<const CsrGraph> graph,
+                                        TenantQuota quota,
+                                        DynamicGraph::Config dyn_config);
+
+  bool erase(TenantId id) { return tenants_.erase(id) > 0; }
+
+  std::shared_ptr<TenantContext> find(TenantId id) const {
+    const auto it = tenants_.find(id);
+    return it == tenants_.end() ? nullptr : it->second;
+  }
+
+  std::size_t size() const { return tenants_.size(); }
+
+  template <class F>
+  void for_each(F&& f) const {
+    for (const auto& [id, tenant] : tenants_) f(*tenant);
+  }
+
+ private:
+  TenantId next_ = 0;
+  std::unordered_map<TenantId, std::shared_ptr<TenantContext>> tenants_;
+};
+
+}  // namespace optibfs::scaleout

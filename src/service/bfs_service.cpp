@@ -8,7 +8,6 @@
 #include "graph/graph_props.hpp"
 #include "harness/source_sampler.hpp"
 #include "harness/timing.hpp"
-#include "kernels/kernel_registry.hpp"
 #include "runtime/mem_topology.hpp"
 #include "service/prefetch_tuner.hpp"
 
@@ -36,46 +35,6 @@ double ms_since(std::chrono::steady_clock::time_point start) {
              std::chrono::steady_clock::now() - start)
       .count();
 }
-
-/// Can `summary` change any distance from this row's source? Exact for
-/// correct level arrays: an insert matters only if it relaxes its
-/// target *and* survived into the post-batch snapshot (one batch may
-/// insert and then delete the same edge, listing it on both sides); a
-/// delete only if it severs a shortest-path tree edge
-/// (levels[v] == levels[u] + 1 with u reached).
-bool batch_affects(const GraphSnapshot& snap,
-                   const std::vector<level_t>& levels,
-                   const BatchSummary& summary) {
-  for (const auto& [u, v] : summary.inserts) {
-    if (levels[u] == kUnvisited) continue;
-    if ((levels[v] == kUnvisited || levels[u] + 1 < levels[v]) &&
-        snap.has_edge(u, v)) {
-      return true;
-    }
-  }
-  for (const auto& [u, v] : summary.deletes) {
-    if (levels[u] != kUnvisited && levels[v] == levels[u] + 1) return true;
-  }
-  return false;
-}
-
-/// Pins a roster slot for the lifetime of a dispatch. Unpinning on every
-/// exit path keeps the quiescence assertions honest even when an engine
-/// throws mid-batch.
-class RosterPin {
- public:
-  RosterPin(EpochRoster& roster, int slot, std::uint64_t version)
-      : roster_(roster), slot_(slot) {
-    roster_.pin(slot_, version);
-  }
-  ~RosterPin() { roster_.unpin(slot_); }
-  RosterPin(const RosterPin&) = delete;
-  RosterPin& operator=(const RosterPin&) = delete;
-
- private:
-  EpochRoster& roster_;
-  int slot_;
-};
 
 }  // namespace
 
@@ -434,7 +393,8 @@ std::future<QueryResult> BfsService::submit(const Query& query) {
         ++query_counters_.slab(0)[kQueriesCacheHit];
       }
       complete(pending,
-               finalize(query, *ctx, std::move(cached), /*cache_hit=*/true));
+               finalize_levels_query(query, ctx->snapshot, ctx->version,
+                                     std::move(cached), /*cache_hit=*/true));
       return future;
     }
   }
@@ -612,7 +572,7 @@ void BfsService::process_updates(std::vector<PendingUpdate>& updates) {
       auto rows = cache_.extract_all(old_fingerprint);
       for (auto& [source, levels] : rows) {
         if (!levels) continue;
-        if (!batch_affects(next->snapshot, *levels, summary)) {
+        if (!batch_affects_levels(next->snapshot, *levels, summary)) {
           cache_.insert(next->fingerprint, source, std::move(levels));
           ++revalidated;
           continue;
@@ -682,7 +642,7 @@ void BfsService::execute_batch(const std::shared_ptr<GraphContext>& ctx,
   // the observable form of "a traversal is in flight", which the
   // update path's quiescence assertions check against. RAII so an
   // engine throwing mid-batch still unpins.
-  const RosterPin pin(ctx->dynamic->roster(), 0, ctx->version);
+  const EpochRoster::Pin pin(ctx->dynamic->roster(), 0, ctx->version);
 
   std::vector<std::shared_ptr<const std::vector<level_t>>> levels(
       sources.size());
@@ -734,8 +694,9 @@ void BfsService::execute_batch(const std::shared_ptr<GraphContext>& ctx,
     // vs time inside the dispatch (arg = the query's source).
     sched_trace_.span_between(kEvQueueWait, pending.submitted,
                               dispatch_start, pending.query.source);
-    complete(pending, finalize(pending.query, *ctx, levels[slot],
-                               /*cache_hit=*/false));
+    complete(pending,
+             finalize_levels_query(pending.query, ctx->snapshot, ctx->version,
+                                   levels[slot], /*cache_hit=*/false));
     if (sched_trace_.attached()) {
       sched_trace_.span_between(kEvExecute, dispatch_start, Clock::now(),
                                 pending.query.source);
@@ -748,13 +709,8 @@ void BfsService::execute_batch(const std::shared_ptr<GraphContext>& ctx,
 void BfsService::execute_kernel_queries(
     const std::shared_ptr<GraphContext>& ctx, std::vector<Pending>& batch) {
   const std::uint64_t dispatch_t0 = sched_trace_.now();
-  if (!ctx->kernels) ctx->kernels = std::make_shared<KernelCache>();
-  KernelCache& memo = *ctx->kernels;
-  // "Hit" is decided against the memo as this dispatch found it; every
-  // query in the batch that needed a kernel run below shares one run.
-  const bool cc_hit = memo.have_components;
-  const bool core_hit = memo.have_core;
-  const bool rank_hit = memo.have_rank;
+  if (!ctx->kernels) ctx->kernels = std::make_shared<SharedKernelMemo>();
+  SharedKernelMemo& memo = *ctx->kernels;
 
   bool need_cc = false, need_core = false, need_rank = false;
   for (const Pending& pending : batch) {
@@ -773,54 +729,28 @@ void BfsService::execute_kernel_queries(
     }
   }
 
-  std::uint64_t recomputes = 0;
-  if ((need_cc && !cc_hit) || (need_core && !core_hit) ||
-      (need_rank && !rank_hit)) {
-    // Recompute-on-snapshot: a live delta overlay means the base CSR
-    // is stale for kernels, so materialize CSR ∪ delta once and run
-    // every missing kernel against it. (Same quiescence argument as
-    // execute_batch: only this thread dispatches, no wave in flight.)
-    std::shared_ptr<const CsrGraph> view = ctx->graph;
-    if (ctx->snapshot.has_delta()) {
-      view = std::make_shared<const CsrGraph>(
-          CsrGraph::from_edges(ctx->snapshot.to_edge_list()));
-    }
-    BFSOptions opts = config_.bfs;
-    opts.num_threads = config_.num_threads;
-    opts.prefetch_distance = ctx->kernel_prefetch_distance;
-    if (need_cc && !cc_hit) {
-      kernels::KernelResult out;
-      kernels::make_kernel("CC", *view, opts)->run(out);
-      memo.components = std::move(out.labels);
-      memo.size_by_label.assign(memo.components.size(), 0);
-      for (const vid_t label : memo.components) ++memo.size_by_label[label];
-      memo.have_components = true;
-      ++recomputes;
-    }
-    if (need_core && !core_hit) {
-      kernels::KernelResult out;
-      kernels::make_kernel("KCORE", *view, opts)->run(out);
-      memo.core = std::move(out.core);
-      memo.have_core = true;
-      ++recomputes;
-    }
-    if (need_rank && !rank_hit) {
-      kernels::KernelResult out;
-      kernels::make_kernel("PRDELTA", *view, opts)->run(out);
-      memo.rank_sorted.clear();
-      memo.rank_sorted.reserve(out.rank.size());
-      for (vid_t v = 0; v < static_cast<vid_t>(out.rank.size()); ++v) {
-        memo.rank_sorted.emplace_back(v, out.rank[v]);
-      }
-      std::sort(memo.rank_sorted.begin(), memo.rank_sorted.end(),
-                [](const auto& a, const auto& b) {
-                  if (a.second != b.second) return a.second > b.second;
-                  return a.first < b.first;
-                });
-      memo.have_rank = true;
-      ++recomputes;
-    }
-  }
+  // Recompute-on-snapshot: a live delta overlay means the base CSR is
+  // stale for kernels, so the memo materializes CSR ∪ delta lazily and
+  // runs every missing flavor against it. (Same quiescence argument as
+  // execute_batch: only this thread dispatches, no wave in flight.)
+  BFSOptions opts = config_.bfs;
+  opts.num_threads = config_.num_threads;
+  opts.prefetch_distance = ctx->kernel_prefetch_distance;
+  const SharedKernelMemo::Access access = memo.ensure(
+      need_cc, need_core, need_rank,
+      [&]() -> std::shared_ptr<const CsrGraph> {
+        if (ctx->snapshot.has_delta()) {
+          return std::make_shared<const CsrGraph>(
+              CsrGraph::from_edges(ctx->snapshot.to_edge_list()));
+        }
+        return ctx->graph;
+      },
+      opts);
+  // "Hit" is decided against the memo as this dispatch found it; every
+  // query in the batch that needed a kernel run shared that one run.
+  const bool cc_hit = access.components_hit;
+  const bool core_hit = access.core_hit;
+  const bool rank_hit = access.rank_hit;
 
   std::uint64_t hits = 0;
   for (const Pending& pending : batch) {
@@ -838,7 +768,7 @@ void BfsService::execute_kernel_queries(
     std::uint64_t* ctr = query_counters_.slab(0);
     ctr[kKernelQueries] += batch.size();
     ctr[kKernelCacheHits] += hits;
-    ctr[kKernelRecomputes] += recomputes;
+    ctr[kKernelRecomputes] += access.recomputes;
   }
 
   for (Pending& pending : batch) {
@@ -847,21 +777,20 @@ void BfsService::execute_kernel_queries(
     result.graph_version = ctx->version;
     switch (pending.query.kind) {
       case QueryKind::kComponents:
-        result.component = memo.components[pending.query.source];
-        result.component_size = memo.size_by_label[result.component];
+        result.component = memo.components()[pending.query.source];
+        result.component_size = memo.size_by_label()[result.component];
         result.cache_hit = cc_hit;
         break;
       case QueryKind::kCoreNumber:
-        result.core = memo.core[pending.query.source];
+        result.core = memo.core()[pending.query.source];
         result.cache_hit = core_hit;
         break;
       case QueryKind::kRankTopK: {
-        const std::size_t k =
-            std::min(static_cast<std::size_t>(pending.query.topk),
-                     memo.rank_sorted.size());
-        result.topk.assign(
-            memo.rank_sorted.begin(),
-            memo.rank_sorted.begin() + static_cast<std::ptrdiff_t>(k));
+        const auto& ranked = memo.rank_sorted();
+        const std::size_t k = std::min(
+            static_cast<std::size_t>(pending.query.topk), ranked.size());
+        result.topk.assign(ranked.begin(),
+                           ranked.begin() + static_cast<std::ptrdiff_t>(k));
         result.cache_hit = rank_hit;
         break;
       }
@@ -875,14 +804,13 @@ void BfsService::execute_kernel_queries(
                     static_cast<std::uint64_t>(batch.size()));
 }
 
-QueryResult BfsService::finalize(
-    const Query& query, const GraphContext& ctx,
-    std::shared_ptr<const std::vector<level_t>> levels,
-    bool cache_hit) const {
+QueryResult finalize_levels_query(
+    const Query& query, const GraphSnapshot& snapshot, std::uint64_t version,
+    std::shared_ptr<const std::vector<level_t>> levels, bool cache_hit) {
   QueryResult result;
   result.status = QueryStatus::kOk;
   result.cache_hit = cache_hit;
-  result.graph_version = ctx.version;
+  result.graph_version = version;
   const std::vector<level_t>& lv = *levels;
   switch (query.kind) {
     case QueryKind::kDistance:
@@ -897,7 +825,7 @@ QueryResult BfsService::finalize(
         // snapshot's for_each_in is delta-aware — deleted base edges
         // are unusable and spilled inserts are usable — and handles
         // the original-vs-internal ID translation on reordered graphs.
-        const GraphSnapshot& snap = ctx.snapshot;
+        const GraphSnapshot& snap = snapshot;
         std::vector<vid_t> reversed{query.target};
         vid_t v = query.target;
         for (level_t l = result.distance; l > 0; --l) {
@@ -922,8 +850,9 @@ QueryResult BfsService::finalize(
     case QueryKind::kComponents:
     case QueryKind::kCoreNumber:
     case QueryKind::kRankTopK:
-      // Kernel-typed queries never reach finalize (they complete in
-      // execute_kernel_queries, not from a level array).
+      // Kernel-typed queries are never answered from a level array;
+      // the service schedulers complete them from a SharedKernelMemo
+      // before reaching here.
       break;
   }
   result.levels = std::move(levels);
@@ -953,6 +882,12 @@ void BfsService::complete(Pending& pending, QueryResult result) {
         ++ctr[kQueriesShutdownFlushed];
         break;
       case QueryStatus::kInvalid:
+        break;
+      case QueryStatus::kQuotaRejected:
+        ++ctr[kQueriesQuotaRejected];
+        break;
+      case QueryStatus::kShed:
+        ++ctr[kQueriesShed];
         break;
     }
   }

@@ -60,6 +60,7 @@
 #include "dynamic/incremental_bfs.hpp"
 #include "graph/csr_graph.hpp"
 #include "runtime/fork_join_pool.hpp"
+#include "service/kernel_memo.hpp"
 #include "service/result_cache.hpp"
 #include "service/service_stats.hpp"
 
@@ -84,6 +85,10 @@ enum class QueryStatus {
   kStaleGraph,         ///< graph re-registered before the query ran
   kShutdown,           ///< service destroyed with the query still queued
   kInvalid,            ///< no graph registered / vertex out of range
+  // Scale-out front tier (DESIGN.md section 14; unused by BfsService
+  // itself, which has neither quotas nor a shedding dispatcher):
+  kQuotaRejected,  ///< tenant token bucket empty at admission
+  kShed,           ///< load-shed: predicted queue wait exceeds slack
 };
 
 struct Query {
@@ -129,6 +134,18 @@ struct QueryResult {
 
   bool ok() const { return status == QueryStatus::kOk; }
 };
+
+/// Renders a BFS-typed (levels-answerable) query's result from a full
+/// level array: distance lookup, lazy predecessor walk over the
+/// snapshot's in-edge view for kPath, ring collection for kLevelSet.
+/// Factored out of BfsService so the scale-out tier's replicas
+/// (scaleout/scaleout_service) produce bit-identical results from the
+/// same level arrays. Kernel-typed kinds return with the levels
+/// attached but no kind-specific fields (callers answer those from a
+/// SharedKernelMemo instead).
+QueryResult finalize_levels_query(
+    const Query& query, const GraphSnapshot& snapshot, std::uint64_t version,
+    std::shared_ptr<const std::vector<level_t>> levels, bool cache_hit);
 
 struct ServiceConfig {
   /// Workers in the persistent pool (wave team width) and in the
@@ -293,25 +310,6 @@ class BfsService {
     std::promise<std::uint64_t> promise;
   };
 
-  /// Scheduler-thread-only memo of kernel results for one graph
-  /// version, lazily filled on the first kernel-typed query of each
-  /// flavor and shared by every later one at the same version.
-  /// apply_updates drops it (recompute-on-snapshot), so a memo never
-  /// outlives the edge set it was computed on. All vertex-indexed
-  /// fields are in original ids, like every other service result.
-  struct KernelCache {
-    std::vector<vid_t> components;  ///< min-original-id label per vertex
-    /// Component vertex count, indexed by canonical label (only
-    /// entries that are some vertex's label are nonzero).
-    std::vector<std::uint64_t> size_by_label;
-    std::vector<std::uint32_t> core;  ///< coreness per vertex
-    /// (vertex, rank) by descending PageRank, ties by ascending id.
-    std::vector<std::pair<vid_t, double>> rank_sorted;
-    bool have_components = false;
-    bool have_core = false;
-    bool have_rank = false;
-  };
-
   /// Everything tied to one registered graph *version*. The scheduler
   /// takes a shared_ptr snapshot per batch, so register_graph and
   /// apply_updates can swap the context mid-wave without racing the
@@ -342,9 +340,12 @@ class BfsService {
     /// configured one, or the registration-time auto-probe's pick
     /// (ServiceConfig::autotune_reorder).
     ReorderPolicy reorder_policy = ReorderPolicy::kNone;
-    /// Kernel memo for this version (scheduler-thread-only; null until
-    /// the first kernel-typed query; reset by process_updates).
-    std::shared_ptr<KernelCache> kernels;
+    /// Kernel memo for this version (service/kernel_memo): null until
+    /// the first kernel-typed query, reset by process_updates so a
+    /// memo never outlives the edge set it was computed on. Only the
+    /// scheduler thread touches it here; the scale-out tier shares the
+    /// same type across replicas (its mutex is the sharing mechanism).
+    std::shared_ptr<SharedKernelMemo> kernels;
   };
 
   void scheduler_loop();
@@ -362,9 +363,6 @@ class BfsService {
   /// and after every compaction (a fresh CSR invalidates MsBfsSession's
   /// graph reference and the cached max_out_degree).
   void rebuild_engines(GraphContext& ctx);
-  QueryResult finalize(const Query& query, const GraphContext& ctx,
-                       std::shared_ptr<const std::vector<level_t>> levels,
-                       bool cache_hit) const;
   void complete(Pending& pending, QueryResult result);
 
   ServiceConfig config_;

@@ -116,6 +116,15 @@ namespace optibfs::telemetry {
   X(kKernelQueries,            "kernel_queries")                             \
   X(kKernelCacheHits,          "kernel_cache_hits")                          \
   X(kKernelRecomputes,         "kernel_recomputes")                          \
+  /* scale-out front tier (DESIGN.md section 14) */                          \
+  X(kQueriesShed,              "queries_shed")                               \
+  X(kQueriesQuotaRejected,     "queries_quota_rejected")                     \
+  X(kReplicaDispatches,        "replica_dispatches")                         \
+  X(kUpdatesOverlappedReads,   "updates_overlapped_reads")                   \
+  X(kWatchesNotified,          "watches_notified")                           \
+  X(kWatchRepairs,             "watch_repairs")                              \
+  X(kWatchRecomputes,          "watch_recomputes")                           \
+  X(kWatchesUnchanged,         "watches_unchanged")                          \
   /* tracing self-accounting */                                              \
   X(kTraceEventsDropped,       "trace_events_dropped")
 // clang-format on
